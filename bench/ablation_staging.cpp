@@ -1,0 +1,77 @@
+// ABL-STAGE: the paper's central mechanism claim — "unlike similar work
+// which serializes data structures into an in-memory buffer and then copies
+// to PMEM, pMEMCPY can serialize the data directly into PMEM ... avoiding a
+// significant data copying cost."
+//
+// Runs the Figure-6/7 workload through pMEMCPY twice: once with direct
+// serialization (default) and once with Config::force_dram_staging, which
+// re-enables the DRAM staging pass other libraries pay.
+#include "figures_common.hpp"
+
+namespace {
+
+using namespace figbench;
+
+double run_staged(bool staged, PmemNode& node, const wk::Decomposition& dec,
+                  int nvars, int nranks, bool read_phase) {
+  node.device().reset_page_touches();
+  auto result = pmemcpy::par::Runtime::run(
+      nranks, [&](pmemcpy::par::Comm& comm) {
+        const Box& mine =
+            dec.rank_boxes[static_cast<std::size_t>(comm.rank())];
+        pmemcpy::Config cfg;
+        cfg.node = &node;
+        cfg.force_dram_staging = staged;
+        pmemcpy::PMEM pmem{cfg};
+        pmem.mmap("/stage.pmem", comm);
+        std::vector<double> buf;
+        if (!read_phase) {
+          for (int v = 0; v < nvars; ++v) {
+            wk::fill_box(buf, v, dec.global, mine);
+            pmem.alloc<double>(var_name(v), dec.global);
+            pmem.store(var_name(v), buf.data(), 3, mine.offset.data(),
+                       mine.count.data());
+          }
+        } else {
+          buf.resize(mine.elements());
+          for (int v = 0; v < nvars; ++v) {
+            pmem.load(var_name(v), buf.data(), 3, mine.offset.data(),
+                      mine.count.data());
+          }
+        }
+        pmem.munmap();
+      });
+  return result.max_time;
+}
+
+}  // namespace
+
+int main() {
+  Params p = params_from_env();
+  std::printf("ablation_staging: %.3f GiB, %d reps\n", p.gib, p.reps);
+  std::printf("%-8s %14s %14s %10s %14s %14s %10s\n", "nprocs",
+              "direct-write", "staged-write", "overhead", "direct-read",
+              "staged-read", "overhead");
+
+  for (const int nranks : p.counts) {
+    const auto dec = wk::decompose(p.elems_per_var(), nranks);
+    const std::size_t bytes = dec.total_elements() * sizeof(double) *
+                              static_cast<std::size_t>(p.nvars);
+    double dw = 0, sw = 0, dr = 0, sr = 0;
+    for (int rep = 0; rep < p.reps; ++rep) {
+      auto node = make_node(IoLib::kPmcpyA, bytes);
+      dw += run_staged(false, *node, dec, p.nvars, nranks, false);
+      dr += run_staged(false, *node, dec, p.nvars, nranks, true);
+      sw += run_staged(true, *node, dec, p.nvars, nranks, false);
+      sr += run_staged(true, *node, dec, p.nvars, nranks, true);
+    }
+    std::printf("%-8d %14.4f %14.4f %9.1f%% %14.4f %14.4f %9.1f%%\n", nranks,
+                dw / p.reps, sw / p.reps, 100.0 * (sw - dw) / dw,
+                dr / p.reps, sr / p.reps, 100.0 * (sr - dr) / dr);
+    std::fflush(stdout);
+  }
+  std::printf("\nExpected shape: staging adds a full extra DRAM pass on the "
+              "write side and on the symmetric read fast path — the copy "
+              "pMEMCPY's direct (de)serialization avoids.\n");
+  return 0;
+}

@@ -1,0 +1,197 @@
+// TAB-API: the paper's §3 API-complexity comparison.  The paper counts the
+// lines and lexical tokens of three equivalent programs — its Figures 3
+// (pMEMCPY), 4 (HDF5) and 5 (ADIOS) — and reports 16 lines / 132 tokens vs
+// 42 / 253 vs 24 / 164.  We embed the listings verbatim and recount with a
+// simple C lexer.
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+// Paper Figure 3 (pMEMCPY).
+const char* kPmemcpySrc = R"(#include <pmemcpy/pmemcpy.h>
+int main(int argc, char** argv) {
+    int rank, nprocs;
+    MPI_Init(&argc,&argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+    pmemcpy::PMEM pmem;
+    size_t count = 100;
+    size_t off = 100*rank;
+    size_t dimsf = 100*nprocs;
+    char *path = argv[1];
+
+    double data[100] = {0};
+    pmem.mmap(path, MPI_COMM_WORLD);
+    pmem.alloc<double>("A", 1, &dimsf);
+    pmem.store<double>("A", data, 1, &off, &count);
+    MPI_Finalize();
+}
+)";
+
+// Paper Figure 4 (equivalent HDF5).
+const char* kHdf5Src = R"(#include <hdf5.h>
+int main (int argc, char **argv) {
+  int nprocs, rank;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  hid_t file_id, dset_id;
+  hid_t filespace, memspace;
+  hsize_t count = 100;
+  hsize_t offset = rank*100;
+  hsize_t dimsf = nprocs*100;
+  hid_t plist_id;
+  herr_t status;
+  char *path = argv[1];
+  int data[100];
+
+  plist_id = H5Pcreate(H5P_FILE_ACCESS);
+  H5Pset_fapl_mpio(plist_id,
+    MPI_COMM_WORLD, MPI_INFO_NULL);
+  file_id = H5Fcreate(path,
+    H5F_ACC_TRUNC, H5P_DEFAULT, plist_id);
+  H5Pclose(plist_id);
+
+  filespace = H5Screate_simple(1, &dimsf, NULL);
+  dset_id = H5Dcreate(file_id, "dataset",
+    H5T_NATIVE_INT, filespace, H5P_DEFAULT,
+    H5P_DEFAULT, H5P_DEFAULT);
+  H5Sclose(filespace);
+  memspace = H5Screate_simple(1, &count, NULL);
+  filespace = H5Dget_space(dset_id);
+  H5Sselect_hyperslab(filespace,
+    H5S_SELECT_SET, &offset,
+    NULL, &count, NULL);
+
+  plist_id = H5Pcreate(H5P_DATASET_XFER);
+  status = H5Dwrite(dset_id, H5T_NATIVE_INT,
+    memspace, filespace, plist_id, data);
+
+  H5Dclose(dset_id);
+  H5Sclose(filespace);
+  H5Sclose(memspace);
+  H5Pclose(plist_id);
+  H5Fclose(file_id);
+  MPI_Finalize();
+  return 0;
+}
+)";
+
+// Paper Figure 5 (equivalent ADIOS; the separate XML config that defines
+// "A" in terms of count, off and dimsf is not counted, as in the paper).
+const char* kAdiosSrc = R"(#include <adios.h>
+int main(int argc, char **argv) {
+    int rank, nprocs;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    char *path = argv[1];
+    char *config = argv[2];
+    double data[100];
+    int64_t adios_handle;
+    size_t count = 100;
+    size_t offset = 100*rank;
+    size_t dimsf = 100*nprocs;
+
+    adios_init(config, MPI_COMM_WORLD);
+    adios_open (&adios_handle, "dataset",
+      path, "w", MPI_COMM_WORLD);
+    adios_write (adios_handle, "count", &count);
+    adios_write (adios_handle, "dimsf", &dimsf);
+    adios_write (adios_handle, "offset", &offset);
+    adios_write (adios_handle, "A", data);
+    adios_close (adios_handle);
+    adios_finalize (rank);
+    MPI_Finalize ();
+    return 0;
+}
+)";
+
+struct Counts {
+  int lines = 0;
+  int tokens = 0;
+};
+
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Count non-blank lines and lexical tokens (identifiers/numbers keep
+/// their preprocessor-style pieces together; every operator or punctuation
+/// character is one token; string/char literals are one token).
+Counts count(const std::string& src) {
+  Counts c;
+  bool line_has_content = false;
+  for (std::size_t i = 0; i < src.size();) {
+    const char ch = src[i];
+    if (ch == '\n') {
+      if (line_has_content) ++c.lines;
+      line_has_content = false;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      ++i;
+      continue;
+    }
+    line_has_content = true;
+    if (ident_char(ch)) {
+      while (i < src.size() && ident_char(src[i])) ++i;
+      ++c.tokens;
+      continue;
+    }
+    if (ch == '"' || ch == '\'') {
+      const char quote = ch;
+      ++i;
+      while (i < src.size() && src[i] != quote) {
+        if (src[i] == '\\') ++i;
+        ++i;
+      }
+      ++i;
+      ++c.tokens;
+      continue;
+    }
+    ++i;
+    ++c.tokens;
+  }
+  if (line_has_content) ++c.lines;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  struct Row {
+    const char* name;
+    const char* src;
+    int paper_lines, paper_tokens;
+  };
+  const Row rows[] = {
+      {"pMEMCPY (Fig.3)", kPmemcpySrc, 16, 132},
+      {"HDF5    (Fig.4)", kHdf5Src, 42, 253},
+      {"ADIOS   (Fig.5)", kAdiosSrc, 24, 164},
+  };
+
+  std::printf("== TAB-API: API complexity (paper §3) ==\n");
+  std::printf("%-18s %8s %8s %14s %14s\n", "library", "lines", "tokens",
+              "paper lines", "paper tokens");
+  std::vector<Counts> measured;
+  for (const auto& r : rows) {
+    const Counts c = count(r.src);
+    measured.push_back(c);
+    std::printf("%-18s %8d %8d %14d %14d\n", r.name, c.lines, c.tokens,
+                r.paper_lines, r.paper_tokens);
+  }
+  const double vs_hdf5 =
+      100.0 * (1.0 - static_cast<double>(measured[0].tokens) /
+                         static_cast<double>(measured[1].tokens));
+  const double vs_adios =
+      100.0 * (1.0 - static_cast<double>(measured[0].tokens) /
+                         static_cast<double>(measured[2].tokens));
+  std::printf("\npMEMCPY token reduction: %.0f%% vs HDF5, %.0f%% vs ADIOS\n",
+              vs_hdf5, vs_adios);
+  std::printf("(paper states a 92%% token reduction vs HDF5 for its "
+              "counting method; ours is a plain C lexer)\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 6: "Performance of writing a 40GB 3-D domain to PMEM for a varying
+// number of processes."  Series: ADIOS, NetCDF, pNetCDF, PMCPY-A (MAP_SYNC
+// off), PMCPY-B (MAP_SYNC on).  Each process writes an equal share of ten
+// 3-D variables; the time measured spans file open/mmap to close; each point
+// is the mean of 3 runs.
+//
+// Scale with PMEMCPY_BENCH_GB (default 0.25); shapes are size-independent.
+#include "figures_common.hpp"
+
+int main() {
+  using namespace figbench;
+  const Params p = params_from_env();
+  std::printf("fig6_write: %.3f GiB total, %d vars, %d reps\n", p.gib,
+              p.nvars, p.reps);
+
+  std::map<IoLib, std::vector<double>> series;
+  for (const int nranks : p.counts) {
+    const auto dec = wk::decompose(p.elems_per_var(), nranks);
+    const std::size_t actual =
+        dec.total_elements() * sizeof(double) *
+        static_cast<std::size_t>(p.nvars);
+    for (const IoLib lib : kAllLibs) {
+      auto node = make_node(lib, actual);
+      double sum = 0;
+      for (int rep = 0; rep < p.reps; ++rep) {
+        sum += run_write(lib, *node, dec, p.nvars, nranks);
+      }
+      series[lib].push_back(sum / p.reps);
+      std::printf("  nprocs=%-3d %-8s %8.3f s\n", nranks, name(lib),
+                  series[lib].back());
+      std::fflush(stdout);
+    }
+  }
+  print_figure("Figure 6: I/O library vs #processes (WRITES, seconds)",
+               p.counts, series);
+  print_claims(p.counts, series, 24);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 7: "Performance of reading a 40GB 3-D domain from PMEM for a
+// varying number of processes."  The read workload is symmetric to Figure
+// 6's write workload: each process reads back exactly the region it wrote.
+// An untimed write populates the store before the timed reads.
+//
+// Scale with PMEMCPY_BENCH_GB (default 0.25).
+#include "figures_common.hpp"
+
+int main() {
+  using namespace figbench;
+  const Params p = params_from_env();
+  std::printf("fig7_read: %.3f GiB total, %d vars, %d reps\n", p.gib, p.nvars,
+              p.reps);
+
+  std::map<IoLib, std::vector<double>> series;
+  for (const int nranks : p.counts) {
+    const auto dec = wk::decompose(p.elems_per_var(), nranks);
+    const std::size_t actual =
+        dec.total_elements() * sizeof(double) *
+        static_cast<std::size_t>(p.nvars);
+    for (const IoLib lib : kAllLibs) {
+      auto node = make_node(lib, actual);
+      // Populate (untimed).
+      (void)run_write(lib, *node, dec, p.nvars, nranks);
+      double sum = 0;
+      for (int rep = 0; rep < p.reps; ++rep) {
+        sum += run_read(lib, *node, dec, p.nvars, nranks,
+                        p.verify && rep == 0);
+      }
+      series[lib].push_back(sum / p.reps);
+      std::printf("  nprocs=%-3d %-8s %8.3f s\n", nranks, name(lib),
+                  series[lib].back());
+      std::fflush(stdout);
+    }
+  }
+  print_figure("Figure 7: I/O library vs #processes (READS, seconds)",
+               p.counts, series);
+  print_claims(p.counts, series, 24);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Microbenchmarks for the pMEMCPY public API itself (wall-clock of the
+// implementation): scalar and array store/load rates per layout.
+#include <pmemcpy/pmemcpy.hpp>
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+namespace {
+
+using pmemcpy::Config;
+using pmemcpy::Layout;
+using pmemcpy::PMEM;
+using pmemcpy::PmemNode;
+
+struct Env {
+  Env(Layout layout) {
+    PmemNode::Options o;
+    o.capacity = 512ull << 20;
+    o.pool_fraction = layout == Layout::kHashTable ? 0.9 : 0.05;
+    node = std::make_unique<PmemNode>(o);
+    Config cfg;
+    cfg.node = node.get();
+    cfg.layout = layout;
+    pmem = std::make_unique<PMEM>(cfg);
+    pmem->mmap("/bench");
+  }
+  std::unique_ptr<PmemNode> node;
+  std::unique_ptr<PMEM> pmem;
+};
+
+void BM_ScalarStore(benchmark::State& state) {
+  Env env(static_cast<Layout>(state.range(0)));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    env.pmem->store("s" + std::to_string(i++ % 64), 3.25);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScalarStore)->Arg(0)->Arg(1);  // 0=table, 1=tree
+
+void BM_ScalarLoad(benchmark::State& state) {
+  Env env(static_cast<Layout>(state.range(0)));
+  env.pmem->store("s", 3.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.pmem->load<double>("s"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScalarLoad)->Arg(0)->Arg(1);
+
+void BM_ArrayStore(benchmark::State& state) {
+  Env env(Layout::kHashTable);
+  const auto elems = static_cast<std::size_t>(state.range(0));
+  std::vector<double> data(elems, 1.5);
+  const std::size_t dims = elems, off = 0;
+  env.pmem->alloc<double>("A", 1, &dims);
+  for (auto _ : state) {
+    env.pmem->store("A", data.data(), 1, &off, &dims);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(elems * 8) *
+                          state.iterations());
+}
+BENCHMARK(BM_ArrayStore)->Range(1 << 10, 1 << 20);
+
+void BM_ArrayLoadSymmetric(benchmark::State& state) {
+  Env env(Layout::kHashTable);
+  const auto elems = static_cast<std::size_t>(state.range(0));
+  std::vector<double> data(elems, 1.5);
+  const std::size_t dims = elems, off = 0;
+  env.pmem->alloc<double>("A", 1, &dims);
+  env.pmem->store("A", data.data(), 1, &off, &dims);
+  for (auto _ : state) {
+    env.pmem->load("A", data.data(), 1, &off, &dims);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(elems * 8) *
+                          state.iterations());
+}
+BENCHMARK(BM_ArrayLoadSymmetric)->Range(1 << 10, 1 << 20);
+
+void BM_ArrayLoadCrossPiece(benchmark::State& state) {
+  // General path: the wanted box straddles two stored pieces.
+  Env env(Layout::kHashTable);
+  const std::size_t half = 1 << 16;
+  std::vector<double> data(half, 2.5);
+  const std::size_t dims = 2 * half;
+  const std::size_t off_a = 0, off_b = half;
+  env.pmem->alloc<double>("A", 1, &dims);
+  env.pmem->store("A", data.data(), 1, &off_a, &half);
+  env.pmem->store("A", data.data(), 1, &off_b, &half);
+  std::vector<double> out(half);
+  const std::size_t mid = half / 2;
+  for (auto _ : state) {
+    env.pmem->load("A", out.data(), 1, &mid, &half);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(half * 8) *
+                          state.iterations());
+}
+BENCHMARK(BM_ArrayLoadCrossPiece);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Microbenchmarks for the thread-ranked runtime: collective overheads at
+// various rank counts (wall clock of the implementation, not sim time).
+#include <pmemcpy/par/comm.hpp>
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+namespace {
+
+using pmemcpy::par::Comm;
+using pmemcpy::par::Runtime;
+
+void BM_RuntimeSpawn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = Runtime::run(n, [](Comm&) {});
+    benchmark::DoNotOptimize(r.max_time);
+  }
+}
+BENCHMARK(BM_RuntimeSpawn)->Arg(8)->Arg(24)->Arg(48);
+
+void BM_Barrier(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int iters = 100;
+  for (auto _ : state) {
+    Runtime::run(n, [&](Comm& c) {
+      for (int i = 0; i < iters; ++i) c.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * iters);
+}
+BENCHMARK(BM_Barrier)->Arg(8)->Arg(24);
+
+void BM_Allgather(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::size_t bytes = 64 << 10;
+  for (auto _ : state) {
+    Runtime::run(n, [&](Comm& c) {
+      std::vector<std::byte> send(bytes);
+      std::vector<std::byte> recv(bytes * static_cast<std::size_t>(n));
+      for (int i = 0; i < 10; ++i) {
+        c.allgather(send.data(), bytes, recv.data());
+      }
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * 10 *
+                          static_cast<std::int64_t>(bytes) * n);
+}
+BENCHMARK(BM_Allgather)->Arg(8)->Arg(24);
+
+void BM_Alltoallv(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::size_t per = 16 << 10;
+  for (auto _ : state) {
+    Runtime::run(n, [&](Comm& c) {
+      const auto un = static_cast<std::size_t>(n);
+      std::vector<std::byte> send(per * un), recv(per * un);
+      std::vector<std::size_t> counts(un, per), displs(un);
+      for (std::size_t i = 0; i < un; ++i) displs[i] = i * per;
+      for (int i = 0; i < 10; ++i) {
+        c.alltoallv(send.data(), counts, displs, recv.data(), counts, displs);
+      }
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * 10 *
+                          static_cast<std::int64_t>(per) * n * n);
+}
+BENCHMARK(BM_Alltoallv)->Arg(8)->Arg(24);
+
+void BM_SendRecvPingPong(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Runtime::run(2, [&](Comm& c) {
+      std::vector<std::byte> buf(bytes);
+      for (int i = 0; i < 50; ++i) {
+        if (c.rank() == 0) {
+          c.send(1, 0, buf.data(), bytes);
+          c.recv(1, 1, buf.data(), bytes);
+        } else {
+          c.recv(0, 0, buf.data(), bytes);
+          c.send(0, 1, buf.data(), bytes);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_SendRecvPingPong)->Arg(64)->Arg(64 << 10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Microbenchmarks (wall-clock ns/op of the implementation itself) for the
+// emulated device: transfer primitives, persist, DAX charging overhead.
+#include <pmemcpy/pmem/device.hpp>
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+namespace {
+
+using pmemcpy::pmem::Device;
+
+void BM_DeviceWrite(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Device dev(64ull << 20);
+  std::vector<std::byte> buf(bytes);
+  for (auto _ : state) {
+    dev.write(0, buf.data(), bytes);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+BENCHMARK(BM_DeviceWrite)->Range(64, 4 << 20);
+
+void BM_DeviceRead(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Device dev(64ull << 20);
+  std::vector<std::byte> buf(bytes);
+  dev.write(0, buf.data(), bytes);
+  for (auto _ : state) {
+    dev.read(0, buf.data(), bytes);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+BENCHMARK(BM_DeviceRead)->Range(64, 4 << 20);
+
+void BM_DevicePersist(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Device dev(64ull << 20);
+  for (auto _ : state) {
+    dev.persist(0, bytes);
+  }
+}
+BENCHMARK(BM_DevicePersist)->Range(64, 1 << 20);
+
+void BM_DaxWriteCharge(benchmark::State& state) {
+  Device dev(64ull << 20);
+  for (auto _ : state) {
+    dev.charge_dax_write(0, 4096, false);
+  }
+}
+BENCHMARK(BM_DaxWriteCharge);
+
+void BM_CrashShadowWriteOverhead(benchmark::State& state) {
+  Device dev(64ull << 20, /*crash_shadow=*/true);
+  std::vector<std::byte> buf(4096);
+  std::size_t off = 0;
+  for (auto _ : state) {
+    dev.write(off, buf.data(), buf.size());
+    off = (off + 4096) % (32ull << 20);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(buf.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_CrashShadowWriteOverhead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Microbenchmarks for the DAX filesystem: POSIX vs DAX path throughput,
+// metadata ops, extent allocation.
+#include <pmemcpy/fs/filesystem.hpp>
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+namespace {
+
+using pmemcpy::fs::FileSystem;
+using pmemcpy::fs::OpenMode;
+using pmemcpy::pmem::Device;
+
+struct Env {
+  Env() : dev(512ull << 20), fs(FileSystem::format(dev, 0, 512ull << 20)) {}
+  Device dev;
+  FileSystem fs;
+};
+
+void BM_PosixWrite(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Env env;
+  auto f = env.fs.open("/bench", OpenMode::kTruncate);
+  env.fs.truncate(f, bytes);
+  std::vector<std::byte> buf(bytes);
+  for (auto _ : state) {
+    env.fs.pwrite(f, buf.data(), bytes, 0);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+BENCHMARK(BM_PosixWrite)->Range(4 << 10, 16 << 20);
+
+void BM_PosixRead(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Env env;
+  auto f = env.fs.open("/bench", OpenMode::kTruncate);
+  std::vector<std::byte> buf(bytes);
+  env.fs.pwrite(f, buf.data(), bytes, 0);
+  for (auto _ : state) {
+    env.fs.pread(f, buf.data(), bytes, 0);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+BENCHMARK(BM_PosixRead)->Range(4 << 10, 16 << 20);
+
+void BM_DaxStore(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Env env;
+  auto m = env.fs.create_mapped("/dax", bytes);
+  std::vector<std::byte> buf(bytes);
+  for (auto _ : state) {
+    m.store(0, buf.data(), bytes);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+BENCHMARK(BM_DaxStore)->Range(4 << 10, 16 << 20);
+
+void BM_OpenClose(benchmark::State& state) {
+  Env env;
+  (void)env.fs.open("/exists", OpenMode::kTruncate);
+  for (auto _ : state) {
+    auto f = env.fs.open("/exists", OpenMode::kWrite);
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OpenClose);
+
+void BM_CreateRemove(benchmark::State& state) {
+  Env env;
+  for (auto _ : state) {
+    auto f = env.fs.open("/churn", OpenMode::kTruncate);
+    env.fs.truncate(f, 64 << 10);
+    env.fs.remove("/churn");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CreateRemove);
+
+void BM_DirectoryList(benchmark::State& state) {
+  Env env;
+  env.fs.mkdir("/d");
+  for (int i = 0; i < state.range(0); ++i) {
+    (void)env.fs.open("/d/f" + std::to_string(i), OpenMode::kTruncate);
+  }
+  for (auto _ : state) {
+    auto names = env.fs.list("/d");
+    benchmark::DoNotOptimize(names);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DirectoryList)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Microbenchmarks for the object store: allocation, transactions, and the
+// persistent hashtable (the metadata path of every pMEMCPY store()).
+#include <pmemcpy/obj/hashtable.hpp>
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using pmemcpy::obj::HashTable;
+using pmemcpy::obj::Pool;
+using pmemcpy::obj::Transaction;
+using pmemcpy::pmem::Device;
+
+void BM_PoolAllocFree(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Device dev(256ull << 20);
+  Pool pool = Pool::create(dev, 0, 256ull << 20);
+  for (auto _ : state) {
+    const auto off = pool.alloc(bytes);
+    benchmark::DoNotOptimize(off);
+    pool.free(off);
+  }
+}
+BENCHMARK(BM_PoolAllocFree)->Range(64, 1 << 20);
+
+void BM_TransactionSnapshotCommit(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Device dev(64ull << 20);
+  Pool pool = Pool::create(dev, 0, 64ull << 20);
+  const auto off = pool.alloc(bytes);
+  std::vector<std::byte> buf(bytes, std::byte{1});
+  for (auto _ : state) {
+    Transaction tx(pool);
+    tx.snapshot(off, bytes);
+    pool.write(off, buf.data(), bytes);
+    tx.commit();
+  }
+}
+BENCHMARK(BM_TransactionSnapshotCommit)->Range(64, 16 << 10);
+
+void BM_HashTablePut(benchmark::State& state) {
+  Device dev(512ull << 20);
+  Pool pool = Pool::create(dev, 0, 512ull << 20);
+  HashTable table = HashTable::create(pool, 8192);
+  const std::string value(256, 'v');
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    table.put("key" + std::to_string(i++), value.data(), value.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashTablePut);
+
+void BM_HashTableFind(benchmark::State& state) {
+  Device dev(256ull << 20);
+  Pool pool = Pool::create(dev, 0, 256ull << 20);
+  HashTable table = HashTable::create(pool, 8192);
+  const std::string value(256, 'v');
+  const auto nkeys = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < nkeys; ++i) {
+    table.put("key" + std::to_string(i), value.data(), value.size());
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto ref = table.find("key" + std::to_string(i++ % nkeys));
+    benchmark::DoNotOptimize(ref);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashTableFind)->Arg(100)->Arg(10000);
+
+void BM_HashTableReplace(benchmark::State& state) {
+  Device dev(256ull << 20);
+  Pool pool = Pool::create(dev, 0, 256ull << 20);
+  HashTable table = HashTable::create(pool, 1024);
+  const std::string value(256, 'v');
+  for (auto _ : state) {
+    table.put("hot-key", value.data(), value.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashTableReplace);
+
+void BM_HashTableReservePublish(benchmark::State& state) {
+  // The direct-serialization write path used by pMEMCPY store().
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Device dev(512ull << 20);
+  Pool pool = Pool::create(dev, 0, 512ull << 20);
+  HashTable table = HashTable::create(pool, 8192);
+  for (auto _ : state) {
+    auto ins = table.reserve("blob", bytes);
+    auto span = ins.value();
+    benchmark::DoNotOptimize(span.data());
+    ins.publish();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+BENCHMARK(BM_HashTableReservePublish)->Range(4 << 10, 4 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

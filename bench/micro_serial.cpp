@@ -1,0 +1,151 @@
+// Microbenchmarks for the serialization layer: archive encode/decode rates
+// and record-framing overheads per serializer.
+#include <pmemcpy/serial/binary.hpp>
+#include <pmemcpy/serial/bp4.hpp>
+#include <pmemcpy/serial/capnp.hpp>
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+namespace {
+
+using namespace pmemcpy::serial;
+
+void BM_BinaryWriteDoubles(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> v(n, 1.5);
+  for (auto _ : state) {
+    BufferSink sink;
+    BinaryWriter w(sink);
+    w(v);
+    benchmark::DoNotOptimize(sink.bytes().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(n * 8) *
+                          state.iterations());
+}
+BENCHMARK(BM_BinaryWriteDoubles)->Range(64, 1 << 18);
+
+void BM_BinaryReadDoubles(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> v(n, 1.5);
+  BufferSink sink;
+  {
+    BinaryWriter w(sink);
+    w(v);
+  }
+  for (auto _ : state) {
+    BufferSource src(sink.bytes());
+    BinaryReader r(src);
+    std::vector<double> out;
+    r(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(n * 8) *
+                          state.iterations());
+}
+BENCHMARK(BM_BinaryReadDoubles)->Range(64, 1 << 18);
+
+struct Record {
+  std::uint64_t id = 0;
+  std::string name;
+  std::vector<float> samples;
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(id, name, samples);
+  }
+};
+
+void BM_BinaryStructRoundtrip(benchmark::State& state) {
+  std::vector<Record> records(100);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    records[i].id = i;
+    records[i].name = "record-" + std::to_string(i);
+    records[i].samples.assign(32, 0.5f);
+  }
+  for (auto _ : state) {
+    BufferSink sink;
+    BinaryWriter w(sink);
+    w(records);
+    BufferSource src(sink.bytes());
+    BinaryReader r(src);
+    std::vector<Record> out;
+    r(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_BinaryStructRoundtrip);
+
+void BM_Bp4HeaderWrite(benchmark::State& state) {
+  VarMeta meta;
+  meta.dtype = DType::kF64;
+  meta.payload_bytes = 1 << 20;
+  meta.global = {512, 512, 512};
+  meta.offset = {0, 0, 0};
+  meta.count = {64, 512, 512};
+  for (auto _ : state) {
+    BufferSink sink;
+    bp4_write_header(sink, meta);
+    benchmark::DoNotOptimize(sink.bytes().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Bp4HeaderWrite);
+
+void BM_CapnpHeaderWrite(benchmark::State& state) {
+  VarMeta meta;
+  meta.dtype = DType::kF64;
+  meta.payload_bytes = 1 << 20;
+  meta.global = {512, 512, 512};
+  meta.offset = {0, 0, 0};
+  meta.count = {64, 512, 512};
+  for (auto _ : state) {
+    BufferSink sink;
+    capnp_write_header(sink, meta);
+    benchmark::DoNotOptimize(sink.bytes().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CapnpHeaderWrite);
+
+void BM_CapnpZeroCopyFieldAccess(benchmark::State& state) {
+  VarMeta meta;
+  meta.dtype = DType::kF64;
+  meta.payload_bytes = 64;
+  meta.global = {8};
+  meta.offset = {0};
+  meta.count = {8};
+  BufferSink sink;
+  capnp_write_header(sink, meta);
+  std::vector<double> payload(8, 2.0);
+  sink.write(payload.data(), 64);
+  const std::byte* rec = sink.bytes().data();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(capnp_payload_bytes(rec));
+    benchmark::DoNotOptimize(capnp_payload(rec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CapnpZeroCopyFieldAccess);
+
+void BM_VarintEncodeDecode(benchmark::State& state) {
+  std::vector<std::uint64_t> values(1000);
+  std::iota(values.begin(), values.end(), 1ull << 20);
+  for (auto _ : state) {
+    BufferSink sink;
+    BinaryWriter w(sink);
+    for (auto v : values) w.write_varint(v);
+    BufferSource src(sink.bytes());
+    BinaryReader r(src);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) acc += r.read_varint();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_VarintEncodeDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

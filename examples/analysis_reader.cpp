@@ -1,0 +1,73 @@
+// analysis_reader — the paper's read-side use case: an analysis job opens
+// data a simulation wrote with a *different* decomposition and reads
+// arbitrary sub-regions (slices, halos), exercising the non-symmetric read
+// path where pMEMCPY intersects all overlapping per-process pieces.
+#include <pmemcpy/pmemcpy.hpp>
+#include <pmemcpy/workload/domain3d.hpp>
+
+#include <cstdio>
+#include <vector>
+
+namespace wk = pmemcpy::wk;
+using pmemcpy::Box;
+using pmemcpy::Dimensions;
+
+int main() {
+  pmemcpy::PmemNode::Options o;
+  o.capacity = 512ull << 20;
+  pmemcpy::PmemNode node(o);
+  pmemcpy::PmemNode::set_default(&node);
+
+  // A 16-rank simulation writes a 3-D field...
+  const auto dec = wk::decompose(48 * 48 * 48, 16);
+  pmemcpy::par::Runtime::run(16, [&](pmemcpy::par::Comm& comm) {
+    const Box& mine = dec.rank_boxes[static_cast<std::size_t>(comm.rank())];
+    std::vector<double> buf;
+    wk::fill_box(buf, 0, dec.global, mine);
+    pmemcpy::PMEM pmem;
+    pmem.mmap("/sim.out", comm);
+    pmem.alloc<double>("field", dec.global);
+    pmem.store("field", buf.data(), 3, mine.offset.data(), mine.count.data());
+    pmem.munmap();
+  });
+
+  // ...and a 4-rank analysis job reads planes and sub-volumes of it.
+  auto result = pmemcpy::par::Runtime::run(4, [&](pmemcpy::par::Comm& comm) {
+    pmemcpy::PMEM pmem;
+    pmem.mmap("/sim.out", comm);
+    const auto dims = pmem.load_dims("field");
+
+    // Each analysis rank takes one z-slab of the full domain (crosses many
+    // writers' pieces).
+    const std::size_t slab = dims[0] / 4;
+    const std::size_t offs[3] = {slab * static_cast<std::size_t>(comm.rank()),
+                                 0, 0};
+    const std::size_t cnts[3] = {slab, dims[1], dims[2]};
+    std::vector<double> data(slab * dims[1] * dims[2]);
+    pmem.load("field", data.data(), 3, offs, cnts);
+
+    const std::size_t bad = wk::verify_box(
+        data, 0, dims, Box({offs[0], offs[1], offs[2]}, {cnts[0], cnts[1], cnts[2]}));
+    double mean = 0;
+    for (double v : data) mean += v;
+    mean /= static_cast<double>(data.size());
+    std::printf("rank %d: slab [%zu..%zu) mean=%.2f verified=%s\n",
+                comm.rank(), offs[0], offs[0] + slab, mean,
+                bad == 0 ? "yes" : "NO");
+
+    // A small probe volume in the domain centre (also crosses pieces).
+    const std::size_t c0[3] = {dims[0] / 2 - 2, dims[1] / 2 - 2,
+                               dims[2] / 2 - 2};
+    const std::size_t cc[3] = {4, 4, 4};
+    std::vector<double> probe(64);
+    pmem.load("field", probe.data(), 3, c0, cc);
+    if (comm.rank() == 0) {
+      std::printf("probe[0]=%.1f probe[63]=%.1f\n", probe[0], probe[63]);
+    }
+    pmem.munmap();
+  });
+
+  std::printf("analysis simulated read time: %.4f s\n", result.max_time);
+  std::printf("analysis_reader: OK\n");
+  return 0;
+}

@@ -1,0 +1,185 @@
+// api_showdown — the paper's §3 comparison, executed: the same parallel
+// 1-D array write through the three API styles of Figures 3 (pMEMCPY),
+// 4 (HDF5) and 5 (ADIOS), each kept as close to the paper's listing as the
+// facades allow.  All three then read back and verify identical data, and
+// the simulated I/O cost of each stack is reported.
+#include <miniio/adios1.hpp>
+#include <miniio/hdf5.hpp>
+#include <pmemcpy/pmemcpy.hpp>
+
+#include <cstdio>
+#include <vector>
+
+namespace {
+
+constexpr int kProcs = 4;
+constexpr std::size_t kCount = 1 << 20;  // 1M doubles per rank: bandwidth-dominated
+
+double value(int rank, std::size_t i) {
+  return rank * 1000.0 + static_cast<double>(i);
+}
+
+// --- Figure 3: pMEMCPY (16 lines of I/O code in the paper) ------------------
+double run_pmemcpy(pmemcpy::PmemNode& node) {
+  auto res = pmemcpy::par::Runtime::run(kProcs, [&](pmemcpy::par::Comm& comm) {
+    const int rank = comm.rank();
+    pmemcpy::Config cfg;
+    cfg.node = &node;
+    pmemcpy::PMEM pmem{cfg};
+    std::size_t count = kCount;
+    std::size_t off = kCount * static_cast<std::size_t>(rank);
+    std::size_t dimsf = kCount * kProcs;
+    std::vector<double> data(kCount);
+    for (std::size_t i = 0; i < kCount; ++i) data[i] = value(rank, i);
+
+    pmem.mmap("/fig3.pmem", comm);
+    pmem.alloc<double>("A", 1, &dimsf);
+    pmem.store<double>("A", data.data(), 1, &off, &count);
+    pmem.munmap();
+  });
+  return res.max_time;
+}
+
+// --- Figure 4: HDF5 (42 lines in the paper) -----------------------------------
+double run_hdf5(pmemcpy::PmemNode& node) {
+  using namespace minihdf5;
+  auto res = pmemcpy::par::Runtime::run(kProcs, [&](pmemcpy::par::Comm& comm) {
+    const int rank = comm.rank();
+    hid_t file_id, dset_id;
+    hid_t filespace, memspace;
+    hsize_t count = kCount;
+    hsize_t offset = static_cast<hsize_t>(rank) * kCount;
+    hsize_t dimsf = kCount * kProcs;
+    hid_t plist_id;
+    herr_t status;
+    std::vector<double> data(kCount);
+    for (std::size_t i = 0; i < kCount; ++i) data[i] = value(rank, i);
+
+    plist_id = H5Pcreate(H5P_FILE_ACCESS);
+    H5Pset_fapl_mpio(plist_id, node, comm);
+    file_id = H5Fcreate("/fig4.h5", H5F_ACC_TRUNC, H5P_DEFAULT, plist_id);
+
+    filespace = H5Screate_simple(1, &dimsf, nullptr);
+    dset_id = H5Dcreate(file_id, "dataset", H5T_NATIVE_DOUBLE, filespace,
+                        H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+    H5Sclose(filespace);
+    memspace = H5Screate_simple(1, &count, nullptr);
+    filespace = H5Dget_space(dset_id);
+    H5Sselect_hyperslab(filespace, H5S_SELECT_SET, &offset, nullptr, &count,
+                        nullptr);
+
+    const hid_t xfer = H5Pcreate(H5P_DATASET_XFER);
+    status = H5Dwrite(dset_id, H5T_NATIVE_DOUBLE, memspace, filespace, xfer,
+                      data.data());
+    if (status != 0) throw std::runtime_error("H5Dwrite failed");
+
+    H5Dclose(dset_id);
+    H5Sclose(filespace);
+    H5Sclose(memspace);
+    H5Pclose(xfer);
+    H5Pclose(plist_id);
+    H5Fclose(file_id);
+  });
+  return res.max_time;
+}
+
+// --- Figure 5: ADIOS (24 lines in the paper) --------------------------------------
+double run_adios(pmemcpy::PmemNode& node) {
+  using namespace miniadios1;
+  // "config file" defining A in terms of count, offset, dimsf.
+  adios_init("A=dimsf/offset/count", node);
+  auto res = pmemcpy::par::Runtime::run(kProcs, [&](pmemcpy::par::Comm& comm) {
+    const int rank = comm.rank();
+    std::vector<double> data(kCount);
+    for (std::size_t i = 0; i < kCount; ++i) data[i] = value(rank, i);
+    std::int64_t adios_handle;
+    std::size_t count = kCount;
+    std::size_t offset = kCount * static_cast<std::size_t>(rank);
+    std::size_t dimsf = kCount * kProcs;
+
+    adios_open(&adios_handle, "dataset", "/fig5.bp", "w", comm);
+    adios_write(adios_handle, "count", &count);
+    adios_write(adios_handle, "dimsf", &dimsf);
+    adios_write(adios_handle, "offset", &offset);
+    adios_write(adios_handle, "A", data.data());
+    adios_close(adios_handle);
+  });
+  adios_finalize(0);
+  return res.max_time;
+}
+
+// --- verification: every stack produced the same array -----------------------------
+bool verify(pmemcpy::PmemNode& node) {
+  bool ok = true;
+  pmemcpy::par::Runtime::run(kProcs, [&](pmemcpy::par::Comm& comm) {
+    const int rank = comm.rank();
+    std::vector<double> a(kCount), b(kCount), c(kCount);
+    const std::size_t off = kCount * static_cast<std::size_t>(rank);
+    const std::size_t cnt = kCount;
+
+    pmemcpy::Config cfg;
+    cfg.node = &node;
+    pmemcpy::PMEM pmem{cfg};
+    pmem.mmap("/fig3.pmem", comm);
+    pmem.load("A", a.data(), 1, &off, &cnt);
+    pmem.munmap();
+
+    using namespace minihdf5;
+    const hid_t plist = H5Pcreate(H5P_FILE_ACCESS);
+    H5Pset_fapl_mpio(plist, node, comm);
+    const hid_t f = H5Fopen("/fig4.h5", H5F_ACC_RDONLY, plist);
+    const hid_t d = H5Dopen(f, "dataset", H5P_DEFAULT);
+    const hid_t fs = H5Dget_space(d);
+    const hsize_t hoff = off, hcnt = cnt;
+    H5Sselect_hyperslab(fs, H5S_SELECT_SET, &hoff, nullptr, &hcnt, nullptr);
+    H5Dread(d, H5T_NATIVE_DOUBLE, H5P_DEFAULT, fs, H5P_DEFAULT, b.data());
+    H5Sclose(fs);
+    H5Dclose(d);
+    H5Fclose(f);
+    H5Pclose(plist);
+
+    using namespace miniadios1;
+    adios_init("A=dimsf/offset/count", node);
+    std::int64_t h;
+    adios_open(&h, "dataset", "/fig5.bp", "r", comm);
+    std::size_t count = cnt, offset = off, dimsf = kCount * kProcs;
+    adios_write(h, "count", &count);
+    adios_write(h, "offset", &offset);
+    adios_write(h, "dimsf", &dimsf);
+    adios_read(h, "A", c.data());
+    adios_close(h);
+
+    for (std::size_t i = 0; i < kCount; ++i) {
+      const double expect = value(rank, i);
+      if (a[i] != expect || b[i] != expect || c[i] != expect) ok = false;
+    }
+  });
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  pmemcpy::PmemNode::Options o;
+  o.capacity = 128ull << 20;
+  o.pool_fraction = 0.4;
+  pmemcpy::PmemNode node(o);
+
+  const double t_pm = run_pmemcpy(node);
+  const double t_h5 = run_hdf5(node);
+  const double t_ad = run_adios(node);
+  const bool ok = verify(node);
+
+  std::printf("%-24s %10s %14s %8s\n", "API (paper listing)", "I/O lines",
+              "sim write (s)", "tokens");
+  std::printf("%-24s %10s %14.6f %8s\n", "pMEMCPY (Fig.3)", "16", t_pm,
+              "~132");
+  std::printf("%-24s %10s %14.6f %8s\n", "HDF5    (Fig.4)", "42", t_h5,
+              "~253");
+  std::printf("%-24s %10s %14.6f %8s\n", "ADIOS   (Fig.5)", "24", t_ad,
+              "~164");
+  std::printf("all three stacks verified identical data: %s\n",
+              ok ? "yes" : "NO");
+  std::printf("api_showdown: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// hierarchical_vars — the paper's alternative data layout: "whenever a '/'
+// is used in the id of the variable, a directory is created if it didn't
+// already exist", with one file per variable on the PMEM filesystem instead
+// of a single pooled hashtable.
+//
+// Demonstrates: Layout::kHierarchical, grouped variable ids, struct values,
+// discovery via load_dims, and inspecting the resulting directory tree.
+#include <pmemcpy/pmemcpy.hpp>
+
+#include <cstdio>
+#include <vector>
+
+namespace {
+
+struct RunInfo {
+  std::string code;
+  std::int32_t step = 0;
+  double dt = 0.0;
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(code, step, dt);
+  }
+};
+
+void tree(pmemcpy::fs::FileSystem& fs, const std::string& path, int depth) {
+  for (const auto& name : fs.list(path)) {
+    std::printf("%*s%s%s\n", depth * 2, "", name.c_str(),
+                fs.is_dir(path + "/" + name) ? "/" : "");
+    if (fs.is_dir(path + "/" + name)) tree(fs, path + "/" + name, depth + 1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  pmemcpy::PmemNode node;
+  pmemcpy::Config cfg;
+  cfg.node = &node;
+  cfg.layout = pmemcpy::Layout::kHierarchical;
+
+  pmemcpy::PMEM pmem{cfg};
+  pmem.mmap("/run42.bp");
+
+  // Grouped namespace: groups become directories.
+  RunInfo info{"s3d", 100, 1e-6};
+  pmem.store("meta/run_info", info);
+  pmem.store("meta/version", std::int32_t{3});
+
+  std::vector<double> xs(256), ys(256);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<double>(i) * 0.5;
+    ys[i] = static_cast<double>(i) * 0.25;
+  }
+  const std::size_t dims = 256, off = 0;
+  pmem.alloc<double>("fields/velocity/x", 1, &dims);
+  pmem.store("fields/velocity/x", xs.data(), 1, &off, &dims);
+  pmem.alloc<double>("fields/velocity/y", 1, &dims);
+  pmem.store("fields/velocity/y", ys.data(), 1, &off, &dims);
+
+  // Discovery: dims travel with the variable.
+  const auto d = pmem.load_dims("fields/velocity/x");
+  const auto meta = pmem.load<RunInfo>("meta/run_info");
+  std::printf("velocity/x: %zu elems; run %s step %d dt %.2e\n", d[0],
+              meta.code.c_str(), meta.step, meta.dt);
+
+  std::vector<double> back(dims);
+  pmem.load("fields/velocity/y", back.data(), 1, &off, &dims);
+  std::printf("velocity/y[100] = %.2f\n", back[100]);
+
+  std::printf("\ndirectory tree under /run42.bp:\n");
+  tree(node.fs(), "/run42.bp", 1);
+
+  pmem.munmap();
+  std::printf("hierarchical_vars: OK\n");
+  return 0;
+}

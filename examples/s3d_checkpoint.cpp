@@ -1,0 +1,88 @@
+// s3d_checkpoint — the paper's motivating workload as an application: a
+// regular stencil code (modelled on the S3D combustion code) periodically
+// checkpoints its 3-D field variables to node-local PMEM and can restart
+// from the last checkpoint.
+//
+// Demonstrates: parallel 3-D subarray store/load, multiple timesteps,
+// scalar metadata (the checkpoint step), and measuring simulated I/O time.
+#include <pmemcpy/pmemcpy.hpp>
+#include <pmemcpy/workload/domain3d.hpp>
+
+#include <cstdio>
+#include <vector>
+
+namespace wk = pmemcpy::wk;
+using pmemcpy::Box;
+
+namespace {
+
+constexpr int kRanks = 8;
+constexpr int kFields = 4;  // e.g. density, pressure, temperature, energy
+constexpr int kSteps = 3;
+const char* kFieldNames[kFields] = {"density", "pressure", "temperature",
+                                    "energy"};
+
+/// One Jacobi-like smoothing sweep so data actually evolves between steps.
+void smooth(std::vector<double>& f) {
+  for (std::size_t i = 1; i + 1 < f.size(); ++i) {
+    f[i] = 0.5 * f[i] + 0.25 * (f[i - 1] + f[i + 1]);
+  }
+}
+
+}  // namespace
+
+int main() {
+  pmemcpy::PmemNode::Options o;
+  o.capacity = 512ull << 20;
+  pmemcpy::PmemNode node(o);
+  pmemcpy::PmemNode::set_default(&node);
+
+  const auto dec = wk::decompose(64 * 64 * 64, kRanks);
+
+  // --- simulate + checkpoint ------------------------------------------------
+  auto result = pmemcpy::par::Runtime::run(kRanks, [&](pmemcpy::par::Comm& comm) {
+    const Box& mine = dec.rank_boxes[static_cast<std::size_t>(comm.rank())];
+    std::vector<std::vector<double>> fields(kFields);
+    for (int f = 0; f < kFields; ++f) {
+      wk::fill_box(fields[static_cast<std::size_t>(f)], f, dec.global, mine);
+    }
+
+    pmemcpy::PMEM pmem;
+    for (int step = 0; step < kSteps; ++step) {
+      for (auto& f : fields) smooth(f);
+
+      pmem.mmap("/s3d.ckpt", comm);
+      for (int f = 0; f < kFields; ++f) {
+        pmem.alloc<double>(kFieldNames[f], dec.global);
+        pmem.store(kFieldNames[f], fields[static_cast<std::size_t>(f)].data(),
+                   3, mine.offset.data(), mine.count.data());
+      }
+      if (comm.rank() == 0) pmem.store("last_step", std::int32_t{step});
+      pmem.munmap();
+    }
+  });
+  std::printf("checkpointed %d steps of %d fields (%zu^3-ish domain): "
+              "simulated I/O time %.4f s\n",
+              kSteps, kFields, dec.global[0], result.max_time);
+
+  // --- restart: a fresh set of ranks recovers the last state ---------------
+  pmemcpy::par::Runtime::run(kRanks, [&](pmemcpy::par::Comm& comm) {
+    const Box& mine = dec.rank_boxes[static_cast<std::size_t>(comm.rank())];
+    pmemcpy::PMEM pmem;
+    pmem.mmap("/s3d.ckpt", comm);
+    const auto step = pmem.load<std::int32_t>("last_step");
+    std::vector<double> restored(mine.elements());
+    for (int f = 0; f < kFields; ++f) {
+      pmem.load(kFieldNames[f], restored.data(), 3, mine.offset.data(),
+                mine.count.data());
+    }
+    if (comm.rank() == 0) {
+      std::printf("restart: recovered step %d, %d fields, %zu elems/rank\n",
+                  step, kFields, restored.size());
+    }
+    pmem.munmap();
+  });
+
+  std::printf("s3d_checkpoint: OK\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// miniADIOS1 — an ADIOS-1-flavoured API facade over the miniADIOS BP
+// engine, sufficient to run the paper's Figure 5 listing: adios_init with a
+// config that defines array variables in terms of scalar variables,
+// adios_open/adios_write/adios_close, adios_finalize.
+//
+// The paper notes "there is a separate ADIOS config file that defines 'A'
+// in terms of count, off, and dimsf"; here the config is passed as a spec
+// string of the same shape, e.g. "A=dimsf/offset/count" — array variable A
+// is 1-D with global extent, local offset and local count taken from the
+// scalars of those names written before it (multi-dimensional:
+// "V=g0,g1/o0,o1/c0,c1").
+#pragma once
+
+#include <miniio/miniio.hpp>
+
+#include <cstdint>
+
+namespace miniadios1 {
+
+/// Parse the config and remember the node; call once before adios_open.
+int adios_init(const char* config_spec, pmemcpy::PmemNode& node);
+/// Drop the global context (per the ADIOS API, takes the rank).
+int adios_finalize(int rank);
+
+/// Open a write ("w") or read ("r") stream; fills @p handle.
+int adios_open(std::int64_t* handle, const char* group_name, const char* path,
+               const char* mode, pmemcpy::par::Comm& comm);
+/// Write a scalar (size_t) or a configured array variable.
+int adios_write(std::int64_t handle, const char* name, const void* data);
+/// Read a configured array variable using the scalars written so far for
+/// its offsets/counts (read streams only).
+int adios_read(std::int64_t handle, const char* name, void* data);
+/// Flush and close the stream.
+int adios_close(std::int64_t handle);
+
+}  // namespace miniadios1

@@ -1,0 +1,76 @@
+// miniHDF5 — an HDF5-flavoured API facade over the contiguous baseline
+// engine, sufficient to run the paper's Figure 4 listing nearly verbatim:
+// property lists, dataspaces, datasets, hyperslab selection, collective
+// write/read.  Exists so the API-complexity comparison (paper §3) can be
+// *executed*, not just token-counted: the same program text drives a real
+// storage path with HDF5's characteristic call shape.
+//
+// Scope: double-precision datasets (H5T_NATIVE_DOUBLE), contiguous layout,
+// H5S_SELECT_SET hyperslabs.  A file handle is either write-mode (created
+// with H5F_ACC_TRUNC) or read-mode (opened with H5F_ACC_RDONLY).
+#pragma once
+
+#include <miniio/miniio.hpp>
+
+#include <cstdint>
+
+namespace minihdf5 {
+
+using hid_t = std::int64_t;
+using herr_t = int;
+using hsize_t = std::size_t;
+
+inline constexpr hid_t H5P_DEFAULT = 0;
+inline constexpr hid_t H5_INVALID = -1;
+
+enum h5_acc_flags : unsigned { H5F_ACC_TRUNC = 1, H5F_ACC_RDONLY = 2 };
+enum h5_select_op : int { H5S_SELECT_SET = 0 };
+enum h5_plist_class : int {
+  H5P_FILE_ACCESS = 1,
+  H5P_DATASET_XFER = 2,
+  H5P_DATASET_CREATE = 3,
+};
+enum h5_type : int { H5T_NATIVE_DOUBLE = 1 };
+
+// --- property lists ----------------------------------------------------------
+
+hid_t H5Pcreate(h5_plist_class cls);
+/// Attach the communicator + node (stands in for H5Pset_fapl_mpio's
+/// MPI_Comm/MPI_Info pair).
+herr_t H5Pset_fapl_mpio(hid_t plist, pmemcpy::PmemNode& node,
+                        pmemcpy::par::Comm& comm);
+/// Chunked dataset layout (paper §2.1): datasets created with this dcpl
+/// store fixed-size chunks instead of one global linearisation.
+herr_t H5Pset_chunk(hid_t dcpl, int ndims, const hsize_t* dims);
+herr_t H5Pclose(hid_t plist);
+
+// --- files ----------------------------------------------------------------------
+
+hid_t H5Fcreate(const char* path, unsigned flags, hid_t fcpl, hid_t fapl);
+hid_t H5Fopen(const char* path, unsigned flags, hid_t fapl);
+herr_t H5Fclose(hid_t file);
+
+// --- dataspaces --------------------------------------------------------------------
+
+hid_t H5Screate_simple(int ndims, const hsize_t* dims, const hsize_t* maxdims);
+herr_t H5Sselect_hyperslab(hid_t space, h5_select_op op, const hsize_t* start,
+                           const hsize_t* stride, const hsize_t* count,
+                           const hsize_t* block);
+herr_t H5Sclose(hid_t space);
+
+// --- datasets -----------------------------------------------------------------------
+
+hid_t H5Dcreate(hid_t file, const char* name, h5_type dtype, hid_t filespace,
+                hid_t lcpl, hid_t dcpl, hid_t dapl);
+hid_t H5Dopen(hid_t file, const char* name, hid_t dapl);
+hid_t H5Dget_space(hid_t dset);
+herr_t H5Dwrite(hid_t dset, h5_type dtype, hid_t memspace, hid_t filespace,
+                hid_t xfer_plist, const void* buf);
+herr_t H5Dread(hid_t dset, h5_type dtype, hid_t memspace, hid_t filespace,
+               hid_t xfer_plist, void* buf);
+herr_t H5Dclose(hid_t dset);
+
+/// Test-support: number of live handles (to assert close() discipline).
+std::size_t h5_live_handles();
+
+}  // namespace minihdf5

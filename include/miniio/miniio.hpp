@@ -1,0 +1,83 @@
+// miniio — from-scratch reproductions of the parallel I/O libraries the
+// paper compares pMEMCPY against.  Each baseline reproduces the
+// *architectural* behaviour the paper attributes its performance to:
+//
+//   * miniADIOS   — BP-style log format: each process serializes its own
+//     subarrays into a DRAM buffer (one staging copy) and writes them at its
+//     exclusive offset of a shared file via POSIX (kernel copy + device).
+//     No inter-process data movement; a gathered footer index describes the
+//     pieces.  ("ADIOS stores data in the same format as it was produced")
+//   * miniPNetCDF — contiguous global layout: the variable is a single
+//     row-major linearisation in the file, so writes and reads require a
+//     data *shuffle*: local rows are packed per destination aggregator,
+//     exchanged with alltoallv, assembled into file stripes and written via
+//     POSIX two-phase collective I/O.
+//   * miniNetCDF4 — the same contiguous engine plus HDF5-style overheads:
+//     an extra internal staging pass per stripe, and (unless nofill — the
+//     paper calls nc_def_var_fill(NC_NOFILL)) variables are pre-filled at
+//     definition time.
+//
+// All baselines store to the node's PMEM through the filesystem's POSIX
+// path — exactly the stack the paper says wastes PMEM's potential.
+//
+// Only double-precision variables are supported (the paper's workload).
+#pragma once
+
+#include <pmemcpy/core/hyperslab.hpp>
+#include <pmemcpy/core/node.hpp>
+#include <pmemcpy/par/comm.hpp>
+
+#include <memory>
+#include <string>
+
+namespace miniio {
+
+using pmemcpy::Box;
+using pmemcpy::Dimensions;
+
+enum class Library { kAdios, kNetcdf4, kPnetcdf };
+
+[[nodiscard]] std::string to_string(Library lib);
+
+struct Options {
+  /// NetCDF4 only: suppress fill-value initialisation of defined variables
+  /// (the paper enables NC_NOFILL "to prevent... significant overhead").
+  bool nofill = true;
+};
+
+/// Collective writer: every rank of the communicator must call every method
+/// in the same order.
+class Writer {
+ public:
+  virtual ~Writer() = default;
+  /// Write this rank's @p local box of the @p global array.
+  virtual void write(const std::string& name, const double* data,
+                     const Box& local, const Dimensions& global) = 0;
+  /// HDF5-style chunked storage for variables defined after this call
+  /// (empty = contiguous).  Engines without chunking ignore it.
+  virtual void set_chunk(const Dimensions& chunk_dims) { (void)chunk_dims; }
+  /// Flush everything and write metadata; collective.
+  virtual void close() = 0;
+};
+
+/// Collective reader.
+class Reader {
+ public:
+  virtual ~Reader() = default;
+  /// Read this rank's @p local box of variable @p name.
+  virtual void read(const std::string& name, double* data,
+                    const Box& local) = 0;
+  /// Global dimensions of a variable.
+  [[nodiscard]] virtual Dimensions dims(const std::string& name) = 0;
+  virtual void close() = 0;
+};
+
+[[nodiscard]] std::unique_ptr<Writer> open_writer(
+    Library lib, pmemcpy::PmemNode& node, const std::string& path,
+    pmemcpy::par::Comm& comm, Options opts = {});
+
+[[nodiscard]] std::unique_ptr<Reader> open_reader(
+    Library lib, pmemcpy::PmemNode& node, const std::string& path,
+    pmemcpy::par::Comm& comm, Options opts = {});
+
+}  // namespace miniio

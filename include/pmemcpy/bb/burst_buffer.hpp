@@ -1,0 +1,50 @@
+// DataWarp-style burst buffer (paper §3): "After serialization, a burst
+// buffer, such as DataWarp, will then be triggered to asynchronously flush
+// the buffered data to mass storage."
+//
+// The burst-buffer agent runs on its own simulated timeline: drain() starts
+// at the caller's current simulated time and ships every entry of a PMEM
+// store to the parallel filesystem, but the *caller's* clock does not
+// advance — the flush is asynchronous and overlaps with whatever the
+// application does next.  wait() joins a drain's completion into the
+// calling rank's clock.  stage_in() is the synchronous restore path.
+#pragma once
+
+#include <pmemcpy/pfs/pfs.hpp>
+#include <pmemcpy/pmemcpy.hpp>
+
+namespace pmemcpy::bb {
+
+struct DrainReport {
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  /// Simulated time the agent started (the caller's now at the call).
+  double started_at = 0.0;
+  /// Simulated time the last byte reached mass storage.
+  double ready_at = 0.0;
+
+  [[nodiscard]] double duration() const noexcept {
+    return ready_at - started_at;
+  }
+};
+
+class BurstBuffer {
+ public:
+  explicit BurstBuffer(pfs::ParallelFileSystem& pfs) : pfs_(&pfs) {}
+
+  /// Asynchronously flush every entry of @p pmem to the PFS under the
+  /// @p dest namespace.  Entries are snapshot at call time.
+  DrainReport drain(PMEM& pmem, const std::string& dest);
+
+  /// Synchronously restore a drained namespace into @p pmem (charged to the
+  /// calling rank).  Returns what was staged.
+  DrainReport stage_in(const std::string& src, PMEM& pmem);
+
+  /// Block the calling rank until @p report 's drain has completed.
+  static void wait(const DrainReport& report);
+
+ private:
+  pfs::ParallelFileSystem* pfs_;
+};
+
+}  // namespace pmemcpy::bb

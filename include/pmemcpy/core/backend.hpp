@@ -1,0 +1,77 @@
+// Storage backends behind the pMEMCPY API — the paper's two data layouts.
+//
+//   * Table store (default): one libpmemobj-lite pool; metadata in a flat
+//     persistent hashtable with chaining; values are pool blobs reserved
+//     up-front so serializers write straight into PMEM.
+//   * Tree store (hierarchical): "whenever a '/' is used in the id of the
+//     variable, a directory is created"; each entry is a DAX-mapped file on
+//     the PMEM filesystem.
+//
+// Both expose the same reserve-sink-commit write path and charged /
+// zero-copy read paths, so the PMEM front end is layout-agnostic.
+#pragma once
+
+#include <pmemcpy/core/node.hpp>
+#include <pmemcpy/serial/sink.hpp>
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace pmemcpy::detail {
+
+struct EntryInfo {
+  std::uint64_t size = 0;  ///< blob bytes
+  std::uint64_t meta = 0;  ///< caller-defined word (kind/dtype/serializer)
+};
+
+class Store {
+ public:
+  /// An in-flight reservation: serialize into sink(), then commit().
+  class Put {
+   public:
+    virtual ~Put() = default;
+    [[nodiscard]] virtual serial::Sink& sink() = 0;
+    virtual void commit() = 0;
+  };
+
+  /// A found entry.
+  class Entry {
+   public:
+    virtual ~Entry() = default;
+    [[nodiscard]] virtual EntryInfo info() const = 0;
+    /// Charged copy of blob bytes [off, off+len) into @p dst.
+    virtual void read(std::uint64_t off, void* dst, std::size_t len) = 0;
+    /// Zero-copy pointer to the whole blob, charging @p charge_bytes of PMEM
+    /// read (callers touching a subset charge only that subset).
+    [[nodiscard]] virtual const std::byte* direct(
+        std::size_t charge_bytes) = 0;
+  };
+
+  virtual ~Store() = default;
+
+  /// Reserve a @p size-byte blob under @p key.  Commit replaces an existing
+  /// entry unless @p keep_existing, in which case the first writer wins
+  /// (used for idempotent metadata like "#dims" that every rank stores).
+  [[nodiscard]] virtual std::unique_ptr<Put> put(const std::string& key,
+                                                 std::size_t size,
+                                                 std::uint64_t meta,
+                                                 bool keep_existing = false) = 0;
+  [[nodiscard]] virtual std::unique_ptr<Entry> find(const std::string& key) = 0;
+  virtual bool erase(const std::string& key) = 0;
+  /// Visit keys starting with @p prefix.
+  virtual void for_each_prefix(
+      const std::string& prefix,
+      const std::function<void(const std::string&, const EntryInfo&)>& fn) = 0;
+};
+
+/// Flat hashtable layout over a pool.
+std::unique_ptr<Store> make_table_store(std::shared_ptr<obj::Pool> pool,
+                                        std::shared_ptr<obj::HashTable> table);
+
+/// Hierarchical layout: files under @p root (an absolute fs path).
+std::unique_ptr<Store> make_tree_store(fs::FileSystem& fs, std::string root,
+                                       bool map_sync);
+
+}  // namespace pmemcpy::detail

@@ -1,0 +1,71 @@
+// N-dimensional boxes (hyperslabs) and region copies.
+//
+// Shared by pMEMCPY (piece intersection on reads) and the baseline libraries
+// (pack/unpack for their contiguous global layouts).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pmemcpy {
+
+using Dimensions = std::vector<std::size_t>;
+
+/// An axis-aligned box: offset + count per dimension (row-major order).
+struct Box {
+  Dimensions offset;
+  Dimensions count;
+
+  Box() = default;
+  Box(Dimensions off, Dimensions cnt)
+      : offset(std::move(off)), count(std::move(cnt)) {}
+
+  [[nodiscard]] std::size_t ndims() const noexcept { return offset.size(); }
+  [[nodiscard]] std::size_t elements() const noexcept {
+    std::size_t n = 1;
+    for (auto c : count) n *= c;
+    return n;
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    if (count.empty()) return true;
+    for (auto c : count) {
+      if (c == 0) return true;
+    }
+    return false;
+  }
+
+  friend bool operator==(const Box&, const Box&) = default;
+};
+
+/// Intersection of two boxes of equal rank (empty box if disjoint).
+[[nodiscard]] Box intersect(const Box& a, const Box& b);
+
+/// True when @p inner lies fully within @p outer.
+[[nodiscard]] bool contains(const Box& outer, const Box& inner);
+
+/// Copy @p region (absolute coordinates) from a row-major buffer covering
+/// @p src_box into a row-major buffer covering @p dst_box.  @p elem_size is
+/// the element width in bytes.  @p region must be contained in both boxes.
+void copy_box_region(std::byte* dst, const Box& dst_box, const std::byte* src,
+                     const Box& src_box, const Box& region,
+                     std::size_t elem_size);
+
+/// Linear element index of @p coord within a row-major box.
+[[nodiscard]] std::size_t box_linear_index(const Box& box,
+                                           const Dimensions& coord);
+
+/// Visit each contiguous row of @p box within a row-major global array:
+/// fn(global_linear_elem_offset, row_elems, box_linear_elem_offset).
+void for_each_row(
+    const Dimensions& global, const Box& box,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+/// Encode/decode a box as a compact string ("o0_o1:c0_c1") for use in keys
+/// and file names.
+[[nodiscard]] std::string box_to_string(const Box& box);
+[[nodiscard]] Box box_from_string(const std::string& s);
+
+}  // namespace pmemcpy

@@ -1,0 +1,215 @@
+// EXT4-DAX-like filesystem over the emulated PMEM device.
+//
+// Two access paths, mirroring the paper's distinction:
+//   * POSIX path (open/pread/pwrite/fsync) — every call pays a kernel
+//     crossing and a kernel-buffer copy on top of the device transfer.  The
+//     baseline I/O libraries (miniADIOS/miniNetCDF/miniPNetCDF) use this.
+//   * DAX path (map()) — load/store straight against device memory with no
+//     kernel crossing and no copy; optionally with MAP_SYNC semantics, which
+//     charges a synchronous allocation fault per first-touched page.
+//     pMEMCPY's hierarchical layout uses this.
+//
+// On-device layout: superblock, block bitmap, fixed inode table, data blocks.
+// Files are extent-based (4 inline extents + chained indirect extent blocks),
+// directories are files holding (inode, name) records.  Metadata updates are
+// persisted write-through so a device image can be re-mounted; full crash
+// journaling is out of scope (the object store, not the filesystem, provides
+// transactional guarantees in this system).
+#pragma once
+
+#include <pmemcpy/pmem/device.hpp>
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pmemcpy::fs {
+
+struct FsError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::size_t kBlockSize = 4096;
+
+/// Inode number; 0 is invalid, 1 is the root directory.
+using Ino = std::uint32_t;
+
+enum class OpenMode {
+  kRead,        ///< must exist
+  kWrite,       ///< create if missing, keep contents
+  kTruncate,    ///< create if missing, drop contents
+};
+
+class FileSystem;
+
+/// An open file.  Cheap value type (inode number + fs pointer).
+class File {
+ public:
+  File() = default;
+  [[nodiscard]] bool valid() const noexcept { return fs_ != nullptr; }
+  [[nodiscard]] Ino ino() const noexcept { return ino_; }
+
+ private:
+  friend class FileSystem;
+  File(FileSystem* fs, Ino ino) : fs_(fs), ino_(ino) {}
+  FileSystem* fs_ = nullptr;
+  Ino ino_ = 0;
+};
+
+/// DAX mapping of a file: loads/stores run against device memory directly.
+class Mapping {
+ public:
+  /// Store @p len bytes at file offset @p off (zero kernel involvement).
+  void store(std::uint64_t off, const void* src, std::size_t len);
+  /// Load @p len bytes from file offset @p off.
+  void load(std::uint64_t off, void* dst, std::size_t len) const;
+  /// Flush + fence the given file range.
+  void persist(std::uint64_t off, std::size_t len);
+  /// Zero-copy span when [off, off+len) is physically contiguous; throws
+  /// FsError otherwise (callers fall back to store()/load()).  Uncharged —
+  /// account access through charge_load()/store().
+  [[nodiscard]] std::span<std::byte> span(std::uint64_t off, std::size_t len);
+  /// Account a zero-copy read of @p bytes through this mapping.
+  void charge_load(std::size_t bytes) const;
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  [[nodiscard]] bool map_sync() const noexcept { return map_sync_; }
+
+ private:
+  friend class FileSystem;
+  /// (file-offset, device-offset, length) runs, sorted by file offset.
+  struct Run {
+    std::uint64_t file_off;
+    std::uint64_t dev_off;
+    std::uint64_t len;
+  };
+  /// Visit the runs overlapping [off, off+len).
+  template <typename Fn>
+  void for_runs(std::uint64_t off, std::size_t len, Fn&& fn) const;
+
+  FileSystem* fs_ = nullptr;
+  std::uint64_t size_ = 0;
+  bool map_sync_ = false;
+  std::vector<Run> runs_;
+};
+
+class FileSystem {
+ public:
+  /// Create a fresh filesystem over device bytes [base, base+size).
+  static FileSystem format(pmem::Device& dev, std::size_t base,
+                           std::size_t size);
+  /// Mount an existing filesystem image.
+  static FileSystem mount(pmem::Device& dev, std::size_t base);
+
+  FileSystem(FileSystem&&) noexcept = default;
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+  FileSystem& operator=(FileSystem&&) = delete;
+
+  [[nodiscard]] pmem::Device& device() noexcept { return *dev_; }
+
+  // --- namespace ---------------------------------------------------------
+
+  void mkdir(const std::string& path);
+  /// mkdir -p.
+  void mkdirs(const std::string& path);
+  [[nodiscard]] bool exists(const std::string& path);
+  [[nodiscard]] bool is_dir(const std::string& path);
+  /// Remove a file or empty directory.
+  void remove(const std::string& path);
+  /// Atomically move a file to @p to.  With @p replace, an existing target
+  /// file is superseded; without it, an existing target wins and @p from is
+  /// removed instead (returns false).
+  bool rename(const std::string& from, const std::string& to,
+              bool replace = true);
+  /// Names in a directory (unsorted).
+  [[nodiscard]] std::vector<std::string> list(const std::string& path);
+
+  // --- POSIX-style access (charged: syscall + kernel copy + device) --------
+
+  [[nodiscard]] File open(const std::string& path, OpenMode mode);
+  std::size_t pwrite(File f, const void* buf, std::size_t len,
+                     std::uint64_t off);
+  std::size_t pread(File f, void* buf, std::size_t len, std::uint64_t off);
+  /// Extend/shrink; extending allocates blocks without zeroing (fallocate).
+  void truncate(File f, std::uint64_t size);
+  void fsync(File f);
+  [[nodiscard]] std::uint64_t size(File f);
+  [[nodiscard]] std::uint64_t size(const std::string& path);
+
+  // --- DAX access ------------------------------------------------------------
+
+  /// Map a file for direct access.  The whole current size is mapped.
+  [[nodiscard]] Mapping map(File f, bool map_sync = false);
+  /// Create (or truncate) a file of @p sz bytes and map it — the pMEMCPY
+  /// "mmap a fresh region" fast path.
+  [[nodiscard]] Mapping create_mapped(const std::string& path, std::uint64_t sz,
+                                      bool map_sync = false);
+
+  // --- stats ------------------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t free_blocks() const;
+  [[nodiscard]] std::uint64_t total_blocks() const;
+
+ private:
+  friend class Mapping;
+  struct Layout;
+  struct Inode;
+
+  FileSystem(pmem::Device& dev, std::size_t base);
+
+  [[nodiscard]] Inode read_inode(Ino ino) const;
+  void write_inode(Ino ino, const Inode& inode);
+  [[nodiscard]] Ino alloc_inode(std::uint32_t type);
+  void free_inode(Ino ino);
+
+  /// Allocate @p nblocks, preferring contiguity; returns extents.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  alloc_blocks(std::uint64_t nblocks);
+  void free_blocks_range(std::uint64_t start, std::uint64_t n);
+
+  /// Ensure the file owns blocks covering [0, size); grows only.
+  void ensure_capacity(Ino ino, std::uint64_t size);
+  /// Gather the (file_off, dev_off, len) runs of a file's first @p size bytes.
+  [[nodiscard]] std::vector<Mapping::Run> gather_runs(Ino ino,
+                                                      std::uint64_t size) const;
+  /// Append an extent to an inode's extent list (inline or indirect chain).
+  void append_extent(Inode& inode, Ino ino, std::uint64_t start,
+                     std::uint64_t n);
+  void drop_extents(Inode& inode, Ino ino);
+
+  [[nodiscard]] Ino resolve(const std::string& path, bool want_parent,
+                            std::string* leaf) const;
+  [[nodiscard]] Ino dir_lookup(Ino dir, std::string_view name) const;
+  void dir_add(Ino dir, std::string_view name, Ino child);
+  void dir_remove(Ino dir, std::string_view name);
+  [[nodiscard]] std::vector<std::pair<std::string, Ino>> dir_entries(
+      Ino dir) const;
+  void dir_write_entries(
+      Ino dir, const std::vector<std::pair<std::string, Ino>>& entries);
+
+  /// Raw (uncharged-copy) file data IO used by directory internals; charges
+  /// device costs only.
+  void data_write(Ino ino, const void* buf, std::size_t len, std::uint64_t off);
+  void data_read(Ino ino, void* buf, std::size_t len, std::uint64_t off) const;
+
+  pmem::Device* dev_;
+  std::size_t base_;
+  std::uint64_t total_blocks_ = 0;
+  std::uint64_t inode_count_ = 0;
+  std::uint64_t bitmap_off_ = 0;  // device offsets
+  std::uint64_t itable_off_ = 0;
+  std::uint64_t data_off_ = 0;
+
+  mutable std::unique_ptr<std::recursive_mutex> mu_ =
+      std::make_unique<std::recursive_mutex>();
+  /// DRAM cache of the block bitmap (write-through to the device).
+  std::vector<bool> bitmap_cache_;
+  std::uint64_t free_blocks_cache_ = 0;
+};
+
+}  // namespace pmemcpy::fs

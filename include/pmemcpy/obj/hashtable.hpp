@@ -1,0 +1,148 @@
+// Persistent hashtable with chaining — the flat-namespace metadata store the
+// paper's Data Layout section describes ("metadata is stored in a flat
+// namespace using a hashtable with chaining").
+//
+// Keys are strings stored inline in chain nodes; values are separately
+// allocated blobs referenced by (offset, size) plus a 64-bit caller-defined
+// meta word (pMEMCPY uses it for the serializer/type code).
+//
+// Crash-consistency discipline:
+//   * insert  — node and blob are fully written and persisted *before* the
+//     single 8-byte bucket-head store links them in (reserve/publish).
+//   * replace — the new node is linked at the chain head first, then the old
+//     node is unlinked; a crash in between leaves a benign shadowed duplicate
+//     (the head entry wins) that the next replace/erase removes.
+//   * erase/unlink — one 8-byte pointer store.
+//   * rehash  — builds a complete new bucket array + node set (value blobs
+//     are shared, not copied), then swaps the header atomically under a
+//     transaction; a crash before the swap only leaks the new copies.
+//
+// Thread-safety: operations take one of 64 stripe locks chosen by key hash,
+// so ranks writing different variables proceed in parallel (the paper's
+// "metadata updates were parallelized").  One HashTable instance must be
+// shared by all threads operating on the same persistent table.
+#pragma once
+
+#include <pmemcpy/obj/pool.hpp>
+
+#include <array>
+#include <functional>
+#include <optional>
+#include <string_view>
+
+namespace pmemcpy::obj {
+
+/// Reference to a stored value.
+struct ValueRef {
+  std::uint64_t node_off = 0;
+  std::uint64_t val_off = 0;
+  std::uint64_t val_size = 0;
+  std::uint64_t meta = 0;
+};
+
+class HashTable {
+ public:
+  /// Allocate a new table (header + zeroed bucket array) in @p pool.
+  static HashTable create(Pool& pool, std::size_t nbuckets);
+  /// Bind to an existing table whose header lives at @p header_off.
+  static HashTable open(Pool& pool, std::uint64_t header_off);
+
+  HashTable(HashTable&&) noexcept = default;
+  HashTable(const HashTable&) = delete;
+  HashTable& operator=(const HashTable&) = delete;
+  HashTable& operator=(HashTable&&) = delete;
+
+  /// Pool offset of the persistent header (store it as the pool root).
+  [[nodiscard]] std::uint64_t header_off() const noexcept { return hoff_; }
+
+  /// Two-phase insert: the value span can be filled (e.g. serialized into)
+  /// in place; nothing is visible until publish().  An unpublished Inserter
+  /// frees its allocations on destruction.
+  class Inserter {
+   public:
+    ~Inserter();
+    Inserter(Inserter&& o) noexcept;
+    Inserter(const Inserter&) = delete;
+    Inserter& operator=(const Inserter&) = delete;
+    Inserter& operator=(Inserter&&) = delete;
+
+    /// Charged, crash-tracked writable span over the reserved blob.
+    [[nodiscard]] std::span<std::byte> value();
+    [[nodiscard]] std::uint64_t value_off() const noexcept { return val_off_; }
+    /// Persist the blob + node and link the entry (replacing any existing
+    /// entry with the same key).  With @p keep_existing an existing entry
+    /// wins instead and the reservation is discarded; returns whether this
+    /// entry was linked.
+    bool publish(bool keep_existing = false);
+
+   private:
+    friend class HashTable;
+    Inserter(HashTable& t, std::string_view key, std::uint64_t node_off,
+             std::uint64_t val_off, std::uint64_t val_size);
+    HashTable* table_;
+    std::string key_;
+    std::uint64_t node_off_;
+    std::uint64_t val_off_;
+    std::uint64_t val_size_;
+    bool published_ = false;
+  };
+
+  /// Reserve an entry with a @p val_size-byte value blob.
+  [[nodiscard]] Inserter reserve(std::string_view key, std::size_t val_size,
+                                 std::uint64_t meta = 0);
+  /// One-shot insert/replace copying @p len bytes.
+  void put(std::string_view key, const void* data, std::size_t len,
+           std::uint64_t meta = 0);
+
+  [[nodiscard]] std::optional<ValueRef> find(std::string_view key) const;
+  /// Remove @p key; returns false if absent.
+  bool erase(std::string_view key);
+
+  /// Charged copy of a value into @p dst (val_size bytes).
+  void read_value(const ValueRef& ref, void* dst) const;
+  /// Zero-copy pointer to the value, charging a bulk DAX read of its size.
+  [[nodiscard]] const std::byte* value_direct(const ValueRef& ref) const;
+
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] std::size_t nbuckets() const;
+
+  /// Rebuild with a new bucket count (values shared; see file comment).
+  void rehash(std::size_t new_nbuckets);
+
+  /// Enable automatic geometric growth: when the load factor exceeds 4 the
+  /// table rehashes to 4x the buckets after the triggering insert.  Off by
+  /// default so fixed-size tables stay fixed (e.g. for ablations).
+  void set_auto_grow(bool on) noexcept { auto_grow_ = on; }
+  [[nodiscard]] bool auto_grow() const noexcept { return auto_grow_; }
+
+  /// Iterate all entries (takes all stripe locks; don't mutate from @p fn).
+  void for_each(
+      const std::function<void(std::string_view, const ValueRef&)>& fn) const;
+  /// Iterate entries whose key starts with @p prefix.
+  void for_each_prefix(
+      std::string_view prefix,
+      const std::function<void(std::string_view, const ValueRef&)>& fn) const;
+
+ private:
+  static constexpr std::size_t kStripes = 64;
+
+  HashTable(Pool& pool, std::uint64_t hoff);
+
+  struct Node;  // persistent node layout (see .cpp)
+
+  [[nodiscard]] std::uint64_t bucket_slot(std::string_view key) const;
+  bool link_replace(std::string_view key, std::uint64_t node_off,
+                    bool keep_existing);
+  void maybe_grow();
+  void bump_count(std::int64_t delta);
+  [[nodiscard]] std::string read_key(std::uint64_t node_off) const;
+
+  Pool* pool_;
+  std::uint64_t hoff_;
+  std::unique_ptr<std::array<std::mutex, kStripes>> stripes_ =
+      std::make_unique<std::array<std::mutex, kStripes>>();
+  std::unique_ptr<std::mutex> count_mu_ = std::make_unique<std::mutex>();
+  bool auto_grow_ = false;
+};
+
+}  // namespace pmemcpy::obj

@@ -1,0 +1,88 @@
+// Persistent singly-linked list and persistent mutex — the remaining PMDK
+// primitives the paper's §2.2 describes ("optimized memory allocation
+// functions, persistent locks, basic data structures (e.g., thread-safe
+// lists), and transactions").
+//
+// PList is a thread-safe LIFO list of fixed-size records.  Crash
+// consistency follows the same discipline as the hashtable: a node is fully
+// persisted before the single 8-byte head store links it (push), and unlink
+// is a single pointer store (pop).
+//
+// PMutex mirrors PMDK's pmemobj locks: the lock word lives in persistent
+// memory but its state is *runtime-only* — like PMDK, a re-opened pool
+// considers every lock released (the generation word detects stale
+// ownership from before a crash).
+#pragma once
+
+#include <pmemcpy/obj/pool.hpp>
+
+#include <functional>
+#include <optional>
+#include <thread>
+
+namespace pmemcpy::obj {
+
+class PList {
+ public:
+  /// Allocate an empty list for @p value_size-byte records.
+  static PList create(Pool& pool, std::size_t value_size);
+  /// Bind to an existing list at @p header_off.
+  static PList open(Pool& pool, std::uint64_t header_off);
+
+  PList(PList&&) noexcept = default;
+  PList(const PList&) = delete;
+  PList& operator=(const PList&) = delete;
+  PList& operator=(PList&&) = delete;
+
+  [[nodiscard]] std::uint64_t header_off() const noexcept { return hoff_; }
+  [[nodiscard]] std::size_t value_size() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Push a record (value_size bytes) at the head.
+  void push(const void* value);
+  /// Pop the head record into @p out; false when empty.
+  bool pop(void* out);
+  /// Visit every record head-to-tail (holds the list lock).
+  void for_each(const std::function<void(const std::byte*)>& fn) const;
+
+ private:
+  PList(Pool& pool, std::uint64_t hoff);
+
+  Pool* pool_;
+  std::uint64_t hoff_;
+  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
+};
+
+/// Persistent mutex (pmemobj-lock style).  Storage is an 16-byte persistent
+/// slot allocated by init(); ownership is runtime-scoped and every lock is
+/// considered released after Pool::open (the generation counter increments
+/// per process-lifetime binding, invalidating pre-crash owners).
+class PMutex {
+ public:
+  /// Allocate + initialise a lock slot in @p pool.
+  static PMutex create(Pool& pool);
+  /// Bind to an existing slot (resets runtime state, as PMDK does on open).
+  static PMutex open(Pool& pool, std::uint64_t off);
+
+  PMutex(PMutex&&) noexcept = default;
+  PMutex(const PMutex&) = delete;
+  PMutex& operator=(const PMutex&) = delete;
+  PMutex& operator=(PMutex&&) = delete;
+
+  [[nodiscard]] std::uint64_t off() const noexcept { return off_; }
+
+  void lock();
+  bool try_lock();
+  void unlock();
+
+ private:
+  PMutex(Pool& pool, std::uint64_t off);
+
+  Pool* pool_;
+  std::uint64_t off_;
+  /// Runtime side of the lock (PMDK also keeps the futex in DRAM).
+  std::unique_ptr<std::mutex> runtime_ = std::make_unique<std::mutex>();
+};
+
+}  // namespace pmemcpy::obj

@@ -1,0 +1,204 @@
+// PMDK-like transactional persistent object store ("libpmemobj-lite").
+//
+// A Pool lives inside a region of an emulated PMEM device and provides:
+//   * offset-based persistent pointers (PPtr<T>) that stay valid across
+//     re-opens,
+//   * a crash-safe allocator (size-class free lists + bump arena, every
+//     metadata mutation is a single persisted 8-byte store),
+//   * undo-log transactions (snapshot ranges, mutate, commit; recovery on
+//     open rolls back incomplete transactions),
+//   * a root object offset for bootstrapping data structures.
+//
+// All stores go through write()/set()/persist() so they are visible to the
+// device's crash tracking and charged on the simulated clock.  The pool can
+// be opened with MAP_SYNC semantics, which makes every DAX store pay the
+// synchronous page-fault penalty the paper evaluates as "PMCPY-B".
+#pragma once
+
+#include <pmemcpy/pmem/device.hpp>
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace pmemcpy::obj {
+
+/// Typed persistent pointer: an offset from the pool base.  0 is null.
+template <typename T>
+struct PPtr {
+  std::uint64_t off = 0;
+  [[nodiscard]] explicit operator bool() const noexcept { return off != 0; }
+  friend bool operator==(PPtr, PPtr) = default;
+};
+
+struct PoolOptions {
+  /// Charge MAP_SYNC synchronous-fault semantics on every DAX store.
+  bool map_sync = false;
+};
+
+class Transaction;
+
+/// Thrown when open() finds no valid pool, or create() lacks space.
+struct PoolError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Pool {
+ public:
+  /// Number of independent transaction lanes (concurrent transactions).
+  static constexpr std::size_t kTxLanes = 16;
+  /// Undo-log capacity per lane (payload bytes, excluding entry headers).
+  static constexpr std::size_t kTxLogBytes = 64 * 1024;
+
+  /// Format a fresh pool over device bytes [base, base+size).
+  static Pool create(pmem::Device& dev, std::size_t base, std::size_t size,
+                     PoolOptions opts = {});
+  /// Open an existing pool at @p base; runs undo-log recovery.
+  static Pool open(pmem::Device& dev, std::size_t base, PoolOptions opts = {});
+
+  Pool(Pool&&) noexcept = default;
+  Pool& operator=(Pool&&) noexcept = delete;
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+  ~Pool() = default;
+
+  [[nodiscard]] pmem::Device& device() noexcept { return *dev_; }
+  [[nodiscard]] bool map_sync() const noexcept { return opts_.map_sync; }
+  void set_map_sync(bool on) noexcept { opts_.map_sync = on; }
+
+  // --- root object ----------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t root() const;
+  void set_root(std::uint64_t off);
+
+  // --- allocation ------------------------------------------------------------
+
+  /// Allocate @p bytes of persistent memory; returns a pool-relative offset.
+  /// Throws std::bad_alloc when the pool is exhausted.
+  std::uint64_t alloc(std::size_t bytes);
+  /// Return an allocation to the pool.
+  void free(std::uint64_t off);
+  /// Usable payload size of an allocation.
+  [[nodiscard]] std::size_t usable_size(std::uint64_t off) const;
+  /// Bytes currently handed out (payload, excluding headers).
+  [[nodiscard]] std::size_t bytes_in_use() const noexcept;
+
+  // --- charged data access ----------------------------------------------------
+
+  /// memcpy @p len bytes into the pool at @p off (DAX store: charged, crash-
+  /// tracked, NOT yet persisted — call persist()).
+  void write(std::uint64_t off, const void* src, std::size_t len);
+  /// memcpy @p len bytes out of the pool (DAX load: charged).
+  void read(std::uint64_t off, void* dst, std::size_t len) const;
+  /// Store a trivially-copyable value and persist it (one metadata store).
+  template <typename T>
+  void set(std::uint64_t off, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write(off, &v, sizeof(T));
+    persist(off, sizeof(T));
+  }
+  /// Load a trivially-copyable value (charged as a small DAX read).
+  template <typename T>
+  [[nodiscard]] T get(std::uint64_t off) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    read(off, &v, sizeof(T));
+    return v;
+  }
+  /// Flush + fence a pool range.
+  void persist(std::uint64_t off, std::size_t len);
+
+  /// Zero-copy pointer to pool memory.  Mutating through it requires a prior
+  /// note_write()/charge via write(); prefer write().  Reading through it is
+  /// free of charge — use charge_read() to account a bulk DAX read.
+  [[nodiscard]] std::byte* direct(std::uint64_t off) noexcept {
+    return dev_->raw(base_ + off);
+  }
+  [[nodiscard]] const std::byte* direct(std::uint64_t off) const noexcept {
+    return dev_->raw(base_ + off);
+  }
+  /// Writable span over an allocation's payload, with the store charged and
+  /// crash-tracked but not persisted (the direct-serialization sink).
+  [[nodiscard]] std::span<std::byte> direct_write_span(std::uint64_t off,
+                                                       std::size_t len);
+  /// Account a bulk zero-copy read of @p len bytes.
+  void charge_read(std::size_t len) const {
+    dev_->charge_dax_read(len, opts_.map_sync);
+  }
+
+  // --- typed persistent pointers ----------------------------------------------
+
+  template <typename T>
+  [[nodiscard]] T pget(PPtr<T> p) const {
+    return get<T>(p.off);
+  }
+  template <typename T>
+  void pset(PPtr<T> p, const T& v) {
+    set<T>(p.off, v);
+  }
+
+  // --- transactions -------------------------------------------------------------
+
+  friend class Transaction;
+
+  /// Device offset of the pool base (for diagnostics).
+  [[nodiscard]] std::size_t base() const noexcept { return base_; }
+  /// Total pool size in bytes.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  Pool(pmem::Device& dev, std::size_t base, std::size_t size, PoolOptions opts);
+
+  struct Layout;  // offsets of persistent control structures
+  void format();
+  void recover();
+  void check_off(std::uint64_t off, std::size_t len) const;
+
+  std::uint64_t alloc_locked(std::size_t bytes);
+  int acquire_tx_lane();
+  void release_tx_lane(int lane);
+  [[nodiscard]] std::uint64_t lane_off(int lane) const;
+
+  pmem::Device* dev_;
+  std::size_t base_;
+  std::size_t size_;
+  PoolOptions opts_;
+
+  std::unique_ptr<std::mutex> alloc_mu_ = std::make_unique<std::mutex>();
+  std::unique_ptr<std::mutex> lane_mu_ = std::make_unique<std::mutex>();
+  std::unique_ptr<std::condition_variable> lane_cv_ =
+      std::make_unique<std::condition_variable>();
+  std::vector<bool> lane_busy_ = std::vector<bool>(kTxLanes, false);
+};
+
+/// RAII undo-log transaction.  snapshot() ranges you are about to mutate;
+/// commit() makes the mutations durable atomically; destruction without
+/// commit rolls every snapshotted range back (as does crash recovery).
+class Transaction {
+ public:
+  explicit Transaction(Pool& pool);
+  ~Transaction();
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// Save the pre-image of [off, off+len); call before mutating it.
+  void snapshot(std::uint64_t off, std::size_t len);
+  /// Persist all snapshotted ranges' new contents and retire the log.
+  void commit();
+
+ private:
+  void rollback();
+
+  Pool* pool_;
+  int lane_;
+  bool committed_ = false;
+  /// Ranges snapshotted, for the commit-time persist sweep.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ranges_;
+};
+
+}  // namespace pmemcpy::obj

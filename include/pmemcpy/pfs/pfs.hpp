@@ -1,0 +1,62 @@
+// Parallel filesystem (mass storage) model — the "PFS" box of the paper's
+// Figure 1.  Node-local PMEM is a *buffering* layer: data is eventually
+// flushed over the interconnect to a shared parallel filesystem, which is
+// high-latency and far slower than PMEM.
+//
+// Modelled as a flat object store with charged transfers; contents are real
+// bytes so stage-in/stage-out round-trips are verifiable.
+#pragma once
+
+#include <pmemcpy/sim/context.hpp>
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pmemcpy::pfs {
+
+struct PfsModel {
+  /// Request latency (RPC + metadata + placement).
+  double latency = 250e-6;
+  /// Per-client streaming bandwidth (bytes/s).
+  double stream_bw = 1.5e9;
+  /// Aggregate bandwidth of the storage system (bytes/s).
+  double total_bw = 5.0e9;
+};
+
+class ParallelFileSystem {
+ public:
+  explicit ParallelFileSystem(PfsModel model = PfsModel{}) : model_(model) {}
+
+  ParallelFileSystem(const ParallelFileSystem&) = delete;
+  ParallelFileSystem& operator=(const ParallelFileSystem&) = delete;
+
+  [[nodiscard]] const PfsModel& model() const noexcept { return model_; }
+
+  /// Store an object (charged transfer to mass storage).
+  void put(const std::string& name, std::span<const std::byte> data);
+  /// Fetch an object; nullopt if absent (charged transfer when present).
+  [[nodiscard]] std::optional<std::vector<std::byte>> get(
+      const std::string& name) const;
+
+  [[nodiscard]] bool exists(const std::string& name) const;
+  [[nodiscard]] std::size_t size(const std::string& name) const;
+  bool remove(const std::string& name);
+  /// Object names with the given prefix (metadata op; latency only).
+  [[nodiscard]] std::vector<std::string> list(const std::string& prefix) const;
+
+  [[nodiscard]] std::uint64_t bytes_stored() const;
+
+ private:
+  void charge(std::size_t bytes) const;
+
+  PfsModel model_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<std::byte>> objects_;
+};
+
+}  // namespace pmemcpy::pfs

@@ -1,0 +1,126 @@
+// Emulated persistent-memory device.
+//
+// The device is a DRAM-backed byte store (the paper's evaluation also
+// emulated PMEM from DRAM).  Every access path charges the simulated clock
+// of the calling rank:
+//
+//   * read()/write()  — explicit, bounds-checked, charged transfers; used by
+//     the POSIX path of the filesystem and by the object store.
+//   * raw() + charge_dax_*() — the DAX path: callers get a pointer straight
+//     into device memory (zero copy) and charge bandwidth/fault costs
+//     explicitly, including the MAP_SYNC first-touch penalty.
+//
+// For crash-consistency testing the device can additionally keep a shadow of
+// every cacheline written since it was last persisted; simulate_crash()
+// restores those lines, emulating the loss of CPU-cache-resident stores on
+// power failure.
+#pragma once
+
+#include <pmemcpy/sim/context.hpp>
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace pmemcpy::pmem {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+class Device {
+ public:
+  /// @param capacity      device size in bytes (rounded up to a page)
+  /// @param crash_shadow  keep pre-images of unpersisted cachelines so that
+  ///                      simulate_crash() can drop in-flight stores.  Costs
+  ///                      DRAM + a hash lookup per store; enable in tests only.
+  explicit Device(std::size_t capacity, bool crash_shadow = false);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool crash_shadow_enabled() const noexcept {
+    return crash_shadow_;
+  }
+
+  // --- charged, bounds-checked transfer path -------------------------------
+
+  /// Store @p len bytes at @p off; charges write latency + bandwidth.
+  void write(std::size_t off, const void* src, std::size_t len);
+  /// Load @p len bytes from @p off; charges read latency + bandwidth.
+  void read(std::size_t off, void* dst, std::size_t len) const;
+  /// Set @p len bytes at @p off to @p value; charged like a write.
+  void fill(std::size_t off, std::size_t len, std::byte value);
+
+  /// Flush the cachelines covering [off, off+len) and drain: after this the
+  /// range survives simulate_crash().  Charges per-line flush + fence cost.
+  void persist(std::size_t off, std::size_t len);
+  /// Fence only (SFENCE); charges drain cost.
+  void drain();
+
+  // --- DAX path -------------------------------------------------------------
+
+  /// Pointer into device memory.  Mutations through this pointer are
+  /// invisible to crash tracking unless note_write() is called; production
+  /// code uses the typed helpers in pmemobj which do so.
+  [[nodiscard]] std::byte* raw(std::size_t off = 0) noexcept {
+    return data_.get() + off;
+  }
+  [[nodiscard]] const std::byte* raw(std::size_t off = 0) const noexcept {
+    return data_.get() + off;
+  }
+
+  /// Charge a zero-copy store of @p len bytes at @p off performed through a
+  /// DAX mapping.  Newly touched pages cost a fault (a synchronous
+  /// block-allocation fault when @p map_sync, a minor fault otherwise) and
+  /// MAP_SYNC derates write bandwidth.
+  void charge_dax_write(std::size_t off, std::size_t len, bool map_sync);
+  /// Charge a zero-copy load of @p len bytes through a DAX mapping.  With
+  /// @p map_sync the mapping's synchronous-fault semantics derate read
+  /// bandwidth as well.
+  void charge_dax_read(std::size_t len, bool map_sync = false) const;
+
+  /// Record [off, off+len) as dirty for crash tracking (pre-imaging the
+  /// affected cachelines in shadow mode).  Call *before* mutating via raw().
+  void note_write(std::size_t off, std::size_t len);
+
+  /// Forget page-touch state (a fresh mmap of the device file).
+  void reset_page_touches();
+
+  // --- crash simulation ------------------------------------------------------
+
+  /// Revert every cacheline written since it was last persisted (requires
+  /// crash_shadow).  Emulates power loss with stores still in CPU caches.
+  void simulate_crash();
+  /// Number of distinct unpersisted cachelines currently tracked.
+  [[nodiscard]] std::size_t unpersisted_lines() const;
+
+  // --- statistics -------------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_written_;
+  }
+  [[nodiscard]] std::uint64_t bytes_read() const noexcept {
+    return bytes_read_;
+  }
+
+ private:
+  void check_range(std::size_t off, std::size_t len) const;
+  /// Pages of [off,len) not yet touched since the last reset; marks them.
+  std::size_t claim_new_pages(std::size_t off, std::size_t len);
+
+  std::size_t capacity_;
+  std::unique_ptr<std::byte[]> data_;
+  bool crash_shadow_;
+
+  mutable std::mutex mu_;  // protects shadow_, touched_, counters
+  std::unordered_map<std::size_t, std::array<std::byte, kCacheLine>> shadow_;
+  std::vector<bool> touched_;  // one bit per 4 KiB page
+  std::uint64_t bytes_written_ = 0;
+  mutable std::uint64_t bytes_read_ = 0;
+};
+
+}  // namespace pmemcpy::pmem

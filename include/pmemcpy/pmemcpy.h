@@ -1,0 +1,100 @@
+/* pMEMCPY C API — the header the paper's Figure 3 includes.
+ *
+ * A C-linkage wrapper over the C++ library for applications that cannot use
+ * templates: opaque handles, explicit dtypes, status codes, and a
+ * per-handle last-error string.  Covers the full Figure-2 surface for
+ * single-process use (the parallel runtime is C++-only; MPI applications
+ * would pass their communicator through the C++ API).
+ */
+#ifndef PMEMCPY_PMEMCPY_H
+#define PMEMCPY_PMEMCPY_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct pmemcpy_node pmemcpy_node; /* node-local PMEM environment */
+typedef struct pmemcpy_pmem pmemcpy_pmem; /* a PMEM handle (paper Fig. 2) */
+
+typedef enum {
+  PMEMCPY_OK = 0,
+  PMEMCPY_ERR_KEY = 1,   /* no such id */
+  PMEMCPY_ERR_TYPE = 2,  /* dtype/kind mismatch */
+  PMEMCPY_ERR_STATE = 3, /* not mapped / already mapped */
+  PMEMCPY_ERR_OTHER = 4,
+} pmemcpy_status;
+
+typedef enum {
+  PMEMCPY_U8 = 0,
+  PMEMCPY_I8,
+  PMEMCPY_U16,
+  PMEMCPY_I16,
+  PMEMCPY_U32,
+  PMEMCPY_I32,
+  PMEMCPY_U64,
+  PMEMCPY_I64,
+  PMEMCPY_F32,
+  PMEMCPY_F64,
+} pmemcpy_dtype;
+
+/* --- node environment ---------------------------------------------------- */
+
+/* Create an emulated node-local PMEM of the given capacity (bytes). */
+pmemcpy_node* pmemcpy_node_create(size_t capacity);
+void pmemcpy_node_destroy(pmemcpy_node* node);
+/* Make a node the process default used by pmemcpy_mmap. */
+void pmemcpy_node_set_default(pmemcpy_node* node);
+
+/* --- PMEM handles ---------------------------------------------------------- */
+
+pmemcpy_pmem* pmemcpy_create(void);
+void pmemcpy_destroy(pmemcpy_pmem* pmem);
+/* Human-readable description of the last failing call on this handle. */
+const char* pmemcpy_last_error(const pmemcpy_pmem* pmem);
+
+pmemcpy_status pmemcpy_mmap(pmemcpy_pmem* pmem, const char* filename);
+pmemcpy_status pmemcpy_munmap(pmemcpy_pmem* pmem);
+
+/* --- arrays (paper Fig. 2) --------------------------------------------------- */
+
+pmemcpy_status pmemcpy_alloc(pmemcpy_pmem* pmem, const char* id,
+                             pmemcpy_dtype dtype, int ndims,
+                             const size_t* dims);
+pmemcpy_status pmemcpy_store(pmemcpy_pmem* pmem, const char* id,
+                             pmemcpy_dtype dtype, const void* data, int ndims,
+                             const size_t* offsets, const size_t* dimspp);
+pmemcpy_status pmemcpy_load(pmemcpy_pmem* pmem, const char* id,
+                            pmemcpy_dtype dtype, void* data, int ndims,
+                            const size_t* offsets, const size_t* dimspp);
+pmemcpy_status pmemcpy_load_dims(pmemcpy_pmem* pmem, const char* id,
+                                 int* ndims, size_t* dims);
+
+/* --- scalars -------------------------------------------------------------------- */
+
+pmemcpy_status pmemcpy_store_f64(pmemcpy_pmem* pmem, const char* id, double v);
+pmemcpy_status pmemcpy_load_f64(pmemcpy_pmem* pmem, const char* id, double* v);
+pmemcpy_status pmemcpy_store_i64(pmemcpy_pmem* pmem, const char* id,
+                                 int64_t v);
+pmemcpy_status pmemcpy_load_i64(pmemcpy_pmem* pmem, const char* id,
+                                int64_t* v);
+pmemcpy_status pmemcpy_store_bytes(pmemcpy_pmem* pmem, const char* id,
+                                   const void* data, size_t len);
+/* Query the byte length of a stored blob (for sizing the load buffer). */
+pmemcpy_status pmemcpy_bytes_size(pmemcpy_pmem* pmem, const char* id,
+                                  size_t* len);
+pmemcpy_status pmemcpy_load_bytes(pmemcpy_pmem* pmem, const char* id,
+                                  void* data, size_t len);
+
+/* --- namespace --------------------------------------------------------------------- */
+
+int pmemcpy_exists(pmemcpy_pmem* pmem, const char* id);
+pmemcpy_status pmemcpy_remove(pmemcpy_pmem* pmem, const char* id);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* PMEMCPY_PMEMCPY_H */

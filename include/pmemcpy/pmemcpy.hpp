@@ -1,0 +1,445 @@
+// pMEMCPY — a simple, lightweight, and portable I/O library for storing data
+// in persistent memory (reproduction of Logan et al., CLUSTER 2021).
+//
+// The public API follows the paper's Figure 2:
+//
+//   pmemcpy::PMEM pmem;
+//   pmem.mmap(filename[, comm]);
+//   pmem.store<T>(id, data);                       // scalars & structs
+//   pmem.alloc<T>(id, ndims, dims);                // declare a global array
+//   pmem.store<T>(id, data, ndims, offsets, dimspp);  // write a subarray
+//   pmem.load<T>(id[, data...]);
+//   pmem.load_dims(id, &ndims, dims);
+//   pmem.munmap();
+//
+// Key properties reproduced from the paper:
+//   * key-value interface; array dimensions are stored automatically under
+//     id + "#dims" and queried with load_dims;
+//   * data is kept "in the same format as it was produced": each process's
+//     subarray is stored as its own piece (no global linearisation, no
+//     inter-process communication on the I/O path);
+//   * serializers are pluggable (BP4-lite default, cereal-style binary, or
+//     disabled/raw) and serialize *directly into PMEM* — no DRAM staging
+//     copy (Config::force_dram_staging re-enables staging for ablation);
+//   * MAP_SYNC can be enabled per Config (the paper's PMCPY-B variant);
+//   * two layouts: flat PMDK-style hashtable (default) or hierarchical
+//     (ids containing '/' become directories on the PMEM filesystem).
+#pragma once
+
+#include <pmemcpy/core/backend.hpp>
+#include <pmemcpy/core/hyperslab.hpp>
+#include <pmemcpy/core/node.hpp>
+#include <pmemcpy/par/comm.hpp>
+#include <pmemcpy/serial/binary.hpp>
+#include <pmemcpy/serial/bp4.hpp>
+#include <pmemcpy/serial/filter.hpp>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace pmemcpy {
+
+/// Metadata/data layout (paper §3 "Data Layout").
+enum class Layout {
+  kHashTable,     ///< flat namespace, persistent hashtable in one pool
+  kHierarchical,  ///< file-per-variable tree on the PMEM filesystem
+};
+
+struct Config {
+  /// Node environment; nullptr means PmemNode::default_node().
+  PmemNode* node = nullptr;
+  /// Enable MAP_SYNC semantics (paper variant PMCPY-B).
+  bool map_sync = false;
+  serial::SerializerId serializer = serial::SerializerId::kBp4;
+  Layout layout = Layout::kHashTable;
+  /// Hashtable buckets for the flat layout.
+  std::size_t nbuckets = 8192;
+  /// Let the metadata hashtable grow geometrically under load.
+  bool auto_grow_table = true;
+  /// Transparent filter applied to array-piece payloads (compression);
+  /// filtering trades a DRAM encode pass for fewer bytes through PMEM.
+  serial::FilterId filter = serial::FilterId::kNone;
+  /// Pool bytes for the flat layout; 0 = remaining pool area.
+  std::size_t pool_size = 0;
+  /// Ablation switch: serialize into a DRAM buffer first and then copy to
+  /// PMEM (how ADIOS-style libraries behave) instead of serializing
+  /// directly into PMEM.
+  bool force_dram_staging = false;
+};
+
+struct KeyError : std::runtime_error {
+  explicit KeyError(const std::string& id)
+      : std::runtime_error("pmemcpy: no such id: " + id) {}
+};
+struct TypeError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+struct StateError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+enum class EntryKind : std::uint8_t { kScalar = 0, kPiece = 1, kDims = 2 };
+
+[[nodiscard]] std::uint64_t pack_meta(
+    EntryKind kind, serial::DType dtype, serial::SerializerId ser,
+    serial::FilterId filter = serial::FilterId::kNone);
+void unpack_meta(std::uint64_t meta, EntryKind* kind, serial::DType* dtype,
+                 serial::SerializerId* ser,
+                 serial::FilterId* filter = nullptr);
+
+[[nodiscard]] std::string dims_key(const std::string& id);
+[[nodiscard]] std::string piece_prefix(const std::string& id);
+[[nodiscard]] std::string piece_key(const std::string& id, const Box& box);
+[[nodiscard]] std::string attr_prefix(const std::string& id);
+[[nodiscard]] std::string attr_key(const std::string& id,
+                                   const std::string& name);
+
+/// Blob header bytes preceding the payload for each serializer.
+[[nodiscard]] std::size_t blob_header_size(serial::SerializerId ser,
+                                           std::uint32_t ndims);
+void write_blob_header(serial::Sink& sink, serial::SerializerId ser,
+                       serial::DType dtype, std::uint64_t payload_bytes,
+                       const Dimensions& global, const Box& box);
+
+}  // namespace detail
+
+class PMEM {
+ public:
+  PMEM() = default;
+  explicit PMEM(Config cfg) : cfg_(cfg) {}
+
+  /// Open (creating if needed) the named region on the node-local PMEM.
+  void mmap(const std::string& filename) { do_mmap(filename, nullptr); }
+  /// Collective open: every rank of @p comm calls this.
+  void mmap(const std::string& filename, par::Comm& comm) {
+    do_mmap(filename, &comm);
+  }
+  /// Collective close.
+  void munmap();
+
+  [[nodiscard]] bool mapped() const noexcept { return store_ != nullptr; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  // --- scalars and structs -----------------------------------------------
+
+  /// Store a value under @p id.  T is an arithmetic type, std::string,
+  /// std::vector of those, or a struct with a `serialize(Ar&)` member.
+  template <typename T>
+  void store(const std::string& id, const T& data) {
+    auto& st = store_ref();
+    serial::CountingSink counter;
+    {
+      serial::BinaryWriter w(counter);
+      w(data);
+    }
+    const std::size_t payload = counter.tell();
+    const auto ser = cfg_.serializer;
+    const std::size_t hdr = detail::blob_header_size(ser, 0);
+    const auto dtype = serial::dtype_of_v<T>;
+    auto put = st.put(
+        id, hdr + payload,
+        detail::pack_meta(detail::EntryKind::kScalar, dtype, ser));
+    const auto emit = [&](serial::Sink& sink) {
+      detail::write_blob_header(sink, ser, dtype, payload, {}, {});
+      serial::BinaryWriter w(sink);
+      w(data);
+    };
+    if (cfg_.force_dram_staging) {
+      serial::BufferSink staged(hdr + payload);
+      emit(staged);
+      put->sink().write(staged.bytes().data(), staged.bytes().size());
+    } else {
+      emit(put->sink());
+    }
+    put->commit();
+  }
+
+  template <typename T>
+  void load(const std::string& id, T& data) {
+    auto entry = store_ref().find(id);
+    if (!entry) throw KeyError(id);
+    const auto info = entry->info();
+    detail::EntryKind kind;
+    serial::DType dtype;
+    serial::SerializerId ser;
+    detail::unpack_meta(info.meta, &kind, &dtype, &ser);
+    if (kind != detail::EntryKind::kScalar) {
+      throw TypeError("pmemcpy: " + id + " is not a scalar entry");
+    }
+    if (dtype != serial::dtype_of_v<T>) {
+      throw TypeError("pmemcpy: dtype mismatch loading " + id);
+    }
+    const std::size_t hdr = detail::blob_header_size(ser, 0);
+    if (cfg_.force_dram_staging) {
+      std::vector<std::byte> staged(info.size);
+      entry->read(0, staged.data(), staged.size());
+      serial::BufferSource src(
+          {staged.data() + hdr, staged.size() - hdr});
+      serial::BinaryReader r(src);
+      r(data);
+    } else {
+      // Deserialize straight out of PMEM.
+      const std::byte* blob = entry->direct(info.size);
+      serial::SpanSource src({blob + hdr, info.size - hdr});
+      serial::BinaryReader r(src);
+      r(data);
+    }
+  }
+
+  template <typename T>
+  [[nodiscard]] T load(const std::string& id) {
+    T v{};
+    load(id, v);
+    return v;
+  }
+
+  // --- arrays ------------------------------------------------------------------
+
+  /// Declare the global dimensions of array @p id (paper Fig. 2 alloc).
+  template <typename T>
+  void alloc(const std::string& id, int ndims, const std::size_t* dims) {
+    put_dims(id, serial::dtype_of_v<T>,
+             Dimensions(dims, dims + static_cast<std::size_t>(ndims)));
+  }
+  template <typename T>
+  void alloc(const std::string& id, const Dimensions& dims) {
+    put_dims(id, serial::dtype_of_v<T>, dims);
+  }
+
+  /// Store this process's subarray: @p dimspp counts at @p offsets within
+  /// the global array.  No coordination with other processes.
+  template <typename T>
+  void store(const std::string& id, const T* data, int ndims,
+             const std::size_t* offsets, const std::size_t* dimspp) {
+    const auto nd = static_cast<std::size_t>(ndims);
+    Box box(Dimensions(offsets, offsets + nd),
+            Dimensions(dimspp, dimspp + nd));
+    const std::size_t payload = box.elements() * sizeof(T);
+    const auto ser = cfg_.serializer;
+    const auto dtype = serial::dtype_of_v<T>;
+
+    Dimensions global;
+    serial::DType declared;
+    if (get_dims(id, &declared, &global)) {
+      if (declared != dtype) {
+        throw TypeError("pmemcpy: dtype mismatch storing " + id);
+      }
+    } else {
+      // "pMEMCPY automatically stores the dimensions of the array" — when
+      // alloc() was skipped, derive an extent from this piece.
+      global.resize(nd);
+      for (std::size_t d = 0; d < nd; ++d) {
+        global[d] = box.offset[d] + box.count[d];
+      }
+      put_dims(id, dtype, global);
+    }
+
+    const std::size_t hdr =
+        detail::blob_header_size(ser, static_cast<std::uint32_t>(nd));
+
+    if (cfg_.filter != serial::FilterId::kNone) {
+      // Filtered path: encode in DRAM (the size must be known to reserve
+      // the blob), then blob = header | u64 encoded size | encoded bytes.
+      const auto enc = serial::filter_encode(
+          cfg_.filter,
+          {reinterpret_cast<const std::byte*>(data), payload});
+      auto put = store_ref().put(
+          detail::piece_key(id, box), hdr + 8 + enc.size(),
+          detail::pack_meta(detail::EntryKind::kPiece, dtype, ser,
+                            cfg_.filter));
+      detail::write_blob_header(put->sink(), ser, dtype, payload, global,
+                                box);
+      const std::uint64_t enc_size = enc.size();
+      put->sink().write(&enc_size, sizeof(enc_size));
+      put->sink().write(enc.data(), enc.size());
+      put->commit();
+      invalidate_piece_cache(id);
+      return;
+    }
+
+    auto put = store_ref().put(
+        detail::piece_key(id, box), hdr + payload,
+        detail::pack_meta(detail::EntryKind::kPiece, dtype, ser));
+    const auto emit = [&](serial::Sink& sink) {
+      detail::write_blob_header(sink, ser, dtype, payload, global, box);
+      sink.write(data, payload);
+    };
+    if (cfg_.force_dram_staging) {
+      serial::BufferSink staged(hdr + payload);
+      emit(staged);
+      put->sink().write(staged.bytes().data(), staged.bytes().size());
+    } else {
+      emit(put->sink());
+    }
+    put->commit();
+    invalidate_piece_cache(id);
+  }
+
+  /// Load a subarray.  The fast path hits the piece written with identical
+  /// offsets/counts (the symmetric-read pattern); otherwise all overlapping
+  /// pieces are intersected.
+  template <typename T>
+  void load(const std::string& id, T* data, int ndims,
+            const std::size_t* offsets, const std::size_t* dimspp) {
+    const auto nd = static_cast<std::size_t>(ndims);
+    Box want(Dimensions(offsets, offsets + nd),
+             Dimensions(dimspp, dimspp + nd));
+    auto& st = store_ref();
+
+    if (auto entry = st.find(detail::piece_key(id, want))) {
+      const auto info = entry->info();
+      detail::EntryKind kind;
+      serial::DType dtype;
+      serial::SerializerId ser;
+      serial::FilterId filter;
+      detail::unpack_meta(info.meta, &kind, &dtype, &ser, &filter);
+      if (dtype != serial::dtype_of_v<T>) {
+        throw TypeError("pmemcpy: dtype mismatch loading " + id);
+      }
+      const std::size_t hdr =
+          detail::blob_header_size(ser, static_cast<std::uint32_t>(nd));
+      const std::size_t payload = want.elements() * sizeof(T);
+      if (filter != serial::FilterId::kNone) {
+        // Decode straight from the PMEM-resident encoded bytes.
+        const std::byte* blob = entry->direct(info.size);
+        std::uint64_t enc_size = 0;
+        std::memcpy(&enc_size, blob + hdr, sizeof(enc_size));
+        if (hdr + 8 + enc_size != info.size) {
+          throw TypeError("pmemcpy: corrupt filtered blob in " + id);
+        }
+        serial::filter_decode(
+            filter, {blob + hdr + 8, enc_size},
+            {reinterpret_cast<std::byte*>(data), payload});
+        return;
+      }
+      if (info.size != hdr + payload) {
+        throw TypeError("pmemcpy: size mismatch loading " + id);
+      }
+      if (cfg_.force_dram_staging) {
+        std::vector<std::byte> staged(payload);
+        entry->read(hdr, staged.data(), payload);
+        std::memcpy(data, staged.data(), payload);
+        sim::ctx().charge_cpu_copy(payload);
+      } else {
+        // One pass: PMEM -> user buffer.
+        entry->read(hdr, data, payload);
+      }
+      return;
+    }
+
+    // General path: assemble from every overlapping piece.
+    std::size_t covered = 0;
+    const std::string prefix = detail::piece_prefix(id);
+    const std::vector<std::string>& keys = piece_keys(id);
+    for (const auto& key : keys) {
+      const Box pbox = box_from_string(key.substr(prefix.size()));
+      if (pbox.ndims() != nd) continue;
+      const Box region = intersect(want, pbox);
+      if (region.empty()) continue;
+      auto entry = st.find(key);
+      if (!entry) continue;
+      const auto info = entry->info();
+      detail::EntryKind kind;
+      serial::DType dtype;
+      serial::SerializerId ser;
+      serial::FilterId filter;
+      detail::unpack_meta(info.meta, &kind, &dtype, &ser, &filter);
+      if (dtype != serial::dtype_of_v<T>) {
+        throw TypeError("pmemcpy: dtype mismatch loading " + id);
+      }
+      const std::size_t hdr =
+          detail::blob_header_size(ser, static_cast<std::uint32_t>(nd));
+      if (filter != serial::FilterId::kNone) {
+        // Decode the whole piece to scratch, then intersect.
+        const std::byte* blob = entry->direct(info.size);
+        std::uint64_t enc_size = 0;
+        std::memcpy(&enc_size, blob + hdr, sizeof(enc_size));
+        std::vector<std::byte> raw(pbox.elements() * sizeof(T));
+        serial::filter_decode(filter, {blob + hdr + 8, enc_size}, raw);
+        copy_box_region(reinterpret_cast<std::byte*>(data), want, raw.data(),
+                        pbox, region, sizeof(T));
+      } else {
+        const std::byte* blob =
+            entry->direct(region.elements() * sizeof(T));
+        copy_box_region(reinterpret_cast<std::byte*>(data), want, blob + hdr,
+                        pbox, region, sizeof(T));
+      }
+      covered += region.elements();
+    }
+    if (covered < want.elements()) {
+      throw KeyError(id + " (requested region not fully covered)");
+    }
+  }
+
+  /// Query the dimensions stored under id + "#dims" (paper Fig. 2).
+  void load_dims(const std::string& id, int* ndims, std::size_t* dims);
+  [[nodiscard]] Dimensions load_dims(const std::string& id);
+
+  // --- namespace ------------------------------------------------------------
+
+  [[nodiscard]] bool exists(const std::string& id);
+  /// Remove a scalar, or an array with all of its pieces, dims and
+  /// attributes.
+  void remove(const std::string& id);
+
+  // --- attributes -----------------------------------------------------------
+
+  /// Attach a named attribute to a variable (ADIOS-style metadata: units,
+  /// provenance, ...).  Any store()-able T works.
+  template <typename T>
+  void store_attribute(const std::string& id, const std::string& name,
+                       const T& value) {
+    store(detail::attr_key(id, name), value);
+  }
+  template <typename T>
+  [[nodiscard]] T load_attribute(const std::string& id,
+                                 const std::string& name) {
+    return load<T>(detail::attr_key(id, name));
+  }
+  /// Names of the attributes attached to @p id.
+  [[nodiscard]] std::vector<std::string> attributes(const std::string& id);
+  /// List the stored variable ids (scalars and arrays, without the
+  /// "#dims"/"#p:" bookkeeping suffixes).
+  [[nodiscard]] std::vector<std::string> ids();
+
+  // --- raw entry access (stage-out / stage-in, e.g. burst-buffer drains) ----
+
+  /// Visit every raw entry: key, zero-copy charged view of the blob, and
+  /// its meta word.  The span is only valid inside @p fn.
+  void for_each_raw(
+      const std::function<void(const std::string&, std::span<const std::byte>,
+                               std::uint64_t)>& fn);
+  /// Re-create a raw entry exported by for_each_raw.
+  void import_raw(const std::string& key, std::span<const std::byte> data,
+                  std::uint64_t meta);
+
+ private:
+  void do_mmap(const std::string& filename, par::Comm* comm);
+  [[nodiscard]] detail::Store& store_ref() {
+    if (!store_) throw StateError("pmemcpy: not mapped (call mmap first)");
+    return *store_;
+  }
+  void put_dims(const std::string& id, serial::DType dtype,
+                const Dimensions& dims);
+  bool get_dims(const std::string& id, serial::DType* dtype, Dimensions* dims);
+  /// Piece keys of @p id, scanned once per handle and cached (like an ADIOS
+  /// reader parsing the footer index at open); stores invalidate the entry.
+  const std::vector<std::string>& piece_keys(const std::string& id);
+  void invalidate_piece_cache(const std::string& id) {
+    piece_cache_.erase(id);
+  }
+
+  Config cfg_;
+  std::map<std::string, std::vector<std::string>> piece_cache_;
+  PmemNode* node_ = nullptr;
+  par::Comm* comm_ = nullptr;
+  std::shared_ptr<obj::Pool> pool_;
+  std::shared_ptr<obj::HashTable> table_;
+  std::unique_ptr<detail::Store> store_;
+};
+
+}  // namespace pmemcpy

@@ -1,0 +1,148 @@
+// Cereal-style binary archive.
+//
+// Minimal clone of the cereal API the paper lists among its pluggable
+// serializers: arithmetic types and enums are written raw, strings and
+// vectors carry a LEB128 length prefix, and user structs participate via a
+// member template `template <class Ar> void serialize(Ar&)` that lists the
+// fields with `ar(f1, f2, ...)` — one function for both directions.
+#pragma once
+
+#include <pmemcpy/serial/sink.hpp>
+
+#include <array>
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace pmemcpy::serial {
+
+class BinaryWriter;
+class BinaryReader;
+
+template <typename T, typename Ar>
+concept HasMemberSerialize = requires(T& t, Ar& ar) { t.serialize(ar); };
+
+template <typename T>
+concept RawSerializable = std::is_arithmetic_v<T> || std::is_enum_v<T>;
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(Sink& sink) : sink_(&sink) {}
+
+  template <typename... Ts>
+  void operator()(const Ts&... vals) {
+    (dispatch(vals), ...);
+  }
+
+  void write_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      const auto b = static_cast<std::uint8_t>(v | 0x80);
+      sink_->write(&b, 1);
+      v >>= 7;
+    }
+    const auto b = static_cast<std::uint8_t>(v);
+    sink_->write(&b, 1);
+  }
+
+  void write_bytes(const void* data, std::size_t len) {
+    sink_->write(data, len);
+  }
+
+ private:
+  template <RawSerializable T>
+  void dispatch(const T& v) {
+    sink_->write(&v, sizeof(T));
+  }
+  void dispatch(const std::string& s) {
+    write_varint(s.size());
+    sink_->write(s.data(), s.size());
+  }
+  template <typename T>
+  void dispatch(const std::vector<T>& v) {
+    write_varint(v.size());
+    if constexpr (RawSerializable<T>) {
+      sink_->write(v.data(), v.size() * sizeof(T));
+    } else {
+      for (const auto& e : v) dispatch(e);
+    }
+  }
+  template <typename T, std::size_t N>
+  void dispatch(const std::array<T, N>& v) {
+    if constexpr (RawSerializable<T>) {
+      sink_->write(v.data(), N * sizeof(T));
+    } else {
+      for (const auto& e : v) dispatch(e);
+    }
+  }
+  template <typename T>
+    requires HasMemberSerialize<T, BinaryWriter>
+  void dispatch(const T& v) {
+    // serialize() is a bidirectional visitor; writing does not mutate.
+    const_cast<T&>(v).serialize(*this);
+  }
+
+  Sink* sink_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(Source& src) : src_(&src) {}
+
+  template <typename... Ts>
+  void operator()(Ts&... vals) {
+    (dispatch(vals), ...);
+  }
+
+  [[nodiscard]] std::uint64_t read_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      std::uint8_t b;
+      src_->read(&b, 1);
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+      if (shift > 63) throw SerialError("varint overflow");
+    }
+  }
+
+  void read_bytes(void* dst, std::size_t len) { src_->read(dst, len); }
+
+ private:
+  template <RawSerializable T>
+  void dispatch(T& v) {
+    src_->read(&v, sizeof(T));
+  }
+  void dispatch(std::string& s) {
+    s.resize(read_varint());
+    src_->read(s.data(), s.size());
+  }
+  template <typename T>
+  void dispatch(std::vector<T>& v) {
+    v.resize(read_varint());
+    if constexpr (RawSerializable<T>) {
+      src_->read(v.data(), v.size() * sizeof(T));
+    } else {
+      for (auto& e : v) dispatch(e);
+    }
+  }
+  template <typename T, std::size_t N>
+  void dispatch(std::array<T, N>& v) {
+    if constexpr (RawSerializable<T>) {
+      src_->read(v.data(), N * sizeof(T));
+    } else {
+      for (auto& e : v) dispatch(e);
+    }
+  }
+  template <typename T>
+    requires HasMemberSerialize<T, BinaryReader>
+  void dispatch(T& v) {
+    v.serialize(*this);
+  }
+
+  Source* src_;
+};
+
+}  // namespace pmemcpy::serial

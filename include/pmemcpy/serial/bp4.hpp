@@ -1,0 +1,62 @@
+// BP4-lite: the self-describing variable-record format (modelled on ADIOS's
+// BP format) that is pMEMCPY's default serialization.
+//
+// A record is a header followed by the raw payload:
+//
+//   magic u32 | version u8 | serializer u8 | dtype u8 | ndims u8 |
+//   payload_bytes u64 | ndims x { global u64, offset u64, count u64 }
+//
+// Like BP, each writer's data is stored "in the same format as it was
+// produced": one record per process-local box, no global linearisation.
+#pragma once
+
+#include <pmemcpy/serial/dtype.hpp>
+#include <pmemcpy/serial/sink.hpp>
+
+#include <cstdint>
+#include <vector>
+
+namespace pmemcpy::serial {
+
+/// Which serializer produced a blob (stored in record headers and in the
+/// metadata entry's meta word so readers can decode).
+enum class SerializerId : std::uint8_t {
+  kBp4 = 0,     ///< BP4-lite record (default; same family as ADIOS)
+  kBinary = 1,  ///< cereal-style binary archive
+  kRaw = 2,     ///< serialization disabled: payload bytes only
+  kCapnp = 3,   ///< CapnProto-lite fixed-offset record (zero-copy readable)
+};
+
+inline constexpr std::uint32_t kBp4Magic = 0x42503446;  // "BP4F"
+inline constexpr std::uint8_t kBp4Version = 1;
+
+struct VarMeta {
+  DType dtype = DType::kInvalid;
+  SerializerId serializer = SerializerId::kBp4;
+  std::uint64_t payload_bytes = 0;
+  /// Per-dimension global extent / local offset / local count.  Empty for
+  /// scalars and opaque structs.
+  std::vector<std::uint64_t> global;
+  std::vector<std::uint64_t> offset;
+  std::vector<std::uint64_t> count;
+
+  [[nodiscard]] std::uint32_t ndims() const noexcept {
+    return static_cast<std::uint32_t>(global.size());
+  }
+  [[nodiscard]] std::uint64_t elements() const noexcept {
+    std::uint64_t n = 1;
+    for (auto c : count) n *= c;
+    return n;
+  }
+};
+
+/// Encoded header size for a record with @p ndims dimensions.
+[[nodiscard]] std::size_t bp4_header_size(std::uint32_t ndims);
+
+/// Write a record header to @p sink.
+void bp4_write_header(Sink& sink, const VarMeta& meta);
+
+/// Read and validate a record header from @p source.
+[[nodiscard]] VarMeta bp4_read_header(Source& source);
+
+}  // namespace pmemcpy::serial

@@ -1,0 +1,40 @@
+// CapnProto-lite: the third serializer family the paper lists ("well-known,
+// portable serialization libraries, such as BP4, CapnProto, and cereal").
+//
+// Cap'n Proto's defining property is a zero-copy wire format: every field
+// sits at a fixed offset in 8-byte words, so a reader can point into the
+// buffer without a decode pass.  This lite variant frames a variable record
+// the same way:
+//
+//   word 0 : magic u32 | dtype u8 | ndims u8 | reserved u16
+//   word 1 : payload_bytes u64
+//   words 2..: ndims x { global u64, offset u64, count u64 }
+//   payload (8-byte aligned by construction)
+//
+// Unlike BP4-lite there is no version/serializer byte inside the record —
+// framing is part of the schema, as in Cap'n Proto.
+#pragma once
+
+#include <pmemcpy/serial/bp4.hpp>
+
+namespace pmemcpy::serial {
+
+inline constexpr std::uint32_t kCapnpMagic = 0x43504e4c;  // "CPNL"
+
+/// Encoded header size (always whole words).
+[[nodiscard]] std::size_t capnp_header_size(std::uint32_t ndims);
+
+void capnp_write_header(Sink& sink, const VarMeta& meta);
+
+[[nodiscard]] VarMeta capnp_read_header(Source& source);
+
+/// Fixed-offset accessors for zero-copy readers: given a pointer to a
+/// record, read fields without consuming a Source.
+[[nodiscard]] bool capnp_valid(const std::byte* rec, std::size_t len);
+[[nodiscard]] DType capnp_dtype(const std::byte* rec);
+[[nodiscard]] std::uint32_t capnp_ndims(const std::byte* rec);
+[[nodiscard]] std::uint64_t capnp_payload_bytes(const std::byte* rec);
+/// Pointer to the payload within the record.
+[[nodiscard]] const std::byte* capnp_payload(const std::byte* rec);
+
+}  // namespace pmemcpy::serial

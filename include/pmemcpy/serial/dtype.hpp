@@ -1,0 +1,83 @@
+// Wire-format type codes shared by the serializers and the pMEMCPY metadata.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pmemcpy::serial {
+
+enum class DType : std::uint8_t {
+  kU8 = 0,
+  kI8,
+  kU16,
+  kI16,
+  kU32,
+  kI32,
+  kU64,
+  kI64,
+  kF32,
+  kF64,
+  kStruct,  ///< opaque struct serialized by an archive
+  kInvalid = 0xFF,
+};
+
+[[nodiscard]] constexpr std::size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::kU8:
+    case DType::kI8:
+      return 1;
+    case DType::kU16:
+    case DType::kI16:
+      return 2;
+    case DType::kU32:
+    case DType::kI32:
+    case DType::kF32:
+      return 4;
+    case DType::kU64:
+    case DType::kI64:
+    case DType::kF64:
+      return 8;
+    default:
+      return 0;
+  }
+}
+
+[[nodiscard]] constexpr std::string_view dtype_name(DType t) {
+  switch (t) {
+    case DType::kU8: return "u8";
+    case DType::kI8: return "i8";
+    case DType::kU16: return "u16";
+    case DType::kI16: return "i16";
+    case DType::kU32: return "u32";
+    case DType::kI32: return "i32";
+    case DType::kU64: return "u64";
+    case DType::kI64: return "i64";
+    case DType::kF32: return "f32";
+    case DType::kF64: return "f64";
+    case DType::kStruct: return "struct";
+    default: return "invalid";
+  }
+}
+
+template <typename T>
+struct dtype_of {
+  static constexpr DType value = DType::kStruct;
+};
+// clang-format off
+template <> struct dtype_of<std::uint8_t>  { static constexpr DType value = DType::kU8; };
+template <> struct dtype_of<std::int8_t>   { static constexpr DType value = DType::kI8; };
+template <> struct dtype_of<char>          { static constexpr DType value = DType::kI8; };
+template <> struct dtype_of<std::uint16_t> { static constexpr DType value = DType::kU16; };
+template <> struct dtype_of<std::int16_t>  { static constexpr DType value = DType::kI16; };
+template <> struct dtype_of<std::uint32_t> { static constexpr DType value = DType::kU32; };
+template <> struct dtype_of<std::int32_t>  { static constexpr DType value = DType::kI32; };
+template <> struct dtype_of<std::uint64_t> { static constexpr DType value = DType::kU64; };
+template <> struct dtype_of<std::int64_t>  { static constexpr DType value = DType::kI64; };
+template <> struct dtype_of<float>         { static constexpr DType value = DType::kF32; };
+template <> struct dtype_of<double>        { static constexpr DType value = DType::kF64; };
+// clang-format on
+
+template <typename T>
+inline constexpr DType dtype_of_v = dtype_of<T>::value;
+
+}  // namespace pmemcpy::serial

@@ -1,0 +1,52 @@
+// Transparent data filters — the "operators" HDF5 and ADIOS attach to
+// chunks/variables (paper §2.1; compression is the canonical one, cf. the
+// authors' HCompress line of work).  A filter transforms the payload before
+// it reaches PMEM and back after it is read; pMEMCPY applies them per
+// stored piece.
+//
+// Codecs:
+//   kRle    — byte-wise run-length encoding: strong on constant/filled
+//             regions, harmless framing overhead elsewhere.
+//   kDelta  — 64-bit-word delta + zigzag varint: strong on smooth numeric
+//             fields (monotone counters, slowly-varying doubles).
+//
+// Filtering inherently costs a DRAM staging pass (the encoded size must be
+// known before the PMEM blob can be reserved); encode/decode charge that
+// pass on the simulated clock.  The trade it buys: fewer bytes through the
+// device.
+#pragma once
+
+#include <pmemcpy/serial/sink.hpp>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pmemcpy::serial {
+
+enum class FilterId : std::uint8_t {
+  kNone = 0,
+  kRle = 1,
+  kDelta = 2,
+};
+
+[[nodiscard]] constexpr const char* filter_name(FilterId f) {
+  switch (f) {
+    case FilterId::kNone: return "none";
+    case FilterId::kRle: return "rle";
+    case FilterId::kDelta: return "delta";
+  }
+  return "?";
+}
+
+/// Encode @p in with @p filter; returns the encoded bytes.  Charges one CPU
+/// pass over input + output.  kNone copies (callers should bypass instead).
+[[nodiscard]] std::vector<std::byte> filter_encode(
+    FilterId filter, std::span<const std::byte> in);
+
+/// Decode into @p out (which must be sized to the original length).
+/// Charges one CPU pass.  Throws SerialError on corrupt input.
+void filter_decode(FilterId filter, std::span<const std::byte> in,
+                   std::span<std::byte> out);
+
+}  // namespace pmemcpy::serial

@@ -1,0 +1,51 @@
+// The paper's evaluation workload (§4.1): an S3D-inspired 3-D domain
+// decomposition.  "We generate 10 3-D rectangles... a total of 40GB of data
+// is generated and divided equally among the processes.  Each element is a
+// double."  The read workload is symmetric: each process reads back exactly
+// what it wrote.
+#pragma once
+
+#include <pmemcpy/core/hyperslab.hpp>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace pmemcpy::wk {
+
+/// Balanced 3-D process grid for @p nranks (px*py*pz == nranks, px>=py>=pz).
+[[nodiscard]] std::array<std::size_t, 3> balanced_factors(int nranks);
+
+struct Decomposition {
+  Dimensions global;            ///< global cube dims (elements)
+  std::vector<Box> rank_boxes;  ///< one sub-box per rank
+  [[nodiscard]] std::size_t total_elements() const {
+    std::size_t n = 1;
+    for (auto d : global) n *= d;
+    return n;
+  }
+};
+
+/// Decompose a ~@p elems_per_var-element cube across @p nranks processes as
+/// equal rectangular sub-boxes (each rank's box has identical dimensions).
+[[nodiscard]] Decomposition decompose(std::size_t elems_per_var, int nranks);
+
+/// Deterministic element value: depends only on (variable, global linear
+/// index), so any sub-box read can be verified independently.
+[[nodiscard]] inline double element_value(int var,
+                                          std::size_t linear) noexcept {
+  // Exactly representable in a double: var in the high digits, a bounded
+  // mixed index in the low ones.
+  const std::uint64_t mixed = (linear * 2654435761u + 12345) & 0xFFFFFu;
+  return static_cast<double>(var) * 2097152.0 + static_cast<double>(mixed);
+}
+
+/// Fill @p buf (resized to the box volume) with @p var's values over @p box.
+void fill_box(std::vector<double>& buf, int var, const Dimensions& global,
+              const Box& box);
+
+/// Count mismatching elements of @p buf against the expected pattern.
+[[nodiscard]] std::size_t verify_box(const std::vector<double>& buf, int var,
+                                     const Dimensions& global, const Box& box);
+
+}  // namespace pmemcpy::wk

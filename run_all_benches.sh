@@ -1,0 +1,10 @@
+#!/bin/sh
+# Runs every benchmark binary (paper figures, ablations, microbenches).
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "===================================================================="
+  echo "== $b"
+  echo "===================================================================="
+  "$b" || echo "BENCH FAILED: $b"
+  echo
+done

@@ -1,0 +1,233 @@
+// miniADIOS: BP-style log-structured parallel writer/reader.
+//
+// Write path (per the paper's description of ADIOS):
+//   1. each process serializes its subarrays (BP records) into a DRAM
+//      staging buffer — the copy pMEMCPY avoids;
+//   2. processes exscan their buffer sizes and each POSIX-writes its log at
+//      an exclusive offset of the shared file (independent I/O, no shuffle);
+//   3. rank 0 gathers per-rank index blocks and writes a footer.
+// Read path: the footer index is read and broadcast; reads POSIX-read the
+// serialized record into DRAM and then unpack-copy into the user buffer
+// (the second pass pMEMCPY's direct deserialization avoids).
+#include "common.hpp"
+
+#include <pmemcpy/serial/bp4.hpp>
+
+#include <cstring>
+#include <map>
+
+namespace miniio {
+
+namespace {
+
+using detail::product;
+using pmemcpy::fs::OpenMode;
+
+struct IndexEntry {
+  std::string name;
+  std::vector<std::uint64_t> global;
+  std::vector<std::uint64_t> offset;
+  std::vector<std::uint64_t> count;
+  std::uint64_t payload_off = 0;
+  std::uint64_t payload_bytes = 0;
+  /// BP "lightweight data characterization": per-block statistics.
+  double min = 0, max = 0;
+
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(name, global, offset, count, payload_off, payload_bytes, min, max);
+  }
+
+  [[nodiscard]] Box box() const {
+    return Box(Dimensions(offset.begin(), offset.end()),
+               Dimensions(count.begin(), count.end()));
+  }
+};
+
+class AdiosWriter final : public Writer {
+ public:
+  AdiosWriter(pmemcpy::PmemNode& node, std::string path,
+              pmemcpy::par::Comm& comm)
+      : fs_(&node.fs()), path_(std::move(path)), comm_(&comm) {
+    if (comm_->rank() == 0) {
+      file_ = fs_->open(path_, OpenMode::kTruncate);
+    }
+    comm_->barrier();
+    if (comm_->rank() != 0) {
+      file_ = fs_->open(path_, OpenMode::kWrite);
+    }
+  }
+
+  void write(const std::string& name, const double* data, const Box& local,
+             const Dimensions& global) override {
+    pmemcpy::serial::VarMeta meta;
+    meta.dtype = pmemcpy::serial::DType::kF64;
+    meta.serializer = pmemcpy::serial::SerializerId::kBp4;
+    meta.payload_bytes = local.elements() * sizeof(double);
+    meta.global.assign(global.begin(), global.end());
+    meta.offset.assign(local.offset.begin(), local.offset.end());
+    meta.count.assign(local.count.begin(), local.count.end());
+
+    // BP data characterization: a statistics pass over the block.
+    const std::size_t nelems = local.elements();
+    double mn = nelems > 0 ? data[0] : 0.0;
+    double mx = mn;
+    for (std::size_t i = 1; i < nelems; ++i) {
+      mn = std::min(mn, data[i]);
+      mx = std::max(mx, data[i]);
+    }
+    pmemcpy::sim::ctx().charge_cpu_copy(meta.payload_bytes);
+
+    // Stage into the in-DRAM log (the serialization copy).
+    pmemcpy::serial::bp4_write_header(log_, meta);
+    IndexEntry e;
+    e.name = name;
+    e.global = meta.global;
+    e.offset = meta.offset;
+    e.count = meta.count;
+    e.payload_off = log_.tell();  // log-relative; rebased in close()
+    e.payload_bytes = meta.payload_bytes;
+    e.min = mn;
+    e.max = mx;
+    log_.write(data, meta.payload_bytes);
+    index_.push_back(std::move(e));
+  }
+
+  void close() override {
+    const std::uint64_t my_bytes = log_.bytes().size();
+    const std::uint64_t my_off = comm_->exscan_sum(my_bytes);
+    const std::uint64_t total = comm_->allreduce_sum(my_bytes);
+
+    if (my_bytes > 0) {
+      fs_->pwrite(file_, log_.bytes().data(), my_bytes, my_off);
+    }
+    for (auto& e : index_) e.payload_off += my_off;
+
+    // Gather index blocks to rank 0.
+    pmemcpy::serial::BufferSink blob;
+    {
+      pmemcpy::serial::BinaryWriter w(blob);
+      w(index_);
+    }
+    const std::uint64_t blob_bytes = blob.bytes().size();
+    std::vector<std::uint64_t> sizes(
+        static_cast<std::size_t>(comm_->size()));
+    comm_->allgather(&blob_bytes, sizeof(blob_bytes), sizes.data());
+    std::vector<std::size_t> counts(sizes.begin(), sizes.end());
+    std::vector<std::size_t> displs(counts.size(), 0);
+    for (std::size_t i = 1; i < counts.size(); ++i) {
+      displs[i] = displs[i - 1] + counts[i - 1];
+    }
+    std::vector<std::byte> gathered;
+    if (comm_->rank() == 0) {
+      gathered.resize(displs.back() + counts.back());
+    }
+    comm_->gatherv(blob.bytes().data(), blob_bytes, gathered.data(), counts,
+                   displs, 0);
+
+    if (comm_->rank() == 0) {
+      pmemcpy::serial::BufferSink footer;
+      pmemcpy::serial::BinaryWriter w(footer);
+      w(static_cast<std::uint64_t>(comm_->size()));
+      for (std::size_t r = 0; r < counts.size(); ++r) {
+        w(static_cast<std::uint64_t>(counts[r]));
+        footer.write(gathered.data() + displs[r], counts[r]);
+      }
+      detail::write_footer(*fs_, file_, total, footer.bytes());
+    }
+    comm_->barrier();
+  }
+
+ private:
+  pmemcpy::fs::FileSystem* fs_;
+  std::string path_;
+  pmemcpy::par::Comm* comm_;
+  pmemcpy::fs::File file_;
+  pmemcpy::serial::BufferSink log_;
+  std::vector<IndexEntry> index_;
+};
+
+class AdiosReader final : public Reader {
+ public:
+  AdiosReader(pmemcpy::PmemNode& node, std::string path,
+              pmemcpy::par::Comm& comm)
+      : fs_(&node.fs()), comm_(&comm) {
+    file_ = fs_->open(path, OpenMode::kRead);
+    std::vector<std::byte> footer;
+    std::uint64_t len = 0;
+    if (comm_->rank() == 0) {
+      footer = detail::read_footer(*fs_, file_);
+      len = footer.size();
+    }
+    comm_->bcast(&len, sizeof(len), 0);
+    footer.resize(len);
+    comm_->bcast(footer.data(), len, 0);
+
+    pmemcpy::serial::BufferSource src(footer);
+    pmemcpy::serial::BinaryReader r(src);
+    std::uint64_t nblocks = 0;
+    r(nblocks);
+    for (std::uint64_t b = 0; b < nblocks; ++b) {
+      std::uint64_t blob_len = 0;
+      r(blob_len);
+      std::vector<IndexEntry> block;
+      r(block);
+      for (auto& e : block) index_.push_back(std::move(e));
+    }
+  }
+
+  Dimensions dims(const std::string& name) override {
+    for (const auto& e : index_) {
+      if (e.name == name) return Dimensions(e.global.begin(), e.global.end());
+    }
+    throw pmemcpy::fs::FsError("miniADIOS: unknown variable: " + name);
+  }
+
+  void read(const std::string& name, double* data, const Box& local) override {
+    auto& c = pmemcpy::sim::ctx();
+    std::size_t covered = 0;
+    for (const auto& e : index_) {
+      if (e.name != name) continue;
+      const Box pbox = e.box();
+      const Box region = pmemcpy::intersect(local, pbox);
+      if (region.empty()) continue;
+      // POSIX-read the serialized record into DRAM...
+      staging_.resize(e.payload_bytes);
+      fs_->pread(file_, staging_.data(), e.payload_bytes, e.payload_off);
+      // ...then deserialize (a second copy) into the user buffer.
+      pmemcpy::copy_box_region(reinterpret_cast<std::byte*>(data), local,
+                               staging_.data(), pbox, region,
+                               sizeof(double));
+      c.charge_cpu_copy(region.elements() * sizeof(double));
+      covered += region.elements();
+    }
+    if (covered < local.elements()) {
+      throw pmemcpy::fs::FsError("miniADIOS: region not covered: " + name);
+    }
+  }
+
+  void close() override { comm_->barrier(); }
+
+ private:
+  pmemcpy::fs::FileSystem* fs_;
+  pmemcpy::par::Comm* comm_;
+  pmemcpy::fs::File file_;
+  std::vector<IndexEntry> index_;
+  std::vector<std::byte> staging_;
+};
+
+}  // namespace
+
+std::unique_ptr<Writer> make_adios_writer(pmemcpy::PmemNode& node,
+                                          const std::string& path,
+                                          pmemcpy::par::Comm& comm) {
+  return std::make_unique<AdiosWriter>(node, path, comm);
+}
+
+std::unique_ptr<Reader> make_adios_reader(pmemcpy::PmemNode& node,
+                                          const std::string& path,
+                                          pmemcpy::par::Comm& comm) {
+  return std::make_unique<AdiosReader>(node, path, comm);
+}
+
+}  // namespace miniio

@@ -1,0 +1,216 @@
+#include <miniio/adios1.hpp>
+
+#include "common.hpp"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace miniadios1 {
+
+namespace {
+
+using pmemcpy::Box;
+using pmemcpy::Dimensions;
+
+/// An array variable's shape, expressed in scalar-variable names.
+struct VarSpec {
+  std::vector<std::string> global;
+  std::vector<std::string> offset;
+  std::vector<std::string> count;
+};
+
+struct Stream {
+  std::unique_ptr<miniio::Writer> writer;
+  std::unique_ptr<miniio::Reader> reader;
+  std::map<std::string, std::size_t> scalars;
+};
+
+struct Context {
+  pmemcpy::PmemNode* node = nullptr;
+  std::map<std::string, VarSpec> vars;
+  std::map<std::int64_t, std::unique_ptr<Stream>> streams;
+  std::int64_t next_handle = 1;
+};
+
+std::mutex g_mu;
+Context g_ctx;
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string part;
+  while (std::getline(ss, part, sep)) {
+    if (!part.empty()) out.push_back(part);
+  }
+  return out;
+}
+
+/// "A=dimsf/offset/count;V=g0,g1/o0,o1/c0,c1"
+bool parse_config(const std::string& spec,
+                  std::map<std::string, VarSpec>* out) {
+  for (const auto& entry : split(spec, ';')) {
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string name = entry.substr(0, eq);
+    const auto parts = split(entry.substr(eq + 1), '/');
+    if (parts.size() != 3) return false;
+    VarSpec v;
+    v.global = split(parts[0], ',');
+    v.offset = split(parts[1], ',');
+    v.count = split(parts[2], ',');
+    if (v.global.empty() || v.global.size() != v.offset.size() ||
+        v.global.size() != v.count.size()) {
+      return false;
+    }
+    (*out)[name] = std::move(v);
+  }
+  return true;
+}
+
+/// Resolve a VarSpec against the scalars written so far.
+bool resolve(const Stream& st, const VarSpec& spec, Dimensions* global,
+             Box* box) {
+  const std::size_t nd = spec.global.size();
+  global->resize(nd);
+  box->offset.resize(nd);
+  box->count.resize(nd);
+  for (std::size_t d = 0; d < nd; ++d) {
+    const auto g = st.scalars.find(spec.global[d]);
+    const auto o = st.scalars.find(spec.offset[d]);
+    const auto c = st.scalars.find(spec.count[d]);
+    if (g == st.scalars.end() || o == st.scalars.end() ||
+        c == st.scalars.end()) {
+      return false;
+    }
+    (*global)[d] = g->second;
+    box->offset[d] = o->second;
+    box->count[d] = c->second;
+  }
+  return true;
+}
+
+}  // namespace
+
+int adios_init(const char* config_spec, pmemcpy::PmemNode& node) {
+  std::lock_guard lk(g_mu);
+  g_ctx.node = &node;
+  g_ctx.vars.clear();
+  if (config_spec != nullptr && config_spec[0] != '\0' &&
+      !parse_config(config_spec, &g_ctx.vars)) {
+    return -1;
+  }
+  return 0;
+}
+
+int adios_finalize(int) {
+  std::lock_guard lk(g_mu);
+  if (!g_ctx.streams.empty()) return -1;  // leaked handles
+  g_ctx.node = nullptr;
+  g_ctx.vars.clear();
+  return 0;
+}
+
+int adios_open(std::int64_t* handle, const char*, const char* path,
+               const char* mode, pmemcpy::par::Comm& comm) {
+  pmemcpy::PmemNode* node;
+  {
+    std::lock_guard lk(g_mu);
+    node = g_ctx.node;
+  }
+  if (node == nullptr || handle == nullptr || mode == nullptr) return -1;
+  try {
+    auto st = std::make_unique<Stream>();
+    if (std::strcmp(mode, "w") == 0) {
+      st->writer = miniio::make_adios_writer(*node, path, comm);
+    } else if (std::strcmp(mode, "r") == 0) {
+      st->reader = miniio::make_adios_reader(*node, path, comm);
+    } else {
+      return -1;
+    }
+    std::lock_guard lk(g_mu);
+    *handle = g_ctx.next_handle++;
+    g_ctx.streams[*handle] = std::move(st);
+    return 0;
+  } catch (...) {
+    return -1;
+  }
+}
+
+int adios_write(std::int64_t handle, const char* name, const void* data) {
+  Stream* st;
+  VarSpec spec;
+  bool is_array;
+  {
+    std::lock_guard lk(g_mu);
+    const auto it = g_ctx.streams.find(handle);
+    if (it == g_ctx.streams.end()) return -1;
+    st = it->second.get();
+    const auto vit = g_ctx.vars.find(name);
+    is_array = vit != g_ctx.vars.end();
+    if (is_array) spec = vit->second;
+  }
+  if (!is_array) {
+    // Scalars (dimensions bookkeeping), as in the paper's listing.
+    std::size_t v;
+    std::memcpy(&v, data, sizeof(v));
+    st->scalars[name] = v;
+    return 0;
+  }
+  if (!st->writer) return -1;
+  Dimensions global;
+  Box box;
+  if (!resolve(*st, spec, &global, &box)) return -1;
+  try {
+    st->writer->write(name, static_cast<const double*>(data), box, global);
+    return 0;
+  } catch (...) {
+    return -1;
+  }
+}
+
+int adios_read(std::int64_t handle, const char* name, void* data) {
+  Stream* st;
+  VarSpec spec;
+  {
+    std::lock_guard lk(g_mu);
+    const auto it = g_ctx.streams.find(handle);
+    if (it == g_ctx.streams.end()) return -1;
+    st = it->second.get();
+    const auto vit = g_ctx.vars.find(name);
+    if (vit == g_ctx.vars.end()) return -1;
+    spec = vit->second;
+  }
+  if (!st->reader) return -1;
+  Dimensions global;
+  Box box;
+  if (!resolve(*st, spec, &global, &box)) return -1;
+  try {
+    st->reader->read(name, static_cast<double*>(data), box);
+    return 0;
+  } catch (...) {
+    return -1;
+  }
+}
+
+int adios_close(std::int64_t handle) {
+  std::unique_ptr<Stream> st;
+  {
+    std::lock_guard lk(g_mu);
+    const auto it = g_ctx.streams.find(handle);
+    if (it == g_ctx.streams.end()) return -1;
+    st = std::move(it->second);
+    g_ctx.streams.erase(it);
+  }
+  try {
+    if (st->writer) st->writer->close();
+    if (st->reader) st->reader->close();
+    return 0;
+  } catch (...) {
+    return -1;
+  }
+}
+
+}  // namespace miniadios1

@@ -1,0 +1,68 @@
+// Internal helpers shared by the miniio baselines: footer-based metadata
+// blocks and linear-index algebra over the contiguous layout.
+#pragma once
+
+#include <miniio/miniio.hpp>
+#include <pmemcpy/fs/filesystem.hpp>
+#include <pmemcpy/serial/binary.hpp>
+
+#include <cstdint>
+#include <vector>
+
+namespace miniio::detail {
+
+inline constexpr std::uint64_t kFooterMagic = 0x4d494e49494f4654ull;  // MINIIOFT
+
+/// Append a metadata footer: [bytes][len u64][magic u64].
+void write_footer(pmemcpy::fs::FileSystem& fs, pmemcpy::fs::File file,
+                  std::uint64_t at, const std::vector<std::byte>& bytes);
+
+/// Read the footer written by write_footer (throws if absent/corrupt).
+[[nodiscard]] std::vector<std::byte> read_footer(pmemcpy::fs::FileSystem& fs,
+                                                 pmemcpy::fs::File file);
+
+[[nodiscard]] inline std::size_t product(const Dimensions& dims) {
+  std::size_t n = 1;
+  for (auto d : dims) n *= d;
+  return n;
+}
+
+/// Inverse of row-major linearisation.
+[[nodiscard]] inline Dimensions lin_to_coord(const Dimensions& global,
+                                             std::size_t lin) {
+  Dimensions coord(global.size());
+  for (std::size_t d = global.size(); d-- > 0;) {
+    coord[d] = lin % global[d];
+    lin /= global[d];
+  }
+  return coord;
+}
+
+/// A contiguous run of elements in a variable's global linearisation.
+struct Run {
+  std::uint64_t lin;    ///< global linear element offset
+  std::uint64_t elems;  ///< element count
+};
+
+}  // namespace miniio::detail
+
+namespace miniio {
+
+// Internal factories (defined in adios.cpp / contiguous.cpp).
+std::unique_ptr<Writer> make_adios_writer(pmemcpy::PmemNode& node,
+                                          const std::string& path,
+                                          pmemcpy::par::Comm& comm);
+std::unique_ptr<Reader> make_adios_reader(pmemcpy::PmemNode& node,
+                                          const std::string& path,
+                                          pmemcpy::par::Comm& comm);
+std::unique_ptr<Writer> make_contiguous_writer(pmemcpy::PmemNode& node,
+                                               const std::string& path,
+                                               pmemcpy::par::Comm& comm,
+                                               bool hdf5_overheads,
+                                               bool nofill);
+std::unique_ptr<Reader> make_contiguous_reader(pmemcpy::PmemNode& node,
+                                               const std::string& path,
+                                               pmemcpy::par::Comm& comm,
+                                               bool hdf5_overheads);
+
+}  // namespace miniio

@@ -1,0 +1,27 @@
+#include "common.hpp"
+
+namespace miniio::detail {
+
+void write_footer(pmemcpy::fs::FileSystem& fs, pmemcpy::fs::File file,
+                  std::uint64_t at, const std::vector<std::byte>& bytes) {
+  fs.pwrite(file, bytes.data(), bytes.size(), at);
+  const std::uint64_t trailer[2] = {bytes.size(), kFooterMagic};
+  fs.pwrite(file, trailer, sizeof(trailer), at + bytes.size());
+  fs.fsync(file);
+}
+
+std::vector<std::byte> read_footer(pmemcpy::fs::FileSystem& fs,
+                                   pmemcpy::fs::File file) {
+  const std::uint64_t size = fs.size(file);
+  if (size < 16) throw pmemcpy::fs::FsError("miniio: no footer");
+  std::uint64_t trailer[2] = {};
+  fs.pread(file, trailer, sizeof(trailer), size - 16);
+  if (trailer[1] != kFooterMagic || trailer[0] > size - 16) {
+    throw pmemcpy::fs::FsError("miniio: corrupt footer");
+  }
+  std::vector<std::byte> bytes(trailer[0]);
+  fs.pread(file, bytes.data(), bytes.size(), size - 16 - trailer[0]);
+  return bytes;
+}
+
+}  // namespace miniio::detail

@@ -1,0 +1,264 @@
+#include <miniio/hdf5.hpp>
+
+#include "common.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <variant>
+
+namespace minihdf5 {
+
+namespace {
+
+using pmemcpy::Box;
+using pmemcpy::Dimensions;
+
+struct Plist {
+  h5_plist_class cls;
+  pmemcpy::PmemNode* node = nullptr;
+  pmemcpy::par::Comm* comm = nullptr;
+  Dimensions chunk;  // H5P_DATASET_CREATE only
+};
+
+struct Space {
+  Dimensions dims;
+  Box selection;  // defaults to the whole extent
+};
+
+struct FileH {
+  pmemcpy::PmemNode* node = nullptr;
+  pmemcpy::par::Comm* comm = nullptr;
+  std::unique_ptr<miniio::Writer> writer;  // write mode
+  std::unique_ptr<miniio::Reader> reader;  // read mode
+};
+
+struct Dataset {
+  hid_t file = H5_INVALID;
+  std::string name;
+  Dimensions global;
+  Dimensions chunk;  // empty = contiguous
+};
+
+using Object = std::variant<Plist, Space, std::shared_ptr<FileH>, Dataset>;
+
+std::mutex g_mu;
+std::map<hid_t, Object> g_handles;
+hid_t g_next = 1;
+
+hid_t install(Object obj) {
+  std::lock_guard lk(g_mu);
+  const hid_t id = g_next++;
+  g_handles.emplace(id, std::move(obj));
+  return id;
+}
+
+template <typename T>
+T* lookup(hid_t id) {
+  std::lock_guard lk(g_mu);
+  const auto it = g_handles.find(id);
+  if (it == g_handles.end()) return nullptr;
+  return std::get_if<T>(&it->second);
+}
+
+bool drop(hid_t id) {
+  std::lock_guard lk(g_mu);
+  return g_handles.erase(id) != 0;
+}
+
+}  // namespace
+
+hid_t H5Pcreate(h5_plist_class cls) {
+  Plist p;
+  p.cls = cls;
+  return install(std::move(p));
+}
+
+herr_t H5Pset_fapl_mpio(hid_t plist, pmemcpy::PmemNode& node,
+                        pmemcpy::par::Comm& comm) {
+  auto* p = lookup<Plist>(plist);
+  if (p == nullptr || p->cls != H5P_FILE_ACCESS) return -1;
+  p->node = &node;
+  p->comm = &comm;
+  return 0;
+}
+
+herr_t H5Pset_chunk(hid_t dcpl, int ndims, const hsize_t* dims) {
+  auto* p = lookup<Plist>(dcpl);
+  if (p == nullptr || p->cls != H5P_DATASET_CREATE || ndims < 1 ||
+      dims == nullptr) {
+    return -1;
+  }
+  p->chunk.assign(dims, dims + ndims);
+  return 0;
+}
+
+herr_t H5Pclose(hid_t plist) { return drop(plist) ? 0 : -1; }
+
+hid_t H5Fcreate(const char* path, unsigned flags, hid_t, hid_t fapl) {
+  if ((flags & H5F_ACC_TRUNC) == 0) return H5_INVALID;
+  auto* p = lookup<Plist>(fapl);
+  if (p == nullptr || p->node == nullptr) return H5_INVALID;
+  try {
+    auto fh = std::make_shared<FileH>();
+    fh->node = p->node;
+    fh->comm = p->comm;
+    // HDF5 drives the contiguous engine with its extra staging pass.
+    fh->writer = miniio::make_contiguous_writer(*p->node, path, *p->comm,
+                                                /*hdf5_overheads=*/true,
+                                                /*nofill=*/true);
+    return install(std::move(fh));
+  } catch (...) {
+    return H5_INVALID;
+  }
+}
+
+hid_t H5Fopen(const char* path, unsigned flags, hid_t fapl) {
+  if ((flags & H5F_ACC_RDONLY) == 0) return H5_INVALID;
+  auto* p = lookup<Plist>(fapl);
+  if (p == nullptr || p->node == nullptr) return H5_INVALID;
+  try {
+    auto fh = std::make_shared<FileH>();
+    fh->node = p->node;
+    fh->comm = p->comm;
+    fh->reader = miniio::make_contiguous_reader(*p->node, path, *p->comm,
+                                                /*hdf5_overheads=*/true);
+    return install(std::move(fh));
+  } catch (...) {
+    return H5_INVALID;
+  }
+}
+
+herr_t H5Fclose(hid_t file) {
+  auto* fh = lookup<std::shared_ptr<FileH>>(file);
+  if (fh == nullptr) return -1;
+  try {
+    if ((*fh)->writer) (*fh)->writer->close();
+    if ((*fh)->reader) (*fh)->reader->close();
+  } catch (...) {
+    drop(file);
+    return -1;
+  }
+  drop(file);
+  return 0;
+}
+
+hid_t H5Screate_simple(int ndims, const hsize_t* dims, const hsize_t*) {
+  if (ndims < 1 || dims == nullptr) return H5_INVALID;
+  Space s;
+  s.dims.assign(dims, dims + ndims);
+  s.selection = Box(Dimensions(static_cast<std::size_t>(ndims), 0), s.dims);
+  return install(std::move(s));
+}
+
+herr_t H5Sselect_hyperslab(hid_t space, h5_select_op op, const hsize_t* start,
+                           const hsize_t* stride, const hsize_t* count,
+                           const hsize_t* block) {
+  auto* s = lookup<Space>(space);
+  if (s == nullptr || op != H5S_SELECT_SET || start == nullptr ||
+      count == nullptr) {
+    return -1;
+  }
+  if (stride != nullptr || block != nullptr) return -1;  // unit strides only
+  const std::size_t nd = s->dims.size();
+  s->selection.offset.assign(start, start + nd);
+  s->selection.count.assign(count, count + nd);
+  for (std::size_t d = 0; d < nd; ++d) {
+    if (s->selection.offset[d] + s->selection.count[d] > s->dims[d]) return -1;
+  }
+  return 0;
+}
+
+herr_t H5Sclose(hid_t space) { return drop(space) ? 0 : -1; }
+
+hid_t H5Dcreate(hid_t file, const char* name, h5_type dtype, hid_t filespace,
+                hid_t, hid_t dcpl, hid_t) {
+  if (dtype != H5T_NATIVE_DOUBLE) return H5_INVALID;
+  auto* fh = lookup<std::shared_ptr<FileH>>(file);
+  auto* s = lookup<Space>(filespace);
+  if (fh == nullptr || s == nullptr || !(*fh)->writer) return H5_INVALID;
+  Dataset d;
+  d.file = file;
+  d.name = name;
+  d.global = s->dims;
+  if (auto* cp = lookup<Plist>(dcpl);
+      cp != nullptr && cp->cls == H5P_DATASET_CREATE) {
+    if (!cp->chunk.empty() && cp->chunk.size() != d.global.size()) {
+      return H5_INVALID;
+    }
+    d.chunk = cp->chunk;
+  }
+  return install(std::move(d));
+}
+
+hid_t H5Dopen(hid_t file, const char* name, hid_t) {
+  auto* fh = lookup<std::shared_ptr<FileH>>(file);
+  if (fh == nullptr || !(*fh)->reader) return H5_INVALID;
+  try {
+    Dataset d;
+    d.file = file;
+    d.name = name;
+    d.global = (*fh)->reader->dims(name);
+    return install(std::move(d));
+  } catch (...) {
+    return H5_INVALID;
+  }
+}
+
+hid_t H5Dget_space(hid_t dset) {
+  auto* d = lookup<Dataset>(dset);
+  if (d == nullptr) return H5_INVALID;
+  Space s;
+  s.dims = d->global;
+  s.selection = Box(Dimensions(d->global.size(), 0), d->global);
+  return install(std::move(s));
+}
+
+herr_t H5Dwrite(hid_t dset, h5_type dtype, hid_t memspace, hid_t filespace,
+                hid_t, const void* buf) {
+  if (dtype != H5T_NATIVE_DOUBLE) return -1;
+  auto* d = lookup<Dataset>(dset);
+  if (d == nullptr) return -1;
+  auto* fh = lookup<std::shared_ptr<FileH>>(d->file);
+  auto* fs = lookup<Space>(filespace);
+  if (fh == nullptr || fs == nullptr || !(*fh)->writer) return -1;
+  if (auto* ms = lookup<Space>(memspace); ms != nullptr) {
+    if (ms->selection.elements() != fs->selection.elements()) return -1;
+  }
+  try {
+    (*fh)->writer->set_chunk(d->chunk);  // layout travels with the dataset
+    (*fh)->writer->write(d->name, static_cast<const double*>(buf),
+                         fs->selection, d->global);
+    return 0;
+  } catch (...) {
+    return -1;
+  }
+}
+
+herr_t H5Dread(hid_t dset, h5_type dtype, hid_t memspace, hid_t filespace,
+               hid_t, void* buf) {
+  if (dtype != H5T_NATIVE_DOUBLE) return -1;
+  auto* d = lookup<Dataset>(dset);
+  if (d == nullptr) return -1;
+  auto* fh = lookup<std::shared_ptr<FileH>>(d->file);
+  auto* fs = lookup<Space>(filespace);
+  if (fh == nullptr || fs == nullptr || !(*fh)->reader) return -1;
+  if (auto* ms = lookup<Space>(memspace); ms != nullptr) {
+    if (ms->selection.elements() != fs->selection.elements()) return -1;
+  }
+  try {
+    (*fh)->reader->read(d->name, static_cast<double*>(buf), fs->selection);
+    return 0;
+  } catch (...) {
+    return -1;
+  }
+}
+
+herr_t H5Dclose(hid_t dset) { return drop(dset) ? 0 : -1; }
+
+std::size_t h5_live_handles() {
+  std::lock_guard lk(g_mu);
+  return g_handles.size();
+}
+
+}  // namespace minihdf5

@@ -1,0 +1,282 @@
+#include <pmemcpy/core/backend.hpp>
+
+#include <atomic>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace pmemcpy::detail {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Table store (flat hashtable in a pool)
+// ---------------------------------------------------------------------------
+
+class TablePut final : public Store::Put {
+ public:
+  TablePut(obj::HashTable::Inserter ins, bool keep_existing)
+      : ins_(std::move(ins)), sink_(ins_.value()),
+        keep_existing_(keep_existing) {}
+
+  serial::Sink& sink() override { return sink_; }
+  void commit() override { ins_.publish(keep_existing_); }
+
+ private:
+  obj::HashTable::Inserter ins_;
+  serial::SpanSink sink_;
+  bool keep_existing_;
+};
+
+class TableEntry final : public Store::Entry {
+ public:
+  TableEntry(std::shared_ptr<obj::Pool> pool, obj::ValueRef ref)
+      : pool_(std::move(pool)), ref_(ref) {}
+
+  EntryInfo info() const override { return {ref_.val_size, ref_.meta}; }
+
+  void read(std::uint64_t off, void* dst, std::size_t len) override {
+    if (off + len > ref_.val_size) {
+      throw serial::SerialError("entry read out of range");
+    }
+    pool_->read(ref_.val_off + off, dst, len);
+  }
+
+  const std::byte* direct(std::size_t charge_bytes) override {
+    pool_->charge_read(charge_bytes);
+    return pool_->direct(ref_.val_off);
+  }
+
+ private:
+  std::shared_ptr<obj::Pool> pool_;
+  obj::ValueRef ref_;
+};
+
+class TableStore final : public Store {
+ public:
+  TableStore(std::shared_ptr<obj::Pool> pool,
+             std::shared_ptr<obj::HashTable> table)
+      : pool_(std::move(pool)), table_(std::move(table)) {}
+
+  std::unique_ptr<Put> put(const std::string& key, std::size_t size,
+                           std::uint64_t meta, bool keep_existing) override {
+    return std::make_unique<TablePut>(table_->reserve(key, size, meta),
+                                      keep_existing);
+  }
+
+  std::unique_ptr<Entry> find(const std::string& key) override {
+    auto ref = table_->find(key);
+    if (!ref) return nullptr;
+    return std::make_unique<TableEntry>(pool_, *ref);
+  }
+
+  bool erase(const std::string& key) override { return table_->erase(key); }
+
+  void for_each_prefix(
+      const std::string& prefix,
+      const std::function<void(const std::string&, const EntryInfo&)>& fn)
+      override {
+    table_->for_each_prefix(
+        prefix, [&](std::string_view key, const obj::ValueRef& ref) {
+          fn(std::string(key), EntryInfo{ref.val_size, ref.meta});
+        });
+  }
+
+ private:
+  std::shared_ptr<obj::Pool> pool_;
+  std::shared_ptr<obj::HashTable> table_;
+};
+
+// ---------------------------------------------------------------------------
+// Tree store (hierarchical layout on the DAX filesystem)
+// ---------------------------------------------------------------------------
+
+/// Each entry file starts with its meta word.
+constexpr std::size_t kTreeHeader = 8;
+
+/// Process-wide temp-name counter: rank threads share the filesystem, so
+/// per-store counters would collide.
+std::atomic<std::uint64_t> g_tmp_seq{0};
+
+class TreePut final : public Store::Put {
+ public:
+  /// Writes land in a unique temp file; commit() renames it over the final
+  /// path, so concurrent same-key puts (e.g. every rank storing the same
+  /// "#dims" entry) last-write-win instead of racing on one inode.
+  TreePut(fs::FileSystem& fs, fs::Mapping mapping, std::string tmp_path,
+          std::string final_path, std::uint64_t meta, std::size_t size,
+          bool keep_existing)
+      : fs_(&fs),
+        mapping_(std::move(mapping)),
+        tmp_path_(std::move(tmp_path)),
+        final_path_(std::move(final_path)),
+        sink_(mapping_, kTreeHeader),
+        size_(size),
+        keep_existing_(keep_existing) {
+    mapping_.store(0, &meta, sizeof(meta));
+  }
+
+  ~TreePut() override {
+    if (!committed_ && fs_->exists(tmp_path_)) fs_->remove(tmp_path_);
+  }
+
+  serial::Sink& sink() override { return sink_; }
+
+  void commit() override {
+    mapping_.persist(0, kTreeHeader + size_);
+    fs_->rename(tmp_path_, final_path_, /*replace=*/!keep_existing_);
+    committed_ = true;
+  }
+
+ private:
+  fs::FileSystem* fs_;
+  fs::Mapping mapping_;
+  std::string tmp_path_;
+  std::string final_path_;
+  serial::MappingSink sink_;
+  std::size_t size_;
+  bool keep_existing_;
+  bool committed_ = false;
+};
+
+class TreeEntry final : public Store::Entry {
+ public:
+  TreeEntry(fs::Mapping mapping) : mapping_(std::move(mapping)) {
+    std::uint64_t meta = 0;
+    // Header load is metadata-sized; charge it as such.
+    mapping_.load(0, &meta, sizeof(meta));
+    info_ = EntryInfo{mapping_.size() - kTreeHeader, meta};
+  }
+
+  EntryInfo info() const override { return info_; }
+
+  void read(std::uint64_t off, void* dst, std::size_t len) override {
+    if (off + len > info_.size) {
+      throw serial::SerialError("entry read out of range");
+    }
+    mapping_.load(kTreeHeader + off, dst, len);
+  }
+
+  const std::byte* direct(std::size_t charge_bytes) override {
+    try {
+      auto s = mapping_.span(kTreeHeader, info_.size);
+      mapping_.charge_load(charge_bytes);
+      return s.data();
+    } catch (const fs::FsError&) {
+      // Fragmented file: fall back to a charged bounce copy (rare — entry
+      // files are written once into fresh extents).
+      if (bounce_.empty() && info_.size > 0) {
+        bounce_.resize(info_.size);
+        mapping_.load(kTreeHeader, bounce_.data(), info_.size);
+      } else {
+        mapping_.charge_load(charge_bytes);
+      }
+      return bounce_.data();
+    }
+  }
+
+ private:
+  fs::Mapping mapping_;
+  EntryInfo info_;
+  std::vector<std::byte> bounce_;
+};
+
+class TreeStore final : public Store {
+ public:
+  TreeStore(fs::FileSystem& fs, std::string root, bool map_sync)
+      : fs_(&fs), root_(std::move(root)), map_sync_(map_sync) {
+    fs_->mkdirs(root_);
+  }
+
+  std::unique_ptr<Put> put(const std::string& key, std::size_t size,
+                           std::uint64_t meta, bool keep_existing) override {
+    const std::string path = key_path(key);
+    const std::size_t slash = path.rfind('/');
+    if (slash > 0 && slash != std::string::npos) {
+      const std::string dir = path.substr(0, slash);
+      if (!fs_->exists(dir)) fs_->mkdirs(dir);
+    }
+    const std::string tmp =
+        path + ".tmp." +
+        std::to_string(g_tmp_seq.fetch_add(1, std::memory_order_relaxed));
+    auto mapping = fs_->create_mapped(tmp, kTreeHeader + size, map_sync_);
+    return std::make_unique<TreePut>(*fs_, std::move(mapping), tmp, path,
+                                     meta, size, keep_existing);
+  }
+
+  std::unique_ptr<Entry> find(const std::string& key) override {
+    const std::string path = key_path(key);
+    if (!fs_->exists(path)) return nullptr;
+    auto f = fs_->open(path, fs::OpenMode::kRead);
+    return std::make_unique<TreeEntry>(fs_->map(f, map_sync_));
+  }
+
+  bool erase(const std::string& key) override {
+    const std::string path = key_path(key);
+    if (!fs_->exists(path)) return false;
+    fs_->remove(path);
+    return true;
+  }
+
+  void for_each_prefix(
+      const std::string& prefix,
+      const std::function<void(const std::string&, const EntryInfo&)>& fn)
+      override {
+    walk("", root_, prefix, fn);
+  }
+
+ private:
+  [[nodiscard]] std::string key_path(const std::string& key) const {
+    return root_ + "/" + key;
+  }
+
+  /// Recursive directory walk visiting every entry whose key starts with
+  /// @p prefix.  Descends only into directories that can contain matches.
+  void walk(const std::string& key_so_far, const std::string& dir,
+            const std::string& prefix,
+            const std::function<void(const std::string&, const EntryInfo&)>&
+                fn) {
+    if (!fs_->exists(dir)) return;
+    for (const auto& name : fs_->list(dir)) {
+      if (name.find(".tmp.") != std::string::npos) continue;  // in-flight
+      const std::string key =
+          key_so_far.empty() ? name : key_so_far + "/" + name;
+      const std::string path = dir + "/" + name;
+      if (fs_->is_dir(path)) {
+        const std::string key_dir = key + "/";
+        const std::size_t n = std::min(key_dir.size(), prefix.size());
+        if (key_dir.compare(0, n, prefix, 0, n) == 0) {
+          walk(key, path, prefix, fn);
+        }
+        continue;
+      }
+      if (key.size() < prefix.size() ||
+          key.compare(0, prefix.size(), prefix) != 0) {
+        continue;
+      }
+      auto f = fs_->open(path, fs::OpenMode::kRead);
+      auto m = fs_->map(f, map_sync_);
+      std::uint64_t meta = 0;
+      m.load(0, &meta, sizeof(meta));
+      fn(key, EntryInfo{m.size() - kTreeHeader, meta});
+    }
+  }
+
+  fs::FileSystem* fs_;
+  std::string root_;
+  bool map_sync_;
+};
+
+}  // namespace
+
+std::unique_ptr<Store> make_table_store(
+    std::shared_ptr<obj::Pool> pool, std::shared_ptr<obj::HashTable> table) {
+  return std::make_unique<TableStore>(std::move(pool), std::move(table));
+}
+
+std::unique_ptr<Store> make_tree_store(fs::FileSystem& fs, std::string root,
+                                       bool map_sync) {
+  return std::make_unique<TreeStore>(fs, std::move(root), map_sync);
+}
+
+}  // namespace pmemcpy::detail

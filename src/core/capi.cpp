@@ -1,0 +1,200 @@
+// C API implementation: thin dispatch onto the C++ library with exceptions
+// mapped to status codes and a per-handle error string.
+#include <pmemcpy/pmemcpy.h>
+#include <pmemcpy/pmemcpy.hpp>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+struct pmemcpy_node {
+  pmemcpy::PmemNode impl;
+  explicit pmemcpy_node(pmemcpy::PmemNode::Options o) : impl(o) {}
+};
+
+struct pmemcpy_pmem {
+  pmemcpy::PMEM impl;
+  std::string last_error;
+};
+
+namespace {
+
+using pmemcpy::serial::DType;
+
+/// Run @p fn, mapping C++ exceptions to C status codes.
+template <typename Fn>
+pmemcpy_status guarded(pmemcpy_pmem* pmem, Fn&& fn) {
+  try {
+    fn();
+    return PMEMCPY_OK;
+  } catch (const pmemcpy::KeyError& e) {
+    pmem->last_error = e.what();
+    return PMEMCPY_ERR_KEY;
+  } catch (const pmemcpy::TypeError& e) {
+    pmem->last_error = e.what();
+    return PMEMCPY_ERR_TYPE;
+  } catch (const pmemcpy::StateError& e) {
+    pmem->last_error = e.what();
+    return PMEMCPY_ERR_STATE;
+  } catch (const std::exception& e) {
+    pmem->last_error = e.what();
+    return PMEMCPY_ERR_OTHER;
+  }
+}
+
+/// Invoke fn.template operator()<T>() for the element type of @p dtype.
+template <typename Fn>
+void with_dtype(pmemcpy_dtype dtype, Fn&& fn) {
+  switch (dtype) {
+    case PMEMCPY_U8: fn.template operator()<std::uint8_t>(); return;
+    case PMEMCPY_I8: fn.template operator()<std::int8_t>(); return;
+    case PMEMCPY_U16: fn.template operator()<std::uint16_t>(); return;
+    case PMEMCPY_I16: fn.template operator()<std::int16_t>(); return;
+    case PMEMCPY_U32: fn.template operator()<std::uint32_t>(); return;
+    case PMEMCPY_I32: fn.template operator()<std::int32_t>(); return;
+    case PMEMCPY_U64: fn.template operator()<std::uint64_t>(); return;
+    case PMEMCPY_I64: fn.template operator()<std::int64_t>(); return;
+    case PMEMCPY_F32: fn.template operator()<float>(); return;
+    case PMEMCPY_F64: fn.template operator()<double>(); return;
+  }
+  throw pmemcpy::TypeError("pmemcpy C API: unknown dtype");
+}
+
+}  // namespace
+
+extern "C" {
+
+pmemcpy_node* pmemcpy_node_create(size_t capacity) {
+  try {
+    pmemcpy::PmemNode::Options o;
+    if (capacity != 0) o.capacity = capacity;
+    return new pmemcpy_node(o);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void pmemcpy_node_destroy(pmemcpy_node* node) {
+  if (pmemcpy::PmemNode::default_node() == &node->impl) {
+    pmemcpy::PmemNode::set_default(nullptr);
+  }
+  delete node;
+}
+
+void pmemcpy_node_set_default(pmemcpy_node* node) {
+  pmemcpy::PmemNode::set_default(node != nullptr ? &node->impl : nullptr);
+}
+
+pmemcpy_pmem* pmemcpy_create(void) { return new (std::nothrow) pmemcpy_pmem; }
+
+void pmemcpy_destroy(pmemcpy_pmem* pmem) { delete pmem; }
+
+const char* pmemcpy_last_error(const pmemcpy_pmem* pmem) {
+  return pmem->last_error.c_str();
+}
+
+pmemcpy_status pmemcpy_mmap(pmemcpy_pmem* pmem, const char* filename) {
+  return guarded(pmem, [&] { pmem->impl.mmap(filename); });
+}
+
+pmemcpy_status pmemcpy_munmap(pmemcpy_pmem* pmem) {
+  return guarded(pmem, [&] { pmem->impl.munmap(); });
+}
+
+pmemcpy_status pmemcpy_alloc(pmemcpy_pmem* pmem, const char* id,
+                             pmemcpy_dtype dtype, int ndims,
+                             const size_t* dims) {
+  return guarded(pmem, [&] {
+    with_dtype(dtype, [&]<typename T>() {
+      pmem->impl.alloc<T>(id, ndims, dims);
+    });
+  });
+}
+
+pmemcpy_status pmemcpy_store(pmemcpy_pmem* pmem, const char* id,
+                             pmemcpy_dtype dtype, const void* data, int ndims,
+                             const size_t* offsets, const size_t* dimspp) {
+  return guarded(pmem, [&] {
+    with_dtype(dtype, [&]<typename T>() {
+      pmem->impl.store<T>(id, static_cast<const T*>(data), ndims, offsets,
+                          dimspp);
+    });
+  });
+}
+
+pmemcpy_status pmemcpy_load(pmemcpy_pmem* pmem, const char* id,
+                            pmemcpy_dtype dtype, void* data, int ndims,
+                            const size_t* offsets, const size_t* dimspp) {
+  return guarded(pmem, [&] {
+    with_dtype(dtype, [&]<typename T>() {
+      pmem->impl.load<T>(id, static_cast<T*>(data), ndims, offsets, dimspp);
+    });
+  });
+}
+
+pmemcpy_status pmemcpy_load_dims(pmemcpy_pmem* pmem, const char* id,
+                                 int* ndims, size_t* dims) {
+  return guarded(pmem, [&] { pmem->impl.load_dims(id, ndims, dims); });
+}
+
+pmemcpy_status pmemcpy_store_f64(pmemcpy_pmem* pmem, const char* id,
+                                 double v) {
+  return guarded(pmem, [&] { pmem->impl.store(id, v); });
+}
+
+pmemcpy_status pmemcpy_load_f64(pmemcpy_pmem* pmem, const char* id,
+                                double* v) {
+  return guarded(pmem, [&] { pmem->impl.load(id, *v); });
+}
+
+pmemcpy_status pmemcpy_store_i64(pmemcpy_pmem* pmem, const char* id,
+                                 int64_t v) {
+  return guarded(pmem, [&] { pmem->impl.store(id, v); });
+}
+
+pmemcpy_status pmemcpy_load_i64(pmemcpy_pmem* pmem, const char* id,
+                                int64_t* v) {
+  return guarded(pmem, [&] { pmem->impl.load(id, *v); });
+}
+
+pmemcpy_status pmemcpy_store_bytes(pmemcpy_pmem* pmem, const char* id,
+                                   const void* data, size_t len) {
+  return guarded(pmem, [&] {
+    std::vector<std::uint8_t> v(static_cast<const std::uint8_t*>(data),
+                                static_cast<const std::uint8_t*>(data) + len);
+    pmem->impl.store(id, v);
+  });
+}
+
+pmemcpy_status pmemcpy_bytes_size(pmemcpy_pmem* pmem, const char* id,
+                                  size_t* len) {
+  return guarded(pmem, [&] {
+    const auto v = pmem->impl.load<std::vector<std::uint8_t>>(id);
+    *len = v.size();
+  });
+}
+
+pmemcpy_status pmemcpy_load_bytes(pmemcpy_pmem* pmem, const char* id,
+                                  void* data, size_t len) {
+  return guarded(pmem, [&] {
+    const auto v = pmem->impl.load<std::vector<std::uint8_t>>(id);
+    if (v.size() != len) {
+      throw pmemcpy::TypeError("pmemcpy C API: buffer length mismatch");
+    }
+    std::memcpy(data, v.data(), len);
+  });
+}
+
+int pmemcpy_exists(pmemcpy_pmem* pmem, const char* id) {
+  try {
+    return pmem->impl.exists(id) ? 1 : 0;
+  } catch (...) {
+    return 0;
+  }
+}
+
+pmemcpy_status pmemcpy_remove(pmemcpy_pmem* pmem, const char* id) {
+  return guarded(pmem, [&] { pmem->impl.remove(id); });
+}
+
+}  // extern "C"

@@ -1,0 +1,327 @@
+#include <pmemcpy/pmemcpy.hpp>
+
+#include <pmemcpy/serial/capnp.hpp>
+
+#include <algorithm>
+
+namespace pmemcpy {
+
+namespace detail {
+
+std::uint64_t pack_meta(EntryKind kind, serial::DType dtype,
+                        serial::SerializerId ser, serial::FilterId filter) {
+  return static_cast<std::uint64_t>(kind) |
+         (static_cast<std::uint64_t>(dtype) << 8) |
+         (static_cast<std::uint64_t>(ser) << 16) |
+         (static_cast<std::uint64_t>(filter) << 24);
+}
+
+void unpack_meta(std::uint64_t meta, EntryKind* kind, serial::DType* dtype,
+                 serial::SerializerId* ser, serial::FilterId* filter) {
+  *kind = static_cast<EntryKind>(meta & 0xFF);
+  *dtype = static_cast<serial::DType>((meta >> 8) & 0xFF);
+  *ser = static_cast<serial::SerializerId>((meta >> 16) & 0xFF);
+  if (filter != nullptr) {
+    *filter = static_cast<serial::FilterId>((meta >> 24) & 0xFF);
+  }
+}
+
+std::string dims_key(const std::string& id) { return id + "#dims"; }
+
+std::string piece_prefix(const std::string& id) { return id + "#p:"; }
+
+std::string piece_key(const std::string& id, const Box& box) {
+  return piece_prefix(id) + box_to_string(box);
+}
+
+std::string attr_prefix(const std::string& id) { return id + "#attr:"; }
+
+std::string attr_key(const std::string& id, const std::string& name) {
+  return attr_prefix(id) + name;
+}
+
+std::size_t blob_header_size(serial::SerializerId ser, std::uint32_t ndims) {
+  switch (ser) {
+    case serial::SerializerId::kBp4:
+      return serial::bp4_header_size(ndims);
+    case serial::SerializerId::kBinary:
+      // Scalars are headerless archive payloads; array pieces carry three
+      // vector<u64> fields: varint length (ndims < 128) + raw data.
+      return ndims == 0 ? 0
+                        : static_cast<std::size_t>(3) * (1 + 8 * ndims);
+    case serial::SerializerId::kRaw:
+      return 0;
+    case serial::SerializerId::kCapnp:
+      return serial::capnp_header_size(ndims);
+  }
+  throw TypeError("pmemcpy: unknown serializer");
+}
+
+void write_blob_header(serial::Sink& sink, serial::SerializerId ser,
+                       serial::DType dtype, std::uint64_t payload_bytes,
+                       const Dimensions& global, const Box& box) {
+  switch (ser) {
+    case serial::SerializerId::kBp4: {
+      serial::VarMeta meta;
+      meta.dtype = dtype;
+      meta.serializer = ser;
+      meta.payload_bytes = payload_bytes;
+      meta.global.assign(global.begin(), global.end());
+      meta.offset.assign(box.offset.begin(), box.offset.end());
+      meta.count.assign(box.count.begin(), box.count.end());
+      // A scalar record carries no dimensions.
+      if (meta.global.size() != meta.offset.size()) {
+        meta.global.resize(meta.offset.size());
+      }
+      serial::bp4_write_header(sink, meta);
+      return;
+    }
+    case serial::SerializerId::kBinary: {
+      if (box.ndims() == 0) return;  // scalars: headerless archive payload
+      serial::BinaryWriter w(sink);
+      std::vector<std::uint64_t> g(global.begin(), global.end());
+      std::vector<std::uint64_t> o(box.offset.begin(), box.offset.end());
+      std::vector<std::uint64_t> c(box.count.begin(), box.count.end());
+      g.resize(o.size());
+      w(g, o, c);
+      return;
+    }
+    case serial::SerializerId::kRaw:
+      return;
+    case serial::SerializerId::kCapnp: {
+      serial::VarMeta meta;
+      meta.dtype = dtype;
+      meta.payload_bytes = payload_bytes;
+      meta.global.assign(global.begin(), global.end());
+      meta.offset.assign(box.offset.begin(), box.offset.end());
+      meta.count.assign(box.count.begin(), box.count.end());
+      if (meta.global.size() != meta.offset.size()) {
+        meta.global.resize(meta.offset.size());
+      }
+      serial::capnp_write_header(sink, meta);
+      return;
+    }
+  }
+  throw TypeError("pmemcpy: unknown serializer");
+}
+
+}  // namespace detail
+
+namespace {
+
+std::string sanitize_pool_name(const std::string& filename) {
+  std::string out = filename;
+  std::replace(out.begin(), out.end(), '/', '_');
+  return out;
+}
+
+std::string fs_root_for(const std::string& filename) {
+  return filename.empty() || filename[0] != '/' ? "/" + filename : filename;
+}
+
+}  // namespace
+
+void PMEM::do_mmap(const std::string& filename, par::Comm* comm) {
+  if (store_) throw StateError("pmemcpy: already mapped");
+  node_ = cfg_.node != nullptr ? cfg_.node : PmemNode::default_node();
+  if (node_ == nullptr) {
+    throw StateError(
+        "pmemcpy: no PmemNode (create one and PmemNode::set_default it, or "
+        "set Config::node)");
+  }
+  comm_ = comm;
+  const bool leader = comm == nullptr || comm->rank() == 0;
+
+  if (cfg_.layout == Layout::kHashTable) {
+    const std::string pname = sanitize_pool_name(filename);
+    obj::PoolOptions popts{cfg_.map_sync};
+    std::shared_ptr<obj::Pool> pool;
+    if (leader) {
+      pool = node_->open_or_create_pool(pname, cfg_.pool_size, popts);
+      pool->set_map_sync(cfg_.map_sync);
+      if (pool->root() == 0) {
+        auto table = obj::HashTable::create(*pool, cfg_.nbuckets);
+        pool->set_root(table.header_off());
+      }
+    }
+    if (comm != nullptr) comm->barrier();
+    if (!leader) pool = node_->open_pool(pname, popts);
+    pool_ = pool;
+    table_ = node_->table_for(pool_, pool_->root());
+    table_->set_auto_grow(cfg_.auto_grow_table);
+    store_ = detail::make_table_store(pool_, table_);
+  } else {
+    const std::string root = fs_root_for(filename);
+    if (leader && !node_->fs().exists(root)) node_->fs().mkdirs(root);
+    if (comm != nullptr) comm->barrier();
+    store_ = detail::make_tree_store(node_->fs(), root, cfg_.map_sync);
+  }
+  if (comm != nullptr) comm->barrier();
+}
+
+void PMEM::munmap() {
+  if (!store_) throw StateError("pmemcpy: not mapped");
+  if (comm_ != nullptr) comm_->barrier();
+  piece_cache_.clear();
+  store_.reset();
+  table_.reset();
+  pool_.reset();
+  comm_ = nullptr;
+  node_ = nullptr;
+}
+
+void PMEM::put_dims(const std::string& id, serial::DType dtype,
+                    const Dimensions& dims) {
+  // Every rank stores the array's dimensions (the paper's automatic "#dims"
+  // entry), so make the operation idempotent: identical content is skipped,
+  // and concurrent first writes are first-writer-wins.
+  {
+    serial::DType existing_dt;
+    Dimensions existing;
+    if (get_dims(id, &existing_dt, &existing) && existing_dt == dtype &&
+        existing == dims) {
+      return;
+    }
+  }
+  serial::CountingSink counter;
+  std::vector<std::uint64_t> d64(dims.begin(), dims.end());
+  {
+    serial::BinaryWriter w(counter);
+    w(static_cast<std::uint8_t>(dtype), d64);
+  }
+  auto put = store_ref().put(
+      detail::dims_key(id), counter.tell(),
+      detail::pack_meta(detail::EntryKind::kDims, dtype,
+                        serial::SerializerId::kBinary),
+      /*keep_existing=*/true);
+  serial::BinaryWriter w(put->sink());
+  w(static_cast<std::uint8_t>(dtype), d64);
+  put->commit();
+}
+
+bool PMEM::get_dims(const std::string& id, serial::DType* dtype,
+                    Dimensions* dims) {
+  auto entry = store_ref().find(detail::dims_key(id));
+  if (!entry) return false;
+  const auto info = entry->info();
+  const std::byte* blob = entry->direct(info.size);
+  serial::SpanSource src({blob, info.size});
+  serial::BinaryReader r(src);
+  std::uint8_t dt = 0;
+  std::vector<std::uint64_t> d64;
+  r(dt, d64);
+  *dtype = static_cast<serial::DType>(dt);
+  dims->assign(d64.begin(), d64.end());
+  return true;
+}
+
+void PMEM::load_dims(const std::string& id, int* ndims, std::size_t* dims) {
+  serial::DType dtype;
+  Dimensions d;
+  if (!get_dims(id, &dtype, &d)) throw KeyError(detail::dims_key(id));
+  *ndims = static_cast<int>(d.size());
+  std::copy(d.begin(), d.end(), dims);
+}
+
+Dimensions PMEM::load_dims(const std::string& id) {
+  serial::DType dtype;
+  Dimensions d;
+  if (!get_dims(id, &dtype, &d)) throw KeyError(detail::dims_key(id));
+  return d;
+}
+
+bool PMEM::exists(const std::string& id) {
+  auto& st = store_ref();
+  if (st.find(id) != nullptr) return true;
+  return st.find(detail::dims_key(id)) != nullptr;
+}
+
+std::vector<std::string> PMEM::ids() {
+  std::vector<std::string> out;
+  store_ref().for_each_prefix(
+      "", [&](const std::string& key, const detail::EntryInfo&) {
+        std::string id = key;
+        if (const auto p = id.find("#p:"); p != std::string::npos) {
+          id.resize(p);
+        } else if (const auto a = id.find("#attr:"); a != std::string::npos) {
+          id.resize(a);
+        } else if (id.size() >= 5 && id.ends_with("#dims")) {
+          id.resize(id.size() - 5);
+        }
+        if (std::find(out.begin(), out.end(), id) == out.end()) {
+          out.push_back(id);
+        }
+      });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void PMEM::for_each_raw(
+    const std::function<void(const std::string&, std::span<const std::byte>,
+                             std::uint64_t)>& fn) {
+  auto& st = store_ref();
+  std::vector<std::string> keys;
+  st.for_each_prefix("",
+                     [&](const std::string& key, const detail::EntryInfo&) {
+                       keys.push_back(key);
+                     });
+  for (const auto& key : keys) {
+    auto entry = st.find(key);
+    if (!entry) continue;
+    const auto info = entry->info();
+    const std::byte* blob = entry->direct(info.size);
+    fn(key, {blob, info.size}, info.meta);
+  }
+}
+
+void PMEM::import_raw(const std::string& key, std::span<const std::byte> data,
+                      std::uint64_t meta) {
+  auto put = store_ref().put(key, data.size(), meta);
+  put->sink().write(data.data(), data.size());
+  put->commit();
+}
+
+void PMEM::remove(const std::string& id) {
+  auto& st = store_ref();
+  bool any = st.erase(id);
+  any |= st.erase(detail::dims_key(id));
+  std::vector<std::string> pieces;
+  st.for_each_prefix(detail::piece_prefix(id),
+                     [&](const std::string& key, const detail::EntryInfo&) {
+                       pieces.push_back(key);
+                     });
+  for (const auto& key : pieces) any |= st.erase(key);
+  std::vector<std::string> attrs;
+  st.for_each_prefix(detail::attr_prefix(id),
+                     [&](const std::string& key, const detail::EntryInfo&) {
+                       attrs.push_back(key);
+                     });
+  for (const auto& key : attrs) any |= st.erase(key);
+  invalidate_piece_cache(id);
+  if (!any) throw KeyError(id);
+}
+
+std::vector<std::string> PMEM::attributes(const std::string& id) {
+  const std::string prefix = detail::attr_prefix(id);
+  std::vector<std::string> names;
+  store_ref().for_each_prefix(
+      prefix, [&](const std::string& key, const detail::EntryInfo&) {
+        names.push_back(key.substr(prefix.size()));
+      });
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+const std::vector<std::string>& PMEM::piece_keys(const std::string& id) {
+  auto it = piece_cache_.find(id);
+  if (it != piece_cache_.end()) return it->second;
+  std::vector<std::string> keys;
+  store_ref().for_each_prefix(
+      detail::piece_prefix(id),
+      [&](const std::string& key, const detail::EntryInfo&) {
+        keys.push_back(key);
+      });
+  return piece_cache_.emplace(id, std::move(keys)).first->second;
+}
+
+}  // namespace pmemcpy

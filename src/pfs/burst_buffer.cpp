@@ -1,0 +1,65 @@
+#include <pmemcpy/bb/burst_buffer.hpp>
+
+#include <cstring>
+
+namespace pmemcpy::bb {
+
+namespace {
+
+/// PFS object payload: [meta u64][blob bytes], so a stage-in can rebuild
+/// the entry exactly.
+std::vector<std::byte> wrap(std::span<const std::byte> blob,
+                            std::uint64_t meta) {
+  std::vector<std::byte> out(sizeof(meta) + blob.size());
+  std::memcpy(out.data(), &meta, sizeof(meta));
+  std::memcpy(out.data() + sizeof(meta), blob.data(), blob.size());
+  return out;
+}
+
+}  // namespace
+
+DrainReport BurstBuffer::drain(PMEM& pmem, const std::string& dest) {
+  DrainReport report;
+  report.started_at = sim::ctx().now();
+
+  // The agent gets its own single-threaded timeline seeded at call time.
+  sim::Context agent(sim::ctx().model(), /*nranks=*/1, /*rank=*/0);
+  agent.set_now(report.started_at);
+  sim::ScopedContext scope(agent);
+
+  pmem.for_each_raw([&](const std::string& key,
+                        std::span<const std::byte> blob, std::uint64_t meta) {
+    pfs_->put(dest + "/" + key, wrap(blob, meta));
+    ++report.entries;
+    report.bytes += blob.size();
+  });
+
+  report.ready_at = agent.now();
+  return report;
+}
+
+DrainReport BurstBuffer::stage_in(const std::string& src, PMEM& pmem) {
+  DrainReport report;
+  report.started_at = sim::ctx().now();
+  const std::string prefix = src + "/";
+  for (const auto& name : pfs_->list(prefix)) {
+    const auto obj = pfs_->get(name);
+    if (!obj || obj->size() < sizeof(std::uint64_t)) continue;
+    std::uint64_t meta = 0;
+    std::memcpy(&meta, obj->data(), sizeof(meta));
+    pmem.import_raw(name.substr(prefix.size()),
+                    {obj->data() + sizeof(meta), obj->size() - sizeof(meta)},
+                    meta);
+    ++report.entries;
+    report.bytes += obj->size() - sizeof(meta);
+  }
+  report.ready_at = sim::ctx().now();
+  return report;
+}
+
+void BurstBuffer::wait(const DrainReport& report) {
+  auto& c = sim::ctx();
+  if (report.ready_at > c.now()) c.set_now(report.ready_at);
+}
+
+}  // namespace pmemcpy::bb

@@ -1,0 +1,69 @@
+#include <pmemcpy/pfs/pfs.hpp>
+
+namespace pmemcpy::pfs {
+
+void ParallelFileSystem::charge(std::size_t bytes) const {
+  auto& c = sim::ctx();
+  c.advance(model_.latency +
+                static_cast<double>(bytes) /
+                    c.shared_bw(model_.stream_bw, model_.total_bw),
+            sim::Charge::kPfs);
+}
+
+void ParallelFileSystem::put(const std::string& name,
+                             std::span<const std::byte> data) {
+  charge(data.size());
+  std::lock_guard lk(mu_);
+  objects_[name].assign(data.begin(), data.end());
+}
+
+std::optional<std::vector<std::byte>> ParallelFileSystem::get(
+    const std::string& name) const {
+  std::vector<std::byte> out;
+  {
+    std::lock_guard lk(mu_);
+    const auto it = objects_.find(name);
+    if (it == objects_.end()) return std::nullopt;
+    out = it->second;
+  }
+  charge(out.size());
+  return out;
+}
+
+bool ParallelFileSystem::exists(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  return objects_.contains(name);
+}
+
+std::size_t ParallelFileSystem::size(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  const auto it = objects_.find(name);
+  return it == objects_.end() ? 0 : it->second.size();
+}
+
+bool ParallelFileSystem::remove(const std::string& name) {
+  std::lock_guard lk(mu_);
+  return objects_.erase(name) != 0;
+}
+
+std::vector<std::string> ParallelFileSystem::list(
+    const std::string& prefix) const {
+  sim::ctx().advance(model_.latency, sim::Charge::kPfs);
+  std::lock_guard lk(mu_);
+  std::vector<std::string> out;
+  for (auto it = objects_.lower_bound(prefix);
+       it != objects_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+std::uint64_t ParallelFileSystem::bytes_stored() const {
+  std::lock_guard lk(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [name, data] : objects_) total += data.size();
+  return total;
+}
+
+}  // namespace pmemcpy::pfs

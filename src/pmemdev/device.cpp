@@ -1,0 +1,173 @@
+#include <pmemcpy/pmem/device.hpp>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace pmemcpy::pmem {
+
+namespace {
+constexpr std::size_t kPage = 4096;
+
+std::size_t round_up(std::size_t v, std::size_t to) {
+  return (v + to - 1) / to * to;
+}
+}  // namespace
+
+Device::Device(std::size_t capacity, bool crash_shadow)
+    : capacity_(round_up(capacity, kPage)),
+      data_(std::make_unique<std::byte[]>(capacity_)),
+      crash_shadow_(crash_shadow),
+      touched_(capacity_ / kPage, false) {}
+
+void Device::check_range(std::size_t off, std::size_t len) const {
+  if (off > capacity_ || len > capacity_ - off) {
+    throw std::out_of_range("pmem::Device: access [" + std::to_string(off) +
+                            ", +" + std::to_string(len) + ") beyond capacity " +
+                            std::to_string(capacity_));
+  }
+}
+
+void Device::write(std::size_t off, const void* src, std::size_t len) {
+  check_range(off, len);
+  note_write(off, len);
+  std::memcpy(data_.get() + off, src, len);
+  auto& c = sim::ctx();
+  const auto& pm = c.model().pmem;
+  c.advance(pm.write_latency + static_cast<double>(len) /
+                                   c.shared_bw(pm.write_stream_bw,
+                                               pm.write_total_bw),
+            sim::Charge::kPmemWrite);
+  std::lock_guard lk(mu_);
+  bytes_written_ += len;
+}
+
+void Device::read(std::size_t off, void* dst, std::size_t len) const {
+  check_range(off, len);
+  std::memcpy(dst, data_.get() + off, len);
+  auto& c = sim::ctx();
+  const auto& pm = c.model().pmem;
+  c.advance(pm.read_latency + static_cast<double>(len) /
+                                  c.shared_bw(pm.read_stream_bw,
+                                              pm.read_total_bw),
+            sim::Charge::kPmemRead);
+  std::lock_guard lk(mu_);
+  bytes_read_ += len;
+}
+
+void Device::fill(std::size_t off, std::size_t len, std::byte value) {
+  check_range(off, len);
+  note_write(off, len);
+  std::memset(data_.get() + off, std::to_integer<int>(value), len);
+  auto& c = sim::ctx();
+  const auto& pm = c.model().pmem;
+  c.advance(pm.write_latency + static_cast<double>(len) /
+                                   c.shared_bw(pm.write_stream_bw,
+                                               pm.write_total_bw),
+            sim::Charge::kPmemWrite);
+  std::lock_guard lk(mu_);
+  bytes_written_ += len;
+}
+
+void Device::persist(std::size_t off, std::size_t len) {
+  check_range(off, len);
+  const std::size_t first = off / kCacheLine;
+  const std::size_t last = (off + len + kCacheLine - 1) / kCacheLine;
+  auto& c = sim::ctx();
+  const auto& pm = c.model().pmem;
+  c.advance(static_cast<double>(last - first) * pm.persist_line_cost +
+                pm.drain_cost,
+            sim::Charge::kPmemPersist);
+  if (!crash_shadow_) return;
+  std::lock_guard lk(mu_);
+  for (std::size_t line = first; line < last; ++line) shadow_.erase(line);
+}
+
+void Device::drain() {
+  auto& c = sim::ctx();
+  c.advance(c.model().pmem.drain_cost, sim::Charge::kPmemPersist);
+}
+
+void Device::note_write(std::size_t off, std::size_t len) {
+  if (!crash_shadow_ || len == 0) return;
+  check_range(off, len);
+  const std::size_t first = off / kCacheLine;
+  const std::size_t last = (off + len + kCacheLine - 1) / kCacheLine;
+  std::lock_guard lk(mu_);
+  for (std::size_t line = first; line < last; ++line) {
+    auto [it, inserted] = shadow_.try_emplace(line);
+    if (inserted) {
+      std::memcpy(it->second.data(), data_.get() + line * kCacheLine,
+                  kCacheLine);
+    }
+  }
+}
+
+std::size_t Device::claim_new_pages(std::size_t off, std::size_t len) {
+  if (len == 0) return 0;
+  const std::size_t first = off / kPage;
+  const std::size_t last = (off + len + kPage - 1) / kPage;
+  std::size_t fresh = 0;
+  std::lock_guard lk(mu_);
+  for (std::size_t p = first; p < last; ++p) {
+    if (!touched_[p]) {
+      touched_[p] = true;
+      ++fresh;
+    }
+  }
+  return fresh;
+}
+
+void Device::charge_dax_write(std::size_t off, std::size_t len,
+                              bool map_sync) {
+  check_range(off, len);
+  const std::size_t fresh = claim_new_pages(off, len);
+  auto& c = sim::ctx();
+  const auto& m = c.model();
+  if (fresh > 0) {
+    const double per_page = map_sync ? m.pmem.map_sync_page_cost
+                                     : m.cpu.minor_fault_cost;
+    c.advance(static_cast<double>(fresh) * per_page, sim::Charge::kPageFault);
+  }
+  double bw = c.shared_bw(m.pmem.write_stream_bw, m.pmem.write_total_bw);
+  if (map_sync) bw *= m.pmem.map_sync_write_bw_factor;
+  c.advance(m.pmem.write_latency + static_cast<double>(len) / bw,
+            sim::Charge::kPmemWrite);
+  std::lock_guard lk(mu_);
+  bytes_written_ += len;
+}
+
+void Device::charge_dax_read(std::size_t len, bool map_sync) const {
+  auto& c = sim::ctx();
+  const auto& pm = c.model().pmem;
+  double bw = c.shared_bw(pm.read_stream_bw, pm.read_total_bw);
+  if (map_sync) bw *= pm.map_sync_read_bw_factor;
+  c.advance(pm.read_latency + static_cast<double>(len) / bw,
+            sim::Charge::kPmemRead);
+  std::lock_guard lk(mu_);
+  bytes_read_ += len;
+}
+
+void Device::reset_page_touches() {
+  std::lock_guard lk(mu_);
+  touched_.assign(touched_.size(), false);
+}
+
+void Device::simulate_crash() {
+  if (!crash_shadow_) {
+    throw std::logic_error(
+        "pmem::Device::simulate_crash requires crash_shadow mode");
+  }
+  std::lock_guard lk(mu_);
+  for (const auto& [line, image] : shadow_) {
+    std::memcpy(data_.get() + line * kCacheLine, image.data(), kCacheLine);
+  }
+  shadow_.clear();
+}
+
+std::size_t Device::unpersisted_lines() const {
+  std::lock_guard lk(mu_);
+  return shadow_.size();
+}
+
+}  // namespace pmemcpy::pmem

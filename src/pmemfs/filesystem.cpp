@@ -1,0 +1,760 @@
+#include <pmemcpy/fs/filesystem.hpp>
+
+#include <algorithm>
+#include <cstring>
+
+namespace pmemcpy::fs {
+
+namespace {
+
+constexpr std::uint64_t kFsMagic = 0x50464c4954453476ull;  // "PFLITE4v"
+constexpr std::uint32_t kFsVersion = 1;
+constexpr std::size_t kInodeSize = 256;
+constexpr std::size_t kInlineExtents = 12;
+constexpr std::size_t kIndirectExtents = 254;
+constexpr std::uint32_t kTypeFree = 0;
+constexpr std::uint32_t kTypeFile = 1;
+constexpr std::uint32_t kTypeDir = 2;
+
+struct Superblock {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t pad;
+  std::uint64_t total_blocks;
+  std::uint64_t inode_count;
+  std::uint64_t bitmap_rel;
+  std::uint64_t itable_rel;
+  std::uint64_t data_rel;
+};
+
+struct Extent {
+  std::uint64_t start;  // block index
+  std::uint64_t len;    // blocks
+};
+
+/// Indirect extent block: lives in one data block.
+struct IndirectBlock {
+  std::uint64_t next;  // block index of next indirect block, 0 = none
+  std::uint64_t count;
+  Extent ext[kIndirectExtents];
+};
+static_assert(sizeof(IndirectBlock) <= kBlockSize);
+
+struct DirEntryHeader {
+  std::uint32_t ino;
+  std::uint16_t name_len;
+};
+
+std::vector<std::string> split_path(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    throw FsError("fs: path must be absolute: " + path);
+  }
+  std::vector<std::string> parts;
+  std::size_t i = 1;
+  while (i < path.size()) {
+    const std::size_t j = path.find('/', i);
+    const std::size_t end = j == std::string::npos ? path.size() : j;
+    if (end > i) parts.push_back(path.substr(i, end - i));
+    i = end + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+struct FileSystem::Inode {
+  std::uint32_t type;
+  std::uint32_t nextents;
+  std::uint64_t size;
+  Extent ext[kInlineExtents];
+  std::uint64_t indirect;  // block index, 0 = none
+  std::uint64_t reserved[3];
+};
+FileSystem::FileSystem(pmem::Device& dev, std::size_t base)
+    : dev_(&dev), base_(base) {}
+
+FileSystem FileSystem::format(pmem::Device& dev, std::size_t base,
+                              std::size_t size) {
+  if (base + size > dev.capacity()) {
+    throw FsError("fs::format: region exceeds device capacity");
+  }
+  FileSystem fs(dev, base);
+  // One inode per 64 KiB keeps file-per-variable layouts viable (the inode
+  // table costs 0.4% of the filesystem).
+  const std::uint64_t inode_count =
+      std::clamp<std::uint64_t>(size / (64 << 10), 1024, 262144);
+  const std::uint64_t itable_bytes = inode_count * kInodeSize;
+  // Solve for block count given that the bitmap also consumes space.
+  const std::uint64_t fixed = kBlockSize /*superblock*/ + itable_bytes;
+  if (size < fixed + 64 * kBlockSize) throw FsError("fs::format: too small");
+  std::uint64_t blocks = (size - fixed) / kBlockSize;
+  while (fixed + (blocks + 7) / 8 + blocks * kBlockSize > size) --blocks;
+
+  fs.total_blocks_ = blocks;
+  fs.inode_count_ = inode_count;
+  fs.bitmap_off_ = base + kBlockSize;
+  fs.itable_off_ = fs.bitmap_off_ + (blocks + 7) / 8;
+  fs.data_off_ = (fs.itable_off_ + itable_bytes + kBlockSize - 1) / kBlockSize *
+                 kBlockSize;
+  // data_off_ must leave room for all blocks.
+  while (fs.data_off_ + blocks * kBlockSize > base + size) --blocks;
+  fs.total_blocks_ = blocks;
+
+  // Zero the bitmap and inode-type bytes.
+  {
+    std::vector<std::byte> zeros(64 * 1024, std::byte{0});
+    std::uint64_t left = (blocks + 7) / 8;
+    std::uint64_t at = fs.bitmap_off_;
+    while (left > 0) {
+      const std::uint64_t n = std::min<std::uint64_t>(left, zeros.size());
+      dev.write(at, zeros.data(), n);
+      at += n;
+      left -= n;
+    }
+    Inode empty{};
+    for (std::uint64_t i = 0; i < inode_count; ++i) {
+      dev.write(fs.itable_off_ + i * kInodeSize, &empty, sizeof(empty));
+    }
+    dev.persist(fs.bitmap_off_, (blocks + 7) / 8 + itable_bytes);
+  }
+
+  fs.bitmap_cache_.assign(blocks, false);
+  fs.free_blocks_cache_ = blocks;
+
+  // Root directory: inode 1.
+  Inode root{};
+  root.type = kTypeDir;
+  fs.write_inode(1, root);
+
+  Superblock sb{};
+  sb.magic = kFsMagic;
+  sb.version = kFsVersion;
+  sb.total_blocks = blocks;
+  sb.inode_count = inode_count;
+  sb.bitmap_rel = fs.bitmap_off_ - base;
+  sb.itable_rel = fs.itable_off_ - base;
+  sb.data_rel = fs.data_off_ - base;
+  dev.write(base, &sb, sizeof(sb));
+  dev.persist(base, sizeof(sb));
+  return fs;
+}
+
+FileSystem FileSystem::mount(pmem::Device& dev, std::size_t base) {
+  Superblock sb{};
+  dev.read(base, &sb, sizeof(sb));
+  if (sb.magic != kFsMagic || sb.version != kFsVersion) {
+    throw FsError("fs::mount: not a filesystem image");
+  }
+  FileSystem fs(dev, base);
+  fs.total_blocks_ = sb.total_blocks;
+  fs.inode_count_ = sb.inode_count;
+  fs.bitmap_off_ = base + sb.bitmap_rel;
+  fs.itable_off_ = base + sb.itable_rel;
+  fs.data_off_ = base + sb.data_rel;
+  // Rebuild the DRAM bitmap cache.
+  fs.bitmap_cache_.assign(sb.total_blocks, false);
+  fs.free_blocks_cache_ = 0;
+  std::vector<std::uint8_t> raw((sb.total_blocks + 7) / 8);
+  dev.read(fs.bitmap_off_, raw.data(), raw.size());
+  for (std::uint64_t b = 0; b < sb.total_blocks; ++b) {
+    const bool used = (raw[b / 8] >> (b % 8)) & 1;
+    fs.bitmap_cache_[b] = used;
+    if (!used) ++fs.free_blocks_cache_;
+  }
+  return fs;
+}
+
+// ---------------------------------------------------------------------------
+// Inodes and blocks
+// ---------------------------------------------------------------------------
+
+FileSystem::Inode FileSystem::read_inode(Ino ino) const {
+  if (ino == 0 || ino > inode_count_) throw FsError("fs: bad inode");
+  Inode inode{};
+  dev_->read(itable_off_ + (ino - 1) * kInodeSize, &inode, sizeof(inode));
+  return inode;
+}
+
+void FileSystem::write_inode(Ino ino, const Inode& inode) {
+  if (ino == 0 || ino > inode_count_) throw FsError("fs: bad inode");
+  const std::uint64_t off = itable_off_ + (ino - 1) * kInodeSize;
+  dev_->write(off, &inode, sizeof(inode));
+  dev_->persist(off, sizeof(inode));
+}
+
+Ino FileSystem::alloc_inode(std::uint32_t type) {
+  for (Ino i = 1; i <= inode_count_; ++i) {
+    Inode inode = read_inode(i);
+    if (inode.type == kTypeFree) {
+      inode = Inode{};
+      inode.type = type;
+      write_inode(i, inode);
+      return i;
+    }
+  }
+  throw FsError("fs: out of inodes");
+}
+
+void FileSystem::free_inode(Ino ino) {
+  Inode inode{};
+  write_inode(ino, inode);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> FileSystem::alloc_blocks(
+    std::uint64_t nblocks) {
+  if (nblocks > free_blocks_cache_) throw FsError("fs: out of space");
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> runs;
+  std::uint64_t need = nblocks;
+  std::uint64_t b = 0;
+  while (need > 0 && b < total_blocks_) {
+    while (b < total_blocks_ && bitmap_cache_[b]) ++b;
+    if (b >= total_blocks_) break;
+    std::uint64_t e = b;
+    while (e < total_blocks_ && !bitmap_cache_[e] && (e - b) < need) ++e;
+    runs.emplace_back(b, e - b);
+    need -= e - b;
+    b = e;
+  }
+  if (need > 0) throw FsError("fs: out of space (fragmented)");
+  // Mark used: update cache + write-through the touched bitmap bytes.
+  for (const auto& [start, n] : runs) {
+    for (std::uint64_t i = start; i < start + n; ++i) bitmap_cache_[i] = true;
+    const std::uint64_t first_byte = start / 8;
+    const std::uint64_t last_byte = (start + n - 1) / 8;
+    std::vector<std::uint8_t> bytes(last_byte - first_byte + 1, 0);
+    for (std::uint64_t by = first_byte; by <= last_byte; ++by) {
+      std::uint8_t v = 0;
+      for (int bit = 0; bit < 8; ++bit) {
+        const std::uint64_t blk = by * 8 + static_cast<std::uint64_t>(bit);
+        if (blk < total_blocks_ && bitmap_cache_[blk]) {
+          v |= static_cast<std::uint8_t>(1u << bit);
+        }
+      }
+      bytes[by - first_byte] = v;
+    }
+    dev_->write(bitmap_off_ + first_byte, bytes.data(), bytes.size());
+    dev_->persist(bitmap_off_ + first_byte, bytes.size());
+    free_blocks_cache_ -= n;
+  }
+  return runs;
+}
+
+void FileSystem::free_blocks_range(std::uint64_t start, std::uint64_t n) {
+  for (std::uint64_t i = start; i < start + n; ++i) bitmap_cache_[i] = false;
+  const std::uint64_t first_byte = start / 8;
+  const std::uint64_t last_byte = (start + n - 1) / 8;
+  std::vector<std::uint8_t> bytes(last_byte - first_byte + 1, 0);
+  for (std::uint64_t by = first_byte; by <= last_byte; ++by) {
+    std::uint8_t v = 0;
+    for (int bit = 0; bit < 8; ++bit) {
+      const std::uint64_t blk = by * 8 + static_cast<std::uint64_t>(bit);
+      if (blk < total_blocks_ && bitmap_cache_[blk]) {
+        v |= static_cast<std::uint8_t>(1u << bit);
+      }
+    }
+    bytes[by - first_byte] = v;
+  }
+  dev_->write(bitmap_off_ + first_byte, bytes.data(), bytes.size());
+  dev_->persist(bitmap_off_ + first_byte, bytes.size());
+  free_blocks_cache_ += n;
+}
+
+void FileSystem::append_extent(Inode& inode, Ino /*ino*/, std::uint64_t start,
+                               std::uint64_t n) {
+  if (inode.nextents < kInlineExtents) {
+    // Merge with the previous inline extent when adjacent.
+    if (inode.nextents > 0) {
+      auto& last = inode.ext[inode.nextents - 1];
+      if (last.start + last.len == start) {
+        last.len += n;
+        return;
+      }
+    }
+    inode.ext[inode.nextents++] = Extent{start, n};
+    return;
+  }
+  // Walk (or grow) the indirect chain.
+  std::uint64_t blk = inode.indirect;
+  if (blk == 0) {
+    const auto runs = alloc_blocks(1);
+    blk = runs[0].first;
+    inode.indirect = blk;
+    IndirectBlock ib{};
+    dev_->write(data_off_ + blk * kBlockSize, &ib, sizeof(ib));
+    dev_->persist(data_off_ + blk * kBlockSize, sizeof(ib));
+  }
+  for (;;) {
+    IndirectBlock ib{};
+    const std::uint64_t at = data_off_ + blk * kBlockSize;
+    dev_->read(at, &ib, sizeof(ib));
+    if (ib.count > 0 && ib.next == 0) {
+      auto& last = ib.ext[ib.count - 1];
+      if (last.start + last.len == start) {
+        last.len += n;
+        dev_->write(at, &ib, sizeof(ib));
+        dev_->persist(at, sizeof(ib));
+        return;
+      }
+    }
+    if (ib.count < kIndirectExtents) {
+      ib.ext[ib.count++] = Extent{start, n};
+      dev_->write(at, &ib, sizeof(ib));
+      dev_->persist(at, sizeof(ib));
+      return;
+    }
+    if (ib.next == 0) {
+      const auto runs = alloc_blocks(1);
+      ib.next = runs[0].first;
+      dev_->write(at, &ib, sizeof(ib));
+      dev_->persist(at, sizeof(ib));
+      IndirectBlock fresh{};
+      dev_->write(data_off_ + ib.next * kBlockSize, &fresh, sizeof(fresh));
+      dev_->persist(data_off_ + ib.next * kBlockSize, sizeof(fresh));
+    }
+    blk = ib.next;
+  }
+}
+
+void FileSystem::drop_extents(Inode& inode, Ino /*ino*/) {
+  for (std::uint32_t i = 0; i < inode.nextents; ++i) {
+    free_blocks_range(inode.ext[i].start, inode.ext[i].len);
+  }
+  inode.nextents = 0;
+  std::uint64_t blk = inode.indirect;
+  while (blk != 0) {
+    IndirectBlock ib{};
+    dev_->read(data_off_ + blk * kBlockSize, &ib, sizeof(ib));
+    for (std::uint64_t i = 0; i < ib.count; ++i) {
+      free_blocks_range(ib.ext[i].start, ib.ext[i].len);
+    }
+    free_blocks_range(blk, 1);
+    blk = ib.next;
+  }
+  inode.indirect = 0;
+  inode.size = 0;
+}
+
+void FileSystem::ensure_capacity(Ino ino, std::uint64_t size) {
+  Inode inode = read_inode(ino);
+  std::uint64_t have = 0;
+  for (std::uint32_t i = 0; i < inode.nextents; ++i) have += inode.ext[i].len;
+  std::uint64_t blk = inode.indirect;
+  while (blk != 0) {
+    IndirectBlock ib{};
+    dev_->read(data_off_ + blk * kBlockSize, &ib, sizeof(ib));
+    for (std::uint64_t i = 0; i < ib.count; ++i) have += ib.ext[i].len;
+    blk = ib.next;
+  }
+  const std::uint64_t need = (size + kBlockSize - 1) / kBlockSize;
+  if (need > have) {
+    for (const auto& [start, n] : alloc_blocks(need - have)) {
+      append_extent(inode, ino, start, n);
+    }
+  }
+  if (size > inode.size) inode.size = size;
+  write_inode(ino, inode);
+}
+
+std::vector<Mapping::Run> FileSystem::gather_runs(Ino ino,
+                                                  std::uint64_t size) const {
+  std::vector<Mapping::Run> runs;
+  const Inode inode = read_inode(ino);
+  std::uint64_t file_off = 0;
+  auto add = [&](const Extent& e) {
+    if (file_off >= size) return;
+    const std::uint64_t len = std::min(e.len * kBlockSize, size - file_off);
+    runs.push_back(
+        Mapping::Run{file_off, data_off_ + e.start * kBlockSize, len});
+    file_off += e.len * kBlockSize;
+  };
+  for (std::uint32_t i = 0; i < inode.nextents; ++i) add(inode.ext[i]);
+  std::uint64_t blk = inode.indirect;
+  while (blk != 0 && file_off < size) {
+    IndirectBlock ib{};
+    dev_->read(data_off_ + blk * kBlockSize, &ib, sizeof(ib));
+    for (std::uint64_t i = 0; i < ib.count; ++i) add(ib.ext[i]);
+    blk = ib.next;
+  }
+  return runs;
+}
+
+// ---------------------------------------------------------------------------
+// Raw data IO (device charges only; callers add syscall/copy charges)
+// ---------------------------------------------------------------------------
+
+void FileSystem::data_write(Ino ino, const void* buf, std::size_t len,
+                            std::uint64_t off) {
+  const auto runs = gather_runs(ino, off + len);
+  const auto* src = static_cast<const std::byte*>(buf);
+  for (const auto& r : runs) {
+    const std::uint64_t lo = std::max(r.file_off, off);
+    const std::uint64_t hi = std::min(r.file_off + r.len, off + len);
+    if (lo >= hi) continue;
+    dev_->write(r.dev_off + (lo - r.file_off), src + (lo - off), hi - lo);
+  }
+}
+
+void FileSystem::data_read(Ino ino, void* buf, std::size_t len,
+                           std::uint64_t off) const {
+  const auto runs = gather_runs(ino, off + len);
+  auto* dst = static_cast<std::byte*>(buf);
+  for (const auto& r : runs) {
+    const std::uint64_t lo = std::max(r.file_off, off);
+    const std::uint64_t hi = std::min(r.file_off + r.len, off + len);
+    if (lo >= hi) continue;
+    dev_->read(r.dev_off + (lo - r.file_off), dst + (lo - off), hi - lo);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Directories
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<std::string, Ino>> FileSystem::dir_entries(
+    Ino dir) const {
+  const Inode inode = read_inode(dir);
+  if (inode.type != kTypeDir) throw FsError("fs: not a directory");
+  std::vector<std::byte> raw(inode.size);
+  if (!raw.empty()) data_read(dir, raw.data(), raw.size(), 0);
+  std::vector<std::pair<std::string, Ino>> out;
+  std::size_t pos = 0;
+  while (pos + sizeof(DirEntryHeader) <= raw.size()) {
+    DirEntryHeader h{};
+    std::memcpy(&h, raw.data() + pos, sizeof(h));
+    pos += sizeof(h);
+    out.emplace_back(
+        std::string(reinterpret_cast<const char*>(raw.data() + pos),
+                    h.name_len),
+        h.ino);
+    pos += h.name_len;
+  }
+  return out;
+}
+
+void FileSystem::dir_write_entries(
+    Ino dir, const std::vector<std::pair<std::string, Ino>>& entries) {
+  std::vector<std::byte> raw;
+  for (const auto& [name, ino] : entries) {
+    DirEntryHeader h{ino, static_cast<std::uint16_t>(name.size())};
+    const std::size_t pos = raw.size();
+    raw.resize(pos + sizeof(h) + name.size());
+    std::memcpy(raw.data() + pos, &h, sizeof(h));
+    std::memcpy(raw.data() + pos + sizeof(h), name.data(), name.size());
+  }
+  ensure_capacity(dir, raw.size());
+  if (!raw.empty()) data_write(dir, raw.data(), raw.size(), 0);
+  Inode inode = read_inode(dir);
+  inode.size = raw.size();
+  write_inode(dir, inode);
+}
+
+Ino FileSystem::dir_lookup(Ino dir, std::string_view name) const {
+  for (const auto& [n, ino] : dir_entries(dir)) {
+    if (n == name) return ino;
+  }
+  return 0;
+}
+
+void FileSystem::dir_add(Ino dir, std::string_view name, Ino child) {
+  if (name.empty() || name.size() > 255) throw FsError("fs: bad name");
+  auto entries = dir_entries(dir);
+  for (const auto& [n, ino] : entries) {
+    if (n == name) throw FsError("fs: name exists: " + std::string(name));
+  }
+  entries.emplace_back(std::string(name), child);
+  dir_write_entries(dir, entries);
+}
+
+void FileSystem::dir_remove(Ino dir, std::string_view name) {
+  auto entries = dir_entries(dir);
+  const auto it =
+      std::find_if(entries.begin(), entries.end(),
+                   [&](const auto& e) { return e.first == name; });
+  if (it == entries.end()) throw FsError("fs: no such entry");
+  entries.erase(it);
+  dir_write_entries(dir, entries);
+}
+
+Ino FileSystem::resolve(const std::string& path, bool want_parent,
+                        std::string* leaf) const {
+  const auto parts = split_path(path);
+  if (want_parent) {
+    if (parts.empty()) throw FsError("fs: no parent of /");
+    if (leaf != nullptr) *leaf = parts.back();
+  }
+  Ino cur = 1;
+  const std::size_t stop = want_parent ? parts.size() - 1 : parts.size();
+  for (std::size_t i = 0; i < stop; ++i) {
+    const Ino next = dir_lookup(cur, parts[i]);
+    if (next == 0) return 0;
+    cur = next;
+  }
+  return cur;
+}
+
+// ---------------------------------------------------------------------------
+// Public namespace ops
+// ---------------------------------------------------------------------------
+
+void FileSystem::mkdir(const std::string& path) {
+  std::lock_guard lk(*mu_);
+  std::string leaf;
+  const Ino parent = resolve(path, /*want_parent=*/true, &leaf);
+  if (parent == 0) throw FsError("fs: no such directory: " + path);
+  const Ino ino = alloc_inode(kTypeDir);
+  dir_add(parent, leaf, ino);
+}
+
+void FileSystem::mkdirs(const std::string& path) {
+  std::lock_guard lk(*mu_);
+  const auto parts = split_path(path);
+  Ino cur = 1;
+  for (const auto& p : parts) {
+    Ino next = dir_lookup(cur, p);
+    if (next == 0) {
+      next = alloc_inode(kTypeDir);
+      dir_add(cur, p, next);
+    }
+    cur = next;
+  }
+}
+
+bool FileSystem::exists(const std::string& path) {
+  std::lock_guard lk(*mu_);
+  return resolve(path, false, nullptr) != 0;
+}
+
+bool FileSystem::is_dir(const std::string& path) {
+  std::lock_guard lk(*mu_);
+  const Ino ino = resolve(path, false, nullptr);
+  return ino != 0 && read_inode(ino).type == kTypeDir;
+}
+
+void FileSystem::remove(const std::string& path) {
+  std::lock_guard lk(*mu_);
+  std::string leaf;
+  const Ino parent = resolve(path, true, &leaf);
+  if (parent == 0) throw FsError("fs: no such path: " + path);
+  const Ino ino = dir_lookup(parent, leaf);
+  if (ino == 0) throw FsError("fs: no such path: " + path);
+  Inode inode = read_inode(ino);
+  if (inode.type == kTypeDir && inode.size != 0 &&
+      !dir_entries(ino).empty()) {
+    throw FsError("fs: directory not empty: " + path);
+  }
+  drop_extents(inode, ino);
+  free_inode(ino);
+  dir_remove(parent, leaf);
+}
+
+bool FileSystem::rename(const std::string& from, const std::string& to,
+                        bool replace) {
+  std::lock_guard lk(*mu_);
+  sim::ctx().charge_syscall();
+  std::string from_leaf, to_leaf;
+  const Ino from_parent = resolve(from, true, &from_leaf);
+  const Ino to_parent = resolve(to, true, &to_leaf);
+  if (from_parent == 0 || to_parent == 0) {
+    throw FsError("fs: rename: no such directory");
+  }
+  const Ino ino = dir_lookup(from_parent, from_leaf);
+  if (ino == 0) throw FsError("fs: rename: no such file: " + from);
+  const Ino victim = dir_lookup(to_parent, to_leaf);
+  if (victim != 0) {
+    Inode vi = read_inode(victim);
+    if (vi.type != kTypeFile) throw FsError("fs: rename over a directory");
+    if (!replace) {
+      // Target wins: discard the source instead.
+      Inode si = read_inode(ino);
+      drop_extents(si, ino);
+      free_inode(ino);
+      dir_remove(from_parent, from_leaf);
+      return false;
+    }
+    drop_extents(vi, victim);
+    free_inode(victim);
+    dir_remove(to_parent, to_leaf);
+  }
+  dir_remove(from_parent, from_leaf);
+  dir_add(to_parent, to_leaf, ino);
+  return true;
+}
+
+std::vector<std::string> FileSystem::list(const std::string& path) {
+  std::lock_guard lk(*mu_);
+  const Ino ino = resolve(path, false, nullptr);
+  if (ino == 0) throw FsError("fs: no such directory: " + path);
+  std::vector<std::string> names;
+  for (const auto& [n, i] : dir_entries(ino)) names.push_back(n);
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// POSIX-style file IO
+// ---------------------------------------------------------------------------
+
+File FileSystem::open(const std::string& path, OpenMode mode) {
+  std::lock_guard lk(*mu_);
+  sim::ctx().charge_syscall();
+  std::string leaf;
+  const Ino parent = resolve(path, true, &leaf);
+  if (parent == 0) throw FsError("fs: no such directory for: " + path);
+  Ino ino = dir_lookup(parent, leaf);
+  if (ino == 0) {
+    if (mode == OpenMode::kRead) throw FsError("fs: no such file: " + path);
+    ino = alloc_inode(kTypeFile);
+    dir_add(parent, leaf, ino);
+  } else if (mode == OpenMode::kTruncate) {
+    Inode inode = read_inode(ino);
+    if (inode.type != kTypeFile) throw FsError("fs: not a file: " + path);
+    drop_extents(inode, ino);
+    write_inode(ino, inode);
+  }
+  return File(this, ino);
+}
+
+std::size_t FileSystem::pwrite(File f, const void* buf, std::size_t len,
+                               std::uint64_t off) {
+  if (!f.valid()) throw FsError("fs: invalid file");
+  auto& c = sim::ctx();
+  c.charge_syscall();
+  c.charge_cpu_copy(len);  // user->kernel buffer copy
+  {
+    std::lock_guard lk(*mu_);
+    const Inode inode = read_inode(f.ino_);
+    if (off + len > inode.size) ensure_capacity(f.ino_, off + len);
+  }
+  data_write(f.ino_, buf, len, off);
+  return len;
+}
+
+std::size_t FileSystem::pread(File f, void* buf, std::size_t len,
+                              std::uint64_t off) {
+  if (!f.valid()) throw FsError("fs: invalid file");
+  auto& c = sim::ctx();
+  c.charge_syscall();
+  std::uint64_t sz;
+  {
+    std::lock_guard lk(*mu_);
+    sz = read_inode(f.ino_).size;
+  }
+  if (off >= sz) return 0;
+  len = std::min<std::uint64_t>(len, sz - off);
+  c.charge_cpu_copy(len);  // kernel->user buffer copy
+  data_read(f.ino_, buf, len, off);
+  return len;
+}
+
+void FileSystem::truncate(File f, std::uint64_t size) {
+  if (!f.valid()) throw FsError("fs: invalid file");
+  std::lock_guard lk(*mu_);
+  sim::ctx().charge_syscall();
+  Inode inode = read_inode(f.ino_);
+  if (size > inode.size) {
+    ensure_capacity(f.ino_, size);
+  }
+  inode = read_inode(f.ino_);
+  inode.size = size;
+  write_inode(f.ino_, inode);
+}
+
+void FileSystem::fsync(File f) {
+  if (!f.valid()) throw FsError("fs: invalid file");
+  sim::ctx().charge_syscall();
+  dev_->drain();
+}
+
+std::uint64_t FileSystem::size(File f) {
+  std::lock_guard lk(*mu_);
+  return read_inode(f.ino_).size;
+}
+
+std::uint64_t FileSystem::size(const std::string& path) {
+  std::lock_guard lk(*mu_);
+  const Ino ino = resolve(path, false, nullptr);
+  if (ino == 0) throw FsError("fs: no such path: " + path);
+  return read_inode(ino).size;
+}
+
+std::uint64_t FileSystem::free_blocks() const {
+  std::lock_guard lk(*mu_);
+  return free_blocks_cache_;
+}
+
+std::uint64_t FileSystem::total_blocks() const { return total_blocks_; }
+
+// ---------------------------------------------------------------------------
+// DAX mappings
+// ---------------------------------------------------------------------------
+
+Mapping FileSystem::map(File f, bool map_sync) {
+  if (!f.valid()) throw FsError("fs: invalid file");
+  std::lock_guard lk(*mu_);
+  sim::ctx().charge_syscall();  // the mmap() call itself
+  Mapping m;
+  m.fs_ = this;
+  m.size_ = read_inode(f.ino_).size;
+  m.map_sync_ = map_sync;
+  m.runs_ = gather_runs(f.ino_, m.size_);
+  return m;
+}
+
+Mapping FileSystem::create_mapped(const std::string& path, std::uint64_t sz,
+                                  bool map_sync) {
+  File f = open(path, OpenMode::kTruncate);
+  truncate(f, sz);
+  return map(f, map_sync);
+}
+
+template <typename Fn>
+void Mapping::for_runs(std::uint64_t off, std::size_t len, Fn&& fn) const {
+  if (off + len > size_) throw FsError("fs: mapping access out of range");
+  for (const auto& r : runs_) {
+    const std::uint64_t lo = std::max(r.file_off, off);
+    const std::uint64_t hi = std::min(r.file_off + r.len, off + len);
+    if (lo >= hi) continue;
+    fn(r.dev_off + (lo - r.file_off), lo - off, hi - lo);
+  }
+}
+
+void Mapping::store(std::uint64_t off, const void* src, std::size_t len) {
+  auto* dev = fs_->dev_;
+  for_runs(off, len, [&](std::uint64_t dev_off, std::uint64_t src_off,
+                         std::uint64_t n) {
+    dev->note_write(dev_off, n);
+    std::memcpy(dev->raw(dev_off),
+                static_cast<const std::byte*>(src) + src_off, n);
+    dev->charge_dax_write(dev_off, n, map_sync_);
+  });
+}
+
+void Mapping::load(std::uint64_t off, void* dst, std::size_t len) const {
+  auto* dev = fs_->dev_;
+  for_runs(off, len, [&](std::uint64_t dev_off, std::uint64_t dst_off,
+                         std::uint64_t n) {
+    std::memcpy(static_cast<std::byte*>(dst) + dst_off, dev->raw(dev_off), n);
+    dev->charge_dax_read(n, map_sync_);
+  });
+}
+
+void Mapping::persist(std::uint64_t off, std::size_t len) {
+  auto* dev = fs_->dev_;
+  for_runs(off, len, [&](std::uint64_t dev_off, std::uint64_t, std::uint64_t n) {
+    dev->persist(dev_off, n);
+  });
+}
+
+void Mapping::charge_load(std::size_t bytes) const {
+  fs_->dev_->charge_dax_read(bytes, map_sync_);
+}
+
+std::span<std::byte> Mapping::span(std::uint64_t off, std::size_t len) {
+  for (const auto& r : runs_) {
+    if (off >= r.file_off && off + len <= r.file_off + r.len) {
+      return {fs_->dev_->raw(r.dev_off + (off - r.file_off)), len};
+    }
+  }
+  throw FsError("fs: range not physically contiguous");
+}
+
+}  // namespace pmemcpy::fs

@@ -1,0 +1,362 @@
+#include <pmemcpy/obj/hashtable.hpp>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pmemcpy::obj {
+
+namespace {
+
+struct TableHeader {
+  std::uint64_t nbuckets;
+  std::uint64_t buckets_off;
+  std::uint64_t count;
+};
+
+// Persistent node layout (key bytes appended).
+constexpr std::uint64_t kNodeNext = 0;
+constexpr std::uint64_t kNodeValOff = 8;
+constexpr std::uint64_t kNodeValSize = 16;
+constexpr std::uint64_t kNodeMeta = 24;
+constexpr std::uint64_t kNodeKeyLen = 32;
+constexpr std::uint64_t kNodeKey = 40;
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Zero a pool range in bounded chunks.
+void zero_range(Pool& pool, std::uint64_t off, std::size_t len) {
+  static constexpr std::size_t kChunk = 64 * 1024;
+  std::vector<std::byte> zeros(std::min(len, kChunk), std::byte{0});
+  std::size_t done = 0;
+  while (done < len) {
+    const std::size_t n = std::min(len - done, kChunk);
+    pool.write(off + done, zeros.data(), n);
+    done += n;
+  }
+  pool.persist(off, len);
+}
+
+}  // namespace
+
+HashTable::HashTable(Pool& pool, std::uint64_t hoff)
+    : pool_(&pool), hoff_(hoff) {}
+
+HashTable HashTable::create(Pool& pool, std::size_t nbuckets) {
+  if (nbuckets == 0) nbuckets = 1;
+  const std::uint64_t buckets = pool.alloc(nbuckets * 8);
+  zero_range(pool, buckets, nbuckets * 8);
+  const std::uint64_t hoff = pool.alloc(sizeof(TableHeader));
+  TableHeader hdr{nbuckets, buckets, 0};
+  pool.set(hoff, hdr);
+  return HashTable(pool, hoff);
+}
+
+HashTable HashTable::open(Pool& pool, std::uint64_t header_off) {
+  const auto hdr = pool.get<TableHeader>(header_off);
+  if (hdr.nbuckets == 0 || hdr.buckets_off == 0) {
+    throw PoolError("HashTable::open: invalid header");
+  }
+  return HashTable(pool, header_off);
+}
+
+std::uint64_t HashTable::bucket_slot(std::string_view key) const {
+  const auto hdr = pool_->get<TableHeader>(hoff_);
+  const std::uint64_t b = fnv1a(key) % hdr.nbuckets;
+  return hdr.buckets_off + b * 8;
+}
+
+std::string HashTable::read_key(std::uint64_t node_off) const {
+  const auto len = pool_->get<std::uint32_t>(node_off + kNodeKeyLen);
+  std::string key(len, '\0');
+  pool_->read(node_off + kNodeKey, key.data(), len);
+  return key;
+}
+
+std::optional<ValueRef> HashTable::find(std::string_view key) const {
+  std::lock_guard lk((*stripes_)[fnv1a(key) % kStripes]);
+  std::uint64_t node = pool_->get<std::uint64_t>(bucket_slot(key));
+  while (node != 0) {
+    if (read_key(node) == key) {
+      ValueRef ref;
+      ref.node_off = node;
+      ref.val_off = pool_->get<std::uint64_t>(node + kNodeValOff);
+      ref.val_size = pool_->get<std::uint64_t>(node + kNodeValSize);
+      ref.meta = pool_->get<std::uint64_t>(node + kNodeMeta);
+      return ref;
+    }
+    node = pool_->get<std::uint64_t>(node + kNodeNext);
+  }
+  return std::nullopt;
+}
+
+HashTable::Inserter HashTable::reserve(std::string_view key,
+                                       std::size_t val_size,
+                                       std::uint64_t meta) {
+  const std::uint64_t val = val_size > 0 ? pool_->alloc(val_size) : 0;
+  const std::uint64_t node = pool_->alloc(kNodeKey + key.size());
+  pool_->set<std::uint64_t>(node + kNodeNext, 0);
+  pool_->set<std::uint64_t>(node + kNodeValOff, val);
+  pool_->set<std::uint64_t>(node + kNodeValSize, val_size);
+  pool_->set<std::uint64_t>(node + kNodeMeta, meta);
+  pool_->set<std::uint32_t>(node + kNodeKeyLen,
+                            static_cast<std::uint32_t>(key.size()));
+  if (!key.empty()) {
+    pool_->write(node + kNodeKey, key.data(), key.size());
+    pool_->persist(node + kNodeKey, key.size());
+  }
+  return Inserter(*this, key, node, val, val_size);
+}
+
+void HashTable::put(std::string_view key, const void* data, std::size_t len,
+                    std::uint64_t meta) {
+  auto ins = reserve(key, len, meta);
+  if (len > 0) {
+    auto span = ins.value();
+    std::memcpy(span.data(), data, len);
+  }
+  ins.publish();
+}
+
+bool HashTable::link_replace(std::string_view key, std::uint64_t node_off,
+                             bool keep_existing) {
+  std::lock_guard lk((*stripes_)[fnv1a(key) % kStripes]);
+  const std::uint64_t slot = bucket_slot(key);
+  const std::uint64_t head = pool_->get<std::uint64_t>(slot);
+
+  // Find an existing entry to supersede.
+  std::uint64_t prev = 0;
+  std::uint64_t old = head;
+  while (old != 0) {
+    if (read_key(old) == key) break;
+    prev = old;
+    old = pool_->get<std::uint64_t>(old + kNodeNext);
+  }
+
+  if (old != 0 && keep_existing) {
+    // First writer won: discard this reservation.
+    const auto val = pool_->get<std::uint64_t>(node_off + kNodeValOff);
+    pool_->free(node_off);
+    if (val != 0) pool_->free(val);
+    return false;
+  }
+
+  // Link the new node at the head (it is fully persisted by now).
+  pool_->set<std::uint64_t>(node_off + kNodeNext, head);
+  pool_->set<std::uint64_t>(slot, node_off);
+
+  if (old != 0) {
+    // Unlink the superseded entry.  prev may be the new head's old target.
+    const std::uint64_t old_next = pool_->get<std::uint64_t>(old + kNodeNext);
+    if (prev == 0) {
+      pool_->set<std::uint64_t>(node_off + kNodeNext, old_next);
+    } else {
+      pool_->set<std::uint64_t>(prev + kNodeNext, old_next);
+    }
+    const auto old_val = pool_->get<std::uint64_t>(old + kNodeValOff);
+    pool_->free(old);
+    if (old_val != 0) pool_->free(old_val);
+  } else {
+    bump_count(+1);
+  }
+  return true;
+}
+
+bool HashTable::erase(std::string_view key) {
+  std::lock_guard lk((*stripes_)[fnv1a(key) % kStripes]);
+  const std::uint64_t slot = bucket_slot(key);
+  std::uint64_t prev = 0;
+  std::uint64_t node = pool_->get<std::uint64_t>(slot);
+  while (node != 0) {
+    const std::uint64_t next = pool_->get<std::uint64_t>(node + kNodeNext);
+    if (read_key(node) == key) {
+      if (prev == 0) {
+        pool_->set<std::uint64_t>(slot, next);
+      } else {
+        pool_->set<std::uint64_t>(prev + kNodeNext, next);
+      }
+      const auto val = pool_->get<std::uint64_t>(node + kNodeValOff);
+      pool_->free(node);
+      if (val != 0) pool_->free(val);
+      bump_count(-1);
+      return true;
+    }
+    prev = node;
+    node = next;
+  }
+  return false;
+}
+
+void HashTable::read_value(const ValueRef& ref, void* dst) const {
+  pool_->read(ref.val_off, dst, ref.val_size);
+}
+
+const std::byte* HashTable::value_direct(const ValueRef& ref) const {
+  pool_->charge_read(ref.val_size);
+  return pool_->direct(ref.val_off);
+}
+
+std::size_t HashTable::count() const {
+  return pool_->get<TableHeader>(hoff_).count;
+}
+
+std::size_t HashTable::nbuckets() const {
+  return pool_->get<TableHeader>(hoff_).nbuckets;
+}
+
+void HashTable::bump_count(std::int64_t delta) {
+  std::lock_guard lk(*count_mu_);
+  auto hdr = pool_->get<TableHeader>(hoff_);
+  hdr.count = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(hdr.count) + delta);
+  pool_->set<std::uint64_t>(hoff_ + offsetof(TableHeader, count), hdr.count);
+}
+
+void HashTable::for_each(
+    const std::function<void(std::string_view, const ValueRef&)>& fn) const {
+  // Hold every stripe so the view is consistent.
+  for (auto& m : *stripes_) m.lock();
+  const auto hdr = pool_->get<TableHeader>(hoff_);
+  // Scan the bucket array with one bulk read (a sequential-streaming
+  // access), not one charged random read per slot.
+  std::vector<std::uint64_t> heads(hdr.nbuckets);
+  pool_->read(hdr.buckets_off, heads.data(), hdr.nbuckets * 8);
+  for (std::uint64_t b = 0; b < hdr.nbuckets; ++b) {
+    std::uint64_t node = heads[b];
+    while (node != 0) {
+      const std::string key = read_key(node);
+      ValueRef ref;
+      ref.node_off = node;
+      ref.val_off = pool_->get<std::uint64_t>(node + kNodeValOff);
+      ref.val_size = pool_->get<std::uint64_t>(node + kNodeValSize);
+      ref.meta = pool_->get<std::uint64_t>(node + kNodeMeta);
+      fn(key, ref);
+      node = pool_->get<std::uint64_t>(node + kNodeNext);
+    }
+  }
+  for (auto it = stripes_->rbegin(); it != stripes_->rend(); ++it) it->unlock();
+}
+
+void HashTable::for_each_prefix(
+    std::string_view prefix,
+    const std::function<void(std::string_view, const ValueRef&)>& fn) const {
+  for_each([&](std::string_view key, const ValueRef& ref) {
+    if (key.size() >= prefix.size() &&
+        key.compare(0, prefix.size(), prefix) == 0) {
+      fn(key, ref);
+    }
+  });
+}
+
+void HashTable::rehash(std::size_t new_nbuckets) {
+  if (new_nbuckets == 0) new_nbuckets = 1;
+  for (auto& m : *stripes_) m.lock();
+  const auto hdr = pool_->get<TableHeader>(hoff_);
+
+  // Build a complete replacement: new array + copied nodes sharing the old
+  // value blobs.  Nothing existing is mutated until the header swap.
+  const std::uint64_t nbuckets_off = pool_->alloc(new_nbuckets * 8);
+  zero_range(*pool_, nbuckets_off, new_nbuckets * 8);
+
+  std::vector<std::uint64_t> old_nodes;
+  for (std::uint64_t b = 0; b < hdr.nbuckets; ++b) {
+    std::uint64_t node = pool_->get<std::uint64_t>(hdr.buckets_off + b * 8);
+    while (node != 0) {
+      old_nodes.push_back(node);
+      const std::string key = read_key(node);
+      const std::uint64_t copy = pool_->alloc(kNodeKey + key.size());
+      const std::uint64_t nslot =
+          nbuckets_off + (fnv1a(key) % new_nbuckets) * 8;
+      pool_->set<std::uint64_t>(copy + kNodeNext,
+                                pool_->get<std::uint64_t>(nslot));
+      pool_->set<std::uint64_t>(copy + kNodeValOff,
+                                pool_->get<std::uint64_t>(node + kNodeValOff));
+      pool_->set<std::uint64_t>(copy + kNodeValSize,
+                                pool_->get<std::uint64_t>(node + kNodeValSize));
+      pool_->set<std::uint64_t>(copy + kNodeMeta,
+                                pool_->get<std::uint64_t>(node + kNodeMeta));
+      pool_->set<std::uint32_t>(copy + kNodeKeyLen,
+                                static_cast<std::uint32_t>(key.size()));
+      if (!key.empty()) {
+        pool_->write(copy + kNodeKey, key.data(), key.size());
+        pool_->persist(copy + kNodeKey, key.size());
+      }
+      pool_->set<std::uint64_t>(nslot, copy);
+      node = pool_->get<std::uint64_t>(node + kNodeNext);
+    }
+  }
+
+  {
+    Transaction tx(*pool_);
+    tx.snapshot(hoff_, sizeof(TableHeader));
+    pool_->set<std::uint64_t>(hoff_ + offsetof(TableHeader, nbuckets),
+                              new_nbuckets);
+    pool_->set<std::uint64_t>(hoff_ + offsetof(TableHeader, buckets_off),
+                              nbuckets_off);
+    tx.commit();
+  }
+
+  for (std::uint64_t node : old_nodes) pool_->free(node);
+  pool_->free(hdr.buckets_off);
+  for (auto it = stripes_->rbegin(); it != stripes_->rend(); ++it) it->unlock();
+}
+
+// ---------------------------------------------------------------------------
+// Inserter
+// ---------------------------------------------------------------------------
+
+HashTable::Inserter::Inserter(HashTable& t, std::string_view key,
+                              std::uint64_t node_off, std::uint64_t val_off,
+                              std::uint64_t val_size)
+    : table_(&t),
+      key_(key),
+      node_off_(node_off),
+      val_off_(val_off),
+      val_size_(val_size) {}
+
+HashTable::Inserter::Inserter(Inserter&& o) noexcept
+    : table_(o.table_),
+      key_(std::move(o.key_)),
+      node_off_(o.node_off_),
+      val_off_(o.val_off_),
+      val_size_(o.val_size_),
+      published_(o.published_) {
+  o.published_ = true;  // the moved-from shell owns nothing
+  o.node_off_ = 0;
+}
+
+HashTable::Inserter::~Inserter() {
+  if (published_ || node_off_ == 0) return;
+  table_->pool_->free(node_off_);
+  if (val_off_ != 0) table_->pool_->free(val_off_);
+}
+
+std::span<std::byte> HashTable::Inserter::value() {
+  return table_->pool_->direct_write_span(val_off_, val_size_);
+}
+
+bool HashTable::Inserter::publish(bool keep_existing) {
+  if (published_) return false;
+  // Make the entry durable before it becomes reachable.
+  if (val_size_ > 0) table_->pool_->persist(val_off_, val_size_);
+  table_->pool_->persist(node_off_, kNodeKey + key_.size());
+  const bool linked = table_->link_replace(key_, node_off_, keep_existing);
+  published_ = true;  // either linked or already freed by link_replace
+  if (linked) table_->maybe_grow();
+  return linked;
+}
+
+void HashTable::maybe_grow() {
+  if (!auto_grow_) return;
+  const auto hdr = pool_->get<TableHeader>(hoff_);
+  if (hdr.count > hdr.nbuckets * 4) rehash(hdr.nbuckets * 4);
+}
+
+}  // namespace pmemcpy::obj

@@ -1,0 +1,127 @@
+#include <pmemcpy/obj/plist.hpp>
+
+#include <cstring>
+#include <vector>
+
+namespace pmemcpy::obj {
+
+namespace {
+
+struct ListHeader {
+  std::uint64_t head;        // node offset, 0 = empty
+  std::uint64_t count;
+  std::uint64_t value_size;
+};
+
+constexpr std::uint64_t kNodeNext = 0;
+constexpr std::uint64_t kNodeValue = 8;
+
+struct LockSlot {
+  std::uint64_t generation;  // bumped on every (re)bind
+  std::uint64_t owner;       // diagnostic only
+};
+
+}  // namespace
+
+PList::PList(Pool& pool, std::uint64_t hoff) : pool_(&pool), hoff_(hoff) {}
+
+PList PList::create(Pool& pool, std::size_t value_size) {
+  const std::uint64_t hoff = pool.alloc(sizeof(ListHeader));
+  ListHeader hdr{0, 0, value_size};
+  pool.set(hoff, hdr);
+  return PList(pool, hoff);
+}
+
+PList PList::open(Pool& pool, std::uint64_t header_off) {
+  const auto hdr = pool.get<ListHeader>(header_off);
+  if (hdr.value_size == 0) throw PoolError("PList::open: invalid header");
+  return PList(pool, header_off);
+}
+
+std::size_t PList::value_size() const {
+  return pool_->get<ListHeader>(hoff_).value_size;
+}
+
+std::size_t PList::size() const {
+  return pool_->get<ListHeader>(hoff_).count;
+}
+
+void PList::push(const void* value) {
+  std::lock_guard lk(*mu_);
+  const auto hdr = pool_->get<ListHeader>(hoff_);
+  const std::uint64_t node = pool_->alloc(kNodeValue + hdr.value_size);
+  // Fully persist the node before it becomes reachable.
+  pool_->set<std::uint64_t>(node + kNodeNext, hdr.head);
+  pool_->write(node + kNodeValue, value, hdr.value_size);
+  pool_->persist(node + kNodeValue, hdr.value_size);
+  // Single-pointer link-in.
+  pool_->set<std::uint64_t>(hoff_ + offsetof(ListHeader, head), node);
+  pool_->set<std::uint64_t>(hoff_ + offsetof(ListHeader, count),
+                            hdr.count + 1);
+}
+
+bool PList::pop(void* out) {
+  std::lock_guard lk(*mu_);
+  const auto hdr = pool_->get<ListHeader>(hoff_);
+  if (hdr.head == 0) return false;
+  const auto next = pool_->get<std::uint64_t>(hdr.head + kNodeNext);
+  pool_->read(hdr.head + kNodeValue, out, hdr.value_size);
+  pool_->set<std::uint64_t>(hoff_ + offsetof(ListHeader, head), next);
+  pool_->set<std::uint64_t>(hoff_ + offsetof(ListHeader, count),
+                            hdr.count - 1);
+  pool_->free(hdr.head);
+  return true;
+}
+
+void PList::for_each(const std::function<void(const std::byte*)>& fn) const {
+  std::lock_guard lk(*mu_);
+  const auto hdr = pool_->get<ListHeader>(hoff_);
+  std::vector<std::byte> value(hdr.value_size);
+  std::uint64_t node = hdr.head;
+  while (node != 0) {
+    pool_->read(node + kNodeValue, value.data(), value.size());
+    fn(value.data());
+    node = pool_->get<std::uint64_t>(node + kNodeNext);
+  }
+}
+
+PMutex::PMutex(Pool& pool, std::uint64_t off) : pool_(&pool), off_(off) {}
+
+PMutex PMutex::create(Pool& pool) {
+  const std::uint64_t off = pool.alloc(sizeof(LockSlot));
+  pool.set(off, LockSlot{1, 0});
+  return PMutex(pool, off);
+}
+
+PMutex PMutex::open(Pool& pool, std::uint64_t off) {
+  // Re-binding invalidates any pre-crash owner: bump the generation.
+  auto slot = pool.get<LockSlot>(off);
+  if (slot.generation == 0) throw PoolError("PMutex::open: invalid slot");
+  ++slot.generation;
+  slot.owner = 0;
+  pool.set(off, slot);
+  return PMutex(pool, off);
+}
+
+void PMutex::lock() {
+  runtime_->lock();
+  // Record the owner for post-mortem diagnostics (charged metadata write).
+  pool_->set<std::uint64_t>(
+      off_ + offsetof(LockSlot, owner),
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+bool PMutex::try_lock() {
+  if (!runtime_->try_lock()) return false;
+  pool_->set<std::uint64_t>(
+      off_ + offsetof(LockSlot, owner),
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  return true;
+}
+
+void PMutex::unlock() {
+  pool_->set<std::uint64_t>(off_ + offsetof(LockSlot, owner), 0);
+  runtime_->unlock();
+}
+
+}  // namespace pmemcpy::obj

@@ -1,0 +1,410 @@
+#include <pmemcpy/obj/pool.hpp>
+
+#include <array>
+#include <cstring>
+#include <new>
+
+namespace pmemcpy::obj {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x504d454d43505921ull;  // "PMEMCPY!"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kChunkAlign = 64;
+constexpr std::size_t kChunkHeader = 16;
+/// Minimum remainder worth splitting off a large free chunk.
+constexpr std::size_t kSplitMin = 4096;
+
+/// Chunk sizes (header + payload) served from per-class free lists.
+constexpr std::array<std::size_t, 11> kClassSizes = {
+    64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536};
+constexpr std::uint32_t kLargeClass = 0xFFFFFFFFu;
+constexpr std::uint32_t kChunkMagic = 0xA110C8EDu;
+
+constexpr std::size_t round_up(std::size_t v, std::size_t to) {
+  return (v + to - 1) / to * to;
+}
+
+struct PoolHeader {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t pad;
+  std::uint64_t size;
+  std::uint64_t root;
+};
+
+struct AllocState {
+  std::uint64_t arena_cursor;
+  std::uint64_t arena_end;
+  std::uint64_t bytes_in_use;
+  std::uint64_t large_free_head;
+  std::uint64_t free_head[kClassSizes.size()];
+};
+
+struct ChunkHeader {
+  std::uint64_t payload_size;
+  std::uint32_t cls;  // index into kClassSizes, or kLargeClass
+  std::uint32_t magic;
+};
+static_assert(sizeof(ChunkHeader) == kChunkHeader);
+
+struct LogEntryHeader {
+  std::uint64_t off;
+  std::uint64_t len;
+};
+
+}  // namespace
+
+struct Pool::Layout {
+  static constexpr std::uint64_t kHeaderOff = 64;
+  static constexpr std::uint64_t kAllocOff = 4096;
+  static constexpr std::uint64_t kLaneBase = 8192;
+  static constexpr std::uint64_t kLaneHeader = 64;
+  static constexpr std::uint64_t kLaneStride = kLaneHeader + Pool::kTxLogBytes;
+  static constexpr std::uint64_t heap_start() {
+    return round_up(kLaneBase + Pool::kTxLanes * kLaneStride, 4096);
+  }
+};
+
+Pool::Pool(pmem::Device& dev, std::size_t base, std::size_t size,
+           PoolOptions opts)
+    : dev_(&dev), base_(base), size_(size), opts_(opts) {}
+
+Pool Pool::create(pmem::Device& dev, std::size_t base, std::size_t size,
+                  PoolOptions opts) {
+  if (base + size > dev.capacity()) {
+    throw PoolError("Pool::create: region exceeds device capacity");
+  }
+  if (size < Layout::heap_start() + 64 * 1024) {
+    throw PoolError("Pool::create: pool too small");
+  }
+  Pool p(dev, base, size, opts);
+  p.format();
+  return p;
+}
+
+Pool Pool::open(pmem::Device& dev, std::size_t base, PoolOptions opts) {
+  if (base + sizeof(PoolHeader) + Layout::kHeaderOff > dev.capacity()) {
+    throw PoolError("Pool::open: region beyond device capacity");
+  }
+  Pool p(dev, base, /*size=*/dev.capacity() - base, opts);
+  const auto hdr = p.get<PoolHeader>(Layout::kHeaderOff);
+  if (hdr.magic != kMagic) throw PoolError("Pool::open: bad magic");
+  if (hdr.version != kVersion) throw PoolError("Pool::open: bad version");
+  if (base + hdr.size > dev.capacity()) {
+    throw PoolError("Pool::open: header size exceeds device");
+  }
+  p.size_ = hdr.size;
+  p.recover();
+  return p;
+}
+
+void Pool::format() {
+  AllocState as{};
+  as.arena_cursor = Layout::heap_start();
+  as.arena_end = size_;
+  as.bytes_in_use = 0;
+  as.large_free_head = 0;
+  for (auto& h : as.free_head) h = 0;
+  set(Layout::kAllocOff, as);
+
+  for (std::size_t lane = 0; lane < kTxLanes; ++lane) {
+    set<std::uint64_t>(lane_off(static_cast<int>(lane)), 0);  // log empty
+  }
+
+  // Header goes last: a crash mid-format leaves an unopenable (unformatted)
+  // pool rather than a corrupt one.
+  PoolHeader hdr{};
+  hdr.magic = kMagic;
+  hdr.version = kVersion;
+  hdr.size = size_;
+  hdr.root = 0;
+  set(Layout::kHeaderOff, hdr);
+}
+
+void Pool::check_off(std::uint64_t off, std::size_t len) const {
+  if (off > size_ || len > size_ - off) {
+    throw std::out_of_range("Pool: access beyond pool size");
+  }
+}
+
+void Pool::write(std::uint64_t off, const void* src, std::size_t len) {
+  check_off(off, len);
+  dev_->note_write(base_ + off, len);
+  std::memcpy(dev_->raw(base_ + off), src, len);
+  dev_->charge_dax_write(base_ + off, len, opts_.map_sync);
+}
+
+void Pool::read(std::uint64_t off, void* dst, std::size_t len) const {
+  check_off(off, len);
+  std::memcpy(dst, dev_->raw(base_ + off), len);
+  dev_->charge_dax_read(len, opts_.map_sync);
+}
+
+void Pool::persist(std::uint64_t off, std::size_t len) {
+  check_off(off, len);
+  dev_->persist(base_ + off, len);
+}
+
+std::span<std::byte> Pool::direct_write_span(std::uint64_t off,
+                                             std::size_t len) {
+  check_off(off, len);
+  dev_->note_write(base_ + off, len);
+  dev_->charge_dax_write(base_ + off, len, opts_.map_sync);
+  return {dev_->raw(base_ + off), len};
+}
+
+std::uint64_t Pool::root() const {
+  return get<PoolHeader>(Layout::kHeaderOff).root;
+}
+
+void Pool::set_root(std::uint64_t off) {
+  const std::uint64_t field =
+      Layout::kHeaderOff + offsetof(PoolHeader, root);
+  set(field, off);
+}
+
+// ---------------------------------------------------------------------------
+// Allocator
+// ---------------------------------------------------------------------------
+
+std::uint64_t Pool::alloc(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  std::lock_guard lk(*alloc_mu_);
+  return alloc_locked(bytes);
+}
+
+std::uint64_t Pool::alloc_locked(std::size_t bytes) {
+  const std::size_t need = round_up(bytes + kChunkHeader, kChunkAlign);
+  const std::uint64_t as_off = Layout::kAllocOff;
+  auto as = get<AllocState>(as_off);
+
+  std::uint64_t chunk = 0;
+  std::size_t chunk_size = 0;
+  std::uint32_t cls = kLargeClass;
+
+  // Small path: smallest size class that fits.
+  for (std::size_t c = 0; c < kClassSizes.size(); ++c) {
+    if (kClassSizes[c] >= need) {
+      cls = static_cast<std::uint32_t>(c);
+      chunk_size = kClassSizes[c];
+      break;
+    }
+  }
+
+  if (cls != kLargeClass && as.free_head[cls] != 0) {
+    // Pop the class free list: a single persisted 8-byte head update.
+    chunk = as.free_head[cls];
+    const auto next = get<std::uint64_t>(chunk + kChunkHeader);
+    set(as_off + offsetof(AllocState, free_head) + cls * 8, next);
+  } else if (cls == kLargeClass) {
+    chunk_size = need;
+    // First fit on the large free list.
+    std::uint64_t prev = 0;
+    std::uint64_t cur = as.large_free_head;
+    while (cur != 0) {
+      const auto hdr = get<ChunkHeader>(cur);
+      const std::size_t total = hdr.payload_size + kChunkHeader;
+      const auto next = get<std::uint64_t>(cur + kChunkHeader);
+      if (total >= need) {
+        // Unlink.
+        if (prev == 0) {
+          set(as_off + offsetof(AllocState, large_free_head), next);
+        } else {
+          set(prev + kChunkHeader, next);
+        }
+        if (total - need >= kSplitMin) {
+          // Split the tail back onto the large list.
+          const std::uint64_t rest = cur + need;
+          ChunkHeader rh{};
+          rh.payload_size = total - need - kChunkHeader;
+          rh.cls = kLargeClass;
+          rh.magic = kChunkMagic;
+          set(rest, rh);
+          set(rest + kChunkHeader, get<AllocState>(as_off).large_free_head);
+          set(as_off + offsetof(AllocState, large_free_head), rest);
+          chunk_size = need;
+        } else {
+          chunk_size = total;
+        }
+        chunk = cur;
+        break;
+      }
+      prev = cur;
+      cur = next;
+    }
+  }
+
+  if (chunk == 0) {
+    // Bump arena.
+    as = get<AllocState>(as_off);
+    const std::uint64_t at = round_up(as.arena_cursor, kChunkAlign);
+    if (at + chunk_size > as.arena_end) throw std::bad_alloc{};
+    set(as_off + offsetof(AllocState, arena_cursor), at + chunk_size);
+    chunk = at;
+  }
+
+  ChunkHeader hdr{};
+  hdr.payload_size = chunk_size - kChunkHeader;
+  hdr.cls = cls;
+  hdr.magic = kChunkMagic;
+  set(chunk, hdr);
+
+  const auto in_use = get<std::uint64_t>(as_off + offsetof(AllocState, bytes_in_use));
+  set(as_off + offsetof(AllocState, bytes_in_use), in_use + hdr.payload_size);
+  return chunk + kChunkHeader;
+}
+
+void Pool::free(std::uint64_t off) {
+  if (off == 0) return;
+  std::lock_guard lk(*alloc_mu_);
+  const std::uint64_t chunk = off - kChunkHeader;
+  const auto hdr = get<ChunkHeader>(chunk);
+  if (hdr.magic != kChunkMagic) {
+    throw PoolError("Pool::free: not an allocation");
+  }
+  const std::uint64_t as_off = Layout::kAllocOff;
+  std::uint64_t head_field;
+  if (hdr.cls == kLargeClass) {
+    head_field = as_off + offsetof(AllocState, large_free_head);
+  } else {
+    head_field = as_off + offsetof(AllocState, free_head) + hdr.cls * 8;
+  }
+  // Push: write the next pointer into the payload, then swing the head.
+  set(off, get<std::uint64_t>(head_field));
+  set(head_field, chunk);
+  const auto in_use = get<std::uint64_t>(as_off + offsetof(AllocState, bytes_in_use));
+  set(as_off + offsetof(AllocState, bytes_in_use), in_use - hdr.payload_size);
+}
+
+std::size_t Pool::usable_size(std::uint64_t off) const {
+  const auto hdr = get<ChunkHeader>(off - kChunkHeader);
+  if (hdr.magic != kChunkMagic) {
+    throw PoolError("Pool::usable_size: not an allocation");
+  }
+  return hdr.payload_size;
+}
+
+std::size_t Pool::bytes_in_use() const noexcept {
+  // Uncharged stat read.
+  std::uint64_t v;
+  std::memcpy(&v,
+              dev_->raw(base_ + Layout::kAllocOff +
+                        offsetof(AllocState, bytes_in_use)),
+              sizeof(v));
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+std::uint64_t Pool::lane_off(int lane) const {
+  return Layout::kLaneBase +
+         static_cast<std::uint64_t>(lane) * Layout::kLaneStride;
+}
+
+int Pool::acquire_tx_lane() {
+  std::unique_lock lk(*lane_mu_);
+  for (;;) {
+    for (std::size_t i = 0; i < kTxLanes; ++i) {
+      if (!lane_busy_[i]) {
+        lane_busy_[i] = true;
+        return static_cast<int>(i);
+      }
+    }
+    lane_cv_->wait(lk);
+  }
+}
+
+void Pool::release_tx_lane(int lane) {
+  std::lock_guard lk(*lane_mu_);
+  lane_busy_[static_cast<std::size_t>(lane)] = false;
+  lane_cv_->notify_one();
+}
+
+void Pool::recover() {
+  for (std::size_t lane = 0; lane < kTxLanes; ++lane) {
+    const std::uint64_t lo = lane_off(static_cast<int>(lane));
+    const auto used = get<std::uint64_t>(lo);
+    if (used == 0) continue;
+    // Collect entries, then roll back newest-first so overlapping snapshots
+    // leave the oldest pre-image in place.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;  // log pos, -
+    std::uint64_t pos = lo + Layout::kLaneHeader;
+    const std::uint64_t end = pos + used;
+    while (pos < end) {
+      const auto eh = get<LogEntryHeader>(pos);
+      entries.emplace_back(pos, 0);
+      pos += sizeof(LogEntryHeader) + round_up(eh.len, 8);
+    }
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+      const auto eh = get<LogEntryHeader>(it->first);
+      std::vector<std::byte> image(eh.len);
+      read(it->first + sizeof(LogEntryHeader), image.data(), eh.len);
+      write(eh.off, image.data(), eh.len);
+      persist(eh.off, eh.len);
+    }
+    set<std::uint64_t>(lo, 0);
+  }
+}
+
+Transaction::Transaction(Pool& pool)
+    : pool_(&pool), lane_(pool.acquire_tx_lane()) {}
+
+Transaction::~Transaction() {
+  if (!committed_) rollback();
+  pool_->release_tx_lane(lane_);
+}
+
+void Transaction::snapshot(std::uint64_t off, std::size_t len) {
+  if (committed_) throw PoolError("Transaction: snapshot after commit");
+  const std::uint64_t lo = pool_->lane_off(lane_);
+  const auto used = pool_->get<std::uint64_t>(lo);
+  const std::size_t entry = sizeof(LogEntryHeader) + round_up(len, 8);
+  if (used + entry > Pool::kTxLogBytes) {
+    throw PoolError("Transaction: undo log full");
+  }
+  const std::uint64_t pos = lo + Pool::Layout::kLaneHeader + used;
+  LogEntryHeader eh{off, len};
+  pool_->write(pos, &eh, sizeof(eh));
+  // Pre-image straight from pool to pool.
+  std::vector<std::byte> image(len);
+  pool_->read(off, image.data(), len);
+  pool_->write(pos + sizeof(eh), image.data(), len);
+  pool_->persist(pos, entry);
+  // Only after the entry is durable does it become visible.
+  pool_->set<std::uint64_t>(lo, used + entry);
+  ranges_.emplace_back(off, len);
+}
+
+void Transaction::commit() {
+  if (committed_) return;
+  for (const auto& [off, len] : ranges_) pool_->persist(off, len);
+  pool_->set<std::uint64_t>(pool_->lane_off(lane_), 0);
+  committed_ = true;
+}
+
+void Transaction::rollback() {
+  // Newest-first, mirroring crash recovery.
+  const std::uint64_t lo = pool_->lane_off(lane_);
+  std::uint64_t pos = lo + Pool::Layout::kLaneHeader;
+  std::vector<std::uint64_t> entry_pos;
+  const auto used = pool_->get<std::uint64_t>(lo);
+  const std::uint64_t end = pos + used;
+  while (pos < end) {
+    const auto eh = pool_->get<LogEntryHeader>(pos);
+    entry_pos.push_back(pos);
+    pos += sizeof(LogEntryHeader) + round_up(eh.len, 8);
+  }
+  for (auto it = entry_pos.rbegin(); it != entry_pos.rend(); ++it) {
+    const auto eh = pool_->get<LogEntryHeader>(*it);
+    std::vector<std::byte> image(eh.len);
+    pool_->read(*it + sizeof(LogEntryHeader), image.data(), eh.len);
+    pool_->write(eh.off, image.data(), eh.len);
+    pool_->persist(eh.off, eh.len);
+  }
+  pool_->set<std::uint64_t>(lo, 0);
+}
+
+}  // namespace pmemcpy::obj

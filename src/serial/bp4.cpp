@@ -1,0 +1,64 @@
+#include <pmemcpy/serial/bp4.hpp>
+
+namespace pmemcpy::serial {
+
+namespace {
+struct FixedHeader {
+  std::uint32_t magic;
+  std::uint8_t version;
+  std::uint8_t serializer;
+  std::uint8_t dtype;
+  std::uint8_t ndims;
+  std::uint64_t payload_bytes;
+};
+static_assert(sizeof(FixedHeader) == 16);
+}  // namespace
+
+std::size_t bp4_header_size(std::uint32_t ndims) {
+  return sizeof(FixedHeader) + static_cast<std::size_t>(ndims) * 3 * 8;
+}
+
+void bp4_write_header(Sink& sink, const VarMeta& meta) {
+  if (meta.global.size() != meta.offset.size() ||
+      meta.global.size() != meta.count.size()) {
+    throw SerialError("bp4: inconsistent dimension vectors");
+  }
+  if (meta.global.size() > 255) throw SerialError("bp4: too many dims");
+  FixedHeader h{};
+  h.magic = kBp4Magic;
+  h.version = kBp4Version;
+  h.serializer = static_cast<std::uint8_t>(meta.serializer);
+  h.dtype = static_cast<std::uint8_t>(meta.dtype);
+  h.ndims = static_cast<std::uint8_t>(meta.global.size());
+  h.payload_bytes = meta.payload_bytes;
+  sink.write(&h, sizeof(h));
+  for (std::size_t d = 0; d < meta.global.size(); ++d) {
+    const std::uint64_t triple[3] = {meta.global[d], meta.offset[d],
+                                     meta.count[d]};
+    sink.write(triple, sizeof(triple));
+  }
+}
+
+VarMeta bp4_read_header(Source& source) {
+  FixedHeader h{};
+  source.read(&h, sizeof(h));
+  if (h.magic != kBp4Magic) throw SerialError("bp4: bad magic");
+  if (h.version != kBp4Version) throw SerialError("bp4: bad version");
+  VarMeta meta;
+  meta.dtype = static_cast<DType>(h.dtype);
+  meta.serializer = static_cast<SerializerId>(h.serializer);
+  meta.payload_bytes = h.payload_bytes;
+  meta.global.resize(h.ndims);
+  meta.offset.resize(h.ndims);
+  meta.count.resize(h.ndims);
+  for (std::uint32_t d = 0; d < h.ndims; ++d) {
+    std::uint64_t triple[3];
+    source.read(triple, sizeof(triple));
+    meta.global[d] = triple[0];
+    meta.offset[d] = triple[1];
+    meta.count[d] = triple[2];
+  }
+  return meta;
+}
+
+}  // namespace pmemcpy::serial

@@ -1,0 +1,86 @@
+#include <pmemcpy/serial/capnp.hpp>
+
+#include <cstring>
+
+namespace pmemcpy::serial {
+
+namespace {
+struct Word0 {
+  std::uint32_t magic;
+  std::uint8_t dtype;
+  std::uint8_t ndims;
+  std::uint16_t reserved;
+};
+static_assert(sizeof(Word0) == 8);
+}  // namespace
+
+std::size_t capnp_header_size(std::uint32_t ndims) {
+  return 16 + static_cast<std::size_t>(ndims) * 24;
+}
+
+void capnp_write_header(Sink& sink, const VarMeta& meta) {
+  if (meta.global.size() != meta.offset.size() ||
+      meta.global.size() != meta.count.size()) {
+    throw SerialError("capnp: inconsistent dimension vectors");
+  }
+  if (meta.global.size() > 255) throw SerialError("capnp: too many dims");
+  Word0 w0{};
+  w0.magic = kCapnpMagic;
+  w0.dtype = static_cast<std::uint8_t>(meta.dtype);
+  w0.ndims = static_cast<std::uint8_t>(meta.global.size());
+  sink.write(&w0, sizeof(w0));
+  sink.write(&meta.payload_bytes, sizeof(meta.payload_bytes));
+  for (std::size_t d = 0; d < meta.global.size(); ++d) {
+    const std::uint64_t triple[3] = {meta.global[d], meta.offset[d],
+                                     meta.count[d]};
+    sink.write(triple, sizeof(triple));
+  }
+}
+
+VarMeta capnp_read_header(Source& source) {
+  Word0 w0{};
+  source.read(&w0, sizeof(w0));
+  if (w0.magic != kCapnpMagic) throw SerialError("capnp: bad magic");
+  VarMeta meta;
+  meta.dtype = static_cast<DType>(w0.dtype);
+  source.read(&meta.payload_bytes, sizeof(meta.payload_bytes));
+  meta.global.resize(w0.ndims);
+  meta.offset.resize(w0.ndims);
+  meta.count.resize(w0.ndims);
+  for (std::uint32_t d = 0; d < w0.ndims; ++d) {
+    std::uint64_t triple[3];
+    source.read(triple, sizeof(triple));
+    meta.global[d] = triple[0];
+    meta.offset[d] = triple[1];
+    meta.count[d] = triple[2];
+  }
+  return meta;
+}
+
+bool capnp_valid(const std::byte* rec, std::size_t len) {
+  if (len < 16) return false;
+  Word0 w0{};
+  std::memcpy(&w0, rec, sizeof(w0));
+  if (w0.magic != kCapnpMagic) return false;
+  return len >= capnp_header_size(w0.ndims);
+}
+
+DType capnp_dtype(const std::byte* rec) {
+  return static_cast<DType>(std::to_integer<std::uint8_t>(rec[4]));
+}
+
+std::uint32_t capnp_ndims(const std::byte* rec) {
+  return std::to_integer<std::uint8_t>(rec[5]);
+}
+
+std::uint64_t capnp_payload_bytes(const std::byte* rec) {
+  std::uint64_t v;
+  std::memcpy(&v, rec + 8, sizeof(v));
+  return v;
+}
+
+const std::byte* capnp_payload(const std::byte* rec) {
+  return rec + capnp_header_size(capnp_ndims(rec));
+}
+
+}  // namespace pmemcpy::serial

@@ -1,0 +1,88 @@
+#include <pmemcpy/workload/domain3d.hpp>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pmemcpy::wk {
+
+std::array<std::size_t, 3> balanced_factors(int nranks) {
+  if (nranks < 1) throw std::invalid_argument("balanced_factors: nranks < 1");
+  std::array<std::size_t, 3> best = {static_cast<std::size_t>(nranks), 1, 1};
+  std::size_t best_spread = best[0];
+  const auto n = static_cast<std::size_t>(nranks);
+  for (std::size_t px = 1; px <= n; ++px) {
+    if (n % px != 0) continue;
+    const std::size_t rest = n / px;
+    for (std::size_t py = 1; py <= rest; ++py) {
+      if (rest % py != 0) continue;
+      const std::size_t pz = rest / py;
+      const std::size_t mx = std::max({px, py, pz});
+      const std::size_t mn = std::min({px, py, pz});
+      if (mx - mn < best_spread) {
+        best_spread = mx - mn;
+        best = {px, py, pz};
+      }
+    }
+  }
+  // Sort descending for a deterministic orientation.
+  if (best[0] < best[1]) std::swap(best[0], best[1]);
+  if (best[1] < best[2]) std::swap(best[1], best[2]);
+  if (best[0] < best[1]) std::swap(best[0], best[1]);
+  return best;
+}
+
+Decomposition decompose(std::size_t elems_per_var, int nranks) {
+  if (elems_per_var == 0) {
+    throw std::invalid_argument("decompose: empty variable");
+  }
+  const auto grid = balanced_factors(nranks);
+  const double per_rank = static_cast<double>(elems_per_var) /
+                          static_cast<double>(nranks);
+  // Near-cubic per-rank boxes; the last dimension absorbs rounding so the
+  // realised volume stays within ~1% of the target across rank counts.
+  auto side = static_cast<std::size_t>(std::llround(std::cbrt(per_rank)));
+  if (side == 0) side = 1;
+  auto sz = static_cast<std::size_t>(std::llround(
+      per_rank / static_cast<double>(side * side)));
+  if (sz == 0) sz = 1;
+
+  Decomposition out;
+  out.global = {grid[0] * side, grid[1] * side, grid[2] * sz};
+  out.rank_boxes.reserve(static_cast<std::size_t>(nranks));
+  for (std::size_t px = 0; px < grid[0]; ++px) {
+    for (std::size_t py = 0; py < grid[1]; ++py) {
+      for (std::size_t pz = 0; pz < grid[2]; ++pz) {
+        out.rank_boxes.emplace_back(
+            Dimensions{px * side, py * side, pz * sz},
+            Dimensions{side, side, sz});
+      }
+    }
+  }
+  return out;
+}
+
+void fill_box(std::vector<double>& buf, int var, const Dimensions& global,
+              const Box& box) {
+  buf.resize(box.elements());
+  for_each_row(global, box,
+               [&](std::size_t lin, std::size_t elems, std::size_t box_off) {
+                 for (std::size_t i = 0; i < elems; ++i) {
+                   buf[box_off + i] = element_value(var, lin + i);
+                 }
+               });
+}
+
+std::size_t verify_box(const std::vector<double>& buf, int var,
+                       const Dimensions& global, const Box& box) {
+  if (buf.size() < box.elements()) return box.elements();
+  std::size_t bad = 0;
+  for_each_row(global, box,
+               [&](std::size_t lin, std::size_t elems, std::size_t box_off) {
+                 for (std::size_t i = 0; i < elems; ++i) {
+                   if (buf[box_off + i] != element_value(var, lin + i)) ++bad;
+                 }
+               });
+  return bad;
+}
+
+}  // namespace pmemcpy::wk

@@ -1,0 +1,173 @@
+// Tests for the storage backends (flat table vs hierarchical tree) through
+// the common Store interface, including the concurrency semantics the core
+// relies on (reserve/commit, first-writer-wins, replace).
+#include <pmemcpy/core/backend.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+
+namespace {
+
+using pmemcpy::PmemNode;
+using pmemcpy::detail::EntryInfo;
+using pmemcpy::detail::Store;
+
+enum class Kind { kTable, kTree };
+
+class BackendTest : public ::testing::TestWithParam<Kind> {
+ protected:
+  BackendTest() {
+    PmemNode::Options o;
+    o.capacity = 64ull << 20;
+    node_ = std::make_unique<PmemNode>(o);
+    store_ = make(GetParam());
+  }
+
+  std::unique_ptr<Store> make(Kind kind) {
+    if (kind == Kind::kTable) {
+      auto pool = node_->open_or_create_pool("test", 0);
+      if (pool->root() == 0) {
+        auto t = pmemcpy::obj::HashTable::create(*pool, 256);
+        pool->set_root(t.header_off());
+      }
+      return pmemcpy::detail::make_table_store(
+          pool, node_->table_for(pool, pool->root()));
+    }
+    return pmemcpy::detail::make_tree_store(node_->fs(), "/store", false);
+  }
+
+  void put_str(Store& st, const std::string& key, const std::string& value,
+               std::uint64_t meta = 0, bool keep_existing = false) {
+    auto put = st.put(key, value.size(), meta, keep_existing);
+    put->sink().write(value.data(), value.size());
+    put->commit();
+  }
+
+  std::string get_str(Store& st, const std::string& key) {
+    auto e = st.find(key);
+    if (!e) return "<missing>";
+    std::string out(e->info().size, '\0');
+    e->read(0, out.data(), out.size());
+    return out;
+  }
+
+  std::unique_ptr<PmemNode> node_;
+  std::unique_ptr<Store> store_;
+};
+
+TEST_P(BackendTest, PutFindRoundtrip) {
+  put_str(*store_, "k", "hello", 42);
+  auto e = store_->find("k");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->info().size, 5u);
+  EXPECT_EQ(e->info().meta, 42u);
+  EXPECT_EQ(get_str(*store_, "k"), "hello");
+}
+
+TEST_P(BackendTest, FindMissingReturnsNull) {
+  EXPECT_EQ(store_->find("nope"), nullptr);
+}
+
+TEST_P(BackendTest, PartialRead) {
+  put_str(*store_, "k", "0123456789");
+  auto e = store_->find("k");
+  char buf[4];
+  e->read(3, buf, 4);
+  EXPECT_EQ(std::string(buf, 4), "3456");
+  EXPECT_THROW(e->read(8, buf, 4), std::exception);
+}
+
+TEST_P(BackendTest, DirectPointerMatches) {
+  put_str(*store_, "k", "direct-data");
+  auto e = store_->find("k");
+  const std::byte* p = e->direct(e->info().size);
+  EXPECT_EQ(std::memcmp(p, "direct-data", 11), 0);
+}
+
+TEST_P(BackendTest, ReplaceLastWins) {
+  put_str(*store_, "k", "first");
+  put_str(*store_, "k", "second");
+  EXPECT_EQ(get_str(*store_, "k"), "second");
+}
+
+TEST_P(BackendTest, KeepExistingFirstWins) {
+  put_str(*store_, "k", "first");
+  put_str(*store_, "k", "second", 0, /*keep_existing=*/true);
+  EXPECT_EQ(get_str(*store_, "k"), "first");
+}
+
+TEST_P(BackendTest, UncommittedPutInvisible) {
+  {
+    auto put = store_->put("ghost", 5, 0);
+    put->sink().write("abcde", 5);
+    // no commit
+  }
+  EXPECT_EQ(store_->find("ghost"), nullptr);
+}
+
+TEST_P(BackendTest, Erase) {
+  put_str(*store_, "k", "x");
+  EXPECT_TRUE(store_->erase("k"));
+  EXPECT_FALSE(store_->erase("k"));
+  EXPECT_EQ(store_->find("k"), nullptr);
+}
+
+TEST_P(BackendTest, ForEachPrefix) {
+  put_str(*store_, "var#p:0_0:2_2", "a");
+  put_str(*store_, "var#p:2_0:2_2", "b");
+  put_str(*store_, "var#dims", "d");
+  put_str(*store_, "other", "o");
+  std::set<std::string> seen;
+  store_->for_each_prefix("var#p:",
+                          [&](const std::string& key, const EntryInfo&) {
+                            seen.insert(key);
+                          });
+  EXPECT_EQ(seen,
+            (std::set<std::string>{"var#p:0_0:2_2", "var#p:2_0:2_2"}));
+}
+
+TEST_P(BackendTest, PrefixWithDirectoryComponent) {
+  put_str(*store_, "grp/var#p:0:1", "a");
+  put_str(*store_, "grp/var2#p:0:1", "b");
+  std::set<std::string> seen;
+  store_->for_each_prefix("grp/var#",
+                          [&](const std::string& key, const EntryInfo&) {
+                            seen.insert(key);
+                          });
+  EXPECT_EQ(seen, (std::set<std::string>{"grp/var#p:0:1"}));
+}
+
+TEST_P(BackendTest, ConcurrentSameKeyFirstWins) {
+  // The "#dims" pattern: many threads storing the same key with
+  // keep_existing must not corrupt anything and exactly one must win.
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Every backend instance is thread-compatible per rank; make one per
+      // thread like the real per-rank PMEM objects do.
+      auto st = make(GetParam());
+      const std::string v = "writer" + std::to_string(t);
+      for (int i = 0; i < 10; ++i) {
+        auto put = st->put("dims", v.size(), 0, /*keep_existing=*/true);
+        put->sink().write(v.data(), v.size());
+        put->commit();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::string v = get_str(*store_, "dims");
+  EXPECT_EQ(v.substr(0, 6), "writer");
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendTest,
+                         ::testing::Values(Kind::kTable, Kind::kTree),
+                         [](const auto& info) {
+                           return info.param == Kind::kTable ? "Table"
+                                                             : "Tree";
+                         });
+
+}  // namespace

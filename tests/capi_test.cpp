@@ -1,0 +1,115 @@
+// Tests for the C API (pmemcpy.h): Figure-2 surface through C linkage.
+#include <pmemcpy/pmemcpy.h>
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+struct CApiTest : ::testing::Test {
+  CApiTest() {
+    node = pmemcpy_node_create(64ull << 20);
+    pmemcpy_node_set_default(node);
+    pmem = pmemcpy_create();
+  }
+  ~CApiTest() override {
+    pmemcpy_destroy(pmem);
+    pmemcpy_node_destroy(node);
+  }
+  pmemcpy_node* node;
+  pmemcpy_pmem* pmem;
+};
+
+TEST_F(CApiTest, MmapMunmap) {
+  EXPECT_EQ(pmemcpy_mmap(pmem, "/c.pmem"), PMEMCPY_OK);
+  EXPECT_EQ(pmemcpy_munmap(pmem), PMEMCPY_OK);
+}
+
+TEST_F(CApiTest, UseBeforeMmapIsStateError) {
+  EXPECT_EQ(pmemcpy_store_f64(pmem, "x", 1.0), PMEMCPY_ERR_STATE);
+  EXPECT_NE(pmemcpy_last_error(pmem)[0], '\0');
+}
+
+TEST_F(CApiTest, ScalarsRoundtrip) {
+  ASSERT_EQ(pmemcpy_mmap(pmem, "/c.pmem"), PMEMCPY_OK);
+  EXPECT_EQ(pmemcpy_store_f64(pmem, "pi", 3.25), PMEMCPY_OK);
+  EXPECT_EQ(pmemcpy_store_i64(pmem, "n", -42), PMEMCPY_OK);
+  double d = 0;
+  int64_t n = 0;
+  EXPECT_EQ(pmemcpy_load_f64(pmem, "pi", &d), PMEMCPY_OK);
+  EXPECT_EQ(pmemcpy_load_i64(pmem, "n", &n), PMEMCPY_OK);
+  EXPECT_DOUBLE_EQ(d, 3.25);
+  EXPECT_EQ(n, -42);
+}
+
+TEST_F(CApiTest, MissingKeyAndTypeErrors) {
+  ASSERT_EQ(pmemcpy_mmap(pmem, "/c.pmem"), PMEMCPY_OK);
+  double d;
+  EXPECT_EQ(pmemcpy_load_f64(pmem, "ghost", &d), PMEMCPY_ERR_KEY);
+  ASSERT_EQ(pmemcpy_store_i64(pmem, "i", 1), PMEMCPY_OK);
+  EXPECT_EQ(pmemcpy_load_f64(pmem, "i", &d), PMEMCPY_ERR_TYPE);
+}
+
+TEST_F(CApiTest, Fig3ArrayFlow) {
+  // The paper's Figure 3, single process.
+  ASSERT_EQ(pmemcpy_mmap(pmem, "/fig3.pmem"), PMEMCPY_OK);
+  const size_t count = 100, off = 0, dimsf = 100;
+  double data[100];
+  for (int i = 0; i < 100; ++i) data[i] = i * 0.5;
+  EXPECT_EQ(pmemcpy_alloc(pmem, "A", PMEMCPY_F64, 1, &dimsf), PMEMCPY_OK);
+  EXPECT_EQ(pmemcpy_store(pmem, "A", PMEMCPY_F64, data, 1, &off, &count),
+            PMEMCPY_OK);
+
+  int ndims = 0;
+  size_t dims[8] = {};
+  EXPECT_EQ(pmemcpy_load_dims(pmem, "A", &ndims, dims), PMEMCPY_OK);
+  EXPECT_EQ(ndims, 1);
+  EXPECT_EQ(dims[0], 100u);
+
+  double out[100] = {};
+  EXPECT_EQ(pmemcpy_load(pmem, "A", PMEMCPY_F64, out, 1, &off, &count),
+            PMEMCPY_OK);
+  EXPECT_DOUBLE_EQ(out[99], 49.5);
+}
+
+TEST_F(CApiTest, IntDtypeArrays) {
+  ASSERT_EQ(pmemcpy_mmap(pmem, "/ints.pmem"), PMEMCPY_OK);
+  const size_t dims[2] = {4, 8};
+  const size_t offs[2] = {0, 0};
+  std::vector<int32_t> v(32);
+  for (int i = 0; i < 32; ++i) v[static_cast<size_t>(i)] = i * 3;
+  EXPECT_EQ(pmemcpy_alloc(pmem, "m", PMEMCPY_I32, 2, dims), PMEMCPY_OK);
+  EXPECT_EQ(pmemcpy_store(pmem, "m", PMEMCPY_I32, v.data(), 2, offs, dims),
+            PMEMCPY_OK);
+  std::vector<int32_t> out(32, -1);
+  EXPECT_EQ(pmemcpy_load(pmem, "m", PMEMCPY_I32, out.data(), 2, offs, dims),
+            PMEMCPY_OK);
+  EXPECT_EQ(out, v);
+  // Wrong dtype on load is rejected.
+  EXPECT_EQ(pmemcpy_load(pmem, "m", PMEMCPY_F32, out.data(), 2, offs, dims),
+            PMEMCPY_ERR_TYPE);
+}
+
+TEST_F(CApiTest, BytesRoundtrip) {
+  ASSERT_EQ(pmemcpy_mmap(pmem, "/bytes.pmem"), PMEMCPY_OK);
+  const char msg[] = "opaque payload";
+  ASSERT_EQ(pmemcpy_store_bytes(pmem, "blob", msg, sizeof(msg)), PMEMCPY_OK);
+  size_t len = 0;
+  ASSERT_EQ(pmemcpy_bytes_size(pmem, "blob", &len), PMEMCPY_OK);
+  EXPECT_EQ(len, sizeof(msg));
+  char out[sizeof(msg)] = {};
+  ASSERT_EQ(pmemcpy_load_bytes(pmem, "blob", out, len), PMEMCPY_OK);
+  EXPECT_STREQ(out, msg);
+}
+
+TEST_F(CApiTest, ExistsRemove) {
+  ASSERT_EQ(pmemcpy_mmap(pmem, "/ns.pmem"), PMEMCPY_OK);
+  EXPECT_EQ(pmemcpy_exists(pmem, "x"), 0);
+  ASSERT_EQ(pmemcpy_store_f64(pmem, "x", 1.0), PMEMCPY_OK);
+  EXPECT_EQ(pmemcpy_exists(pmem, "x"), 1);
+  EXPECT_EQ(pmemcpy_remove(pmem, "x"), PMEMCPY_OK);
+  EXPECT_EQ(pmemcpy_remove(pmem, "x"), PMEMCPY_ERR_KEY);
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+// Tests for the HDF5-style chunked storage layout of the contiguous engine:
+// roundtrips across chunk shapes (including non-dividing edge chunks), reads
+// with different rank counts, and the H5Pset_chunk facade path.
+#include <miniio/hdf5.hpp>
+#include <miniio/miniio.hpp>
+#include <pmemcpy/workload/domain3d.hpp>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using miniio::Library;
+using pmemcpy::Box;
+using pmemcpy::Dimensions;
+using pmemcpy::PmemNode;
+namespace wk = pmemcpy::wk;
+
+PmemNode::Options opts() {
+  PmemNode::Options o;
+  o.capacity = 128ull << 20;
+  o.pool_fraction = 0.05;
+  return o;
+}
+
+class ChunkShapeTest
+    : public ::testing::TestWithParam<std::tuple<Dimensions, int>> {};
+
+TEST_P(ChunkShapeTest, WriteReadRoundtrip) {
+  const auto& [chunk, nranks] = GetParam();
+  PmemNode node(opts());
+  const auto dec = wk::decompose(24 * 24 * 24, nranks);
+
+  pmemcpy::par::Runtime::run(nranks, [&](pmemcpy::par::Comm& comm) {
+    const Box& mine = dec.rank_boxes[static_cast<std::size_t>(comm.rank())];
+    {
+      auto w = miniio::open_writer(Library::kNetcdf4, node, "/c.h5", comm);
+      w->set_chunk(chunk);
+      std::vector<double> buf;
+      wk::fill_box(buf, 0, dec.global, mine);
+      w->write("v", buf.data(), mine, dec.global);
+      w->close();
+    }
+    {
+      auto r = miniio::open_reader(Library::kNetcdf4, node, "/c.h5", comm);
+      // Symmetric read.
+      std::vector<double> buf(mine.elements(), -1.0);
+      r->read("v", buf.data(), mine);
+      EXPECT_EQ(wk::verify_box(buf, 0, dec.global, mine), 0u);
+      // Chunk-misaligned centred subvolume.
+      Box want;
+      want.offset = {dec.global[0] / 3, dec.global[1] / 3, dec.global[2] / 3};
+      want.count = {dec.global[0] / 2, dec.global[1] / 2, dec.global[2] / 2};
+      std::vector<double> sub(want.elements(), -1.0);
+      r->read("v", sub.data(), want);
+      EXPECT_EQ(wk::verify_box(sub, 0, dec.global, want), 0u);
+      r->close();
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ChunkShapeTest,
+    ::testing::Combine(
+        ::testing::Values(Dimensions{8, 8, 8},    // dividing cubes
+                          Dimensions{7, 5, 3},    // non-dividing edges
+                          Dimensions{1, 24, 24},  // plane chunks
+                          Dimensions{100, 1, 6},  // over-sized + slivers
+                          Dimensions{}),          // contiguous baseline
+        ::testing::Values(1, 4)),
+    [](const auto& info) {
+      const Dimensions& chunk = std::get<0>(info.param);
+      const int nranks = std::get<1>(info.param);
+      std::string name = "c";
+      for (auto d : chunk) name += std::to_string(d) + "_";
+      if (chunk.empty()) name += "contig_";
+      name += std::to_string(nranks) + "r";
+      return name;
+    });
+
+TEST(ChunkedMixed, ChunkedAndContiguousVarsInOneFile) {
+  PmemNode node(opts());
+  const auto dec = wk::decompose(16 * 16 * 16, 2);
+  pmemcpy::par::Runtime::run(2, [&](pmemcpy::par::Comm& comm) {
+    const Box& mine = dec.rank_boxes[static_cast<std::size_t>(comm.rank())];
+    std::vector<double> a, b;
+    wk::fill_box(a, 0, dec.global, mine);
+    wk::fill_box(b, 1, dec.global, mine);
+    auto w = miniio::open_writer(Library::kNetcdf4, node, "/mix.h5", comm);
+    w->set_chunk({4, 4, 4});
+    w->write("chunked", a.data(), mine, dec.global);
+    w->set_chunk({});
+    w->write("contig", b.data(), mine, dec.global);
+    w->close();
+
+    auto r = miniio::open_reader(Library::kNetcdf4, node, "/mix.h5", comm);
+    std::vector<double> out(mine.elements());
+    r->read("chunked", out.data(), mine);
+    EXPECT_EQ(wk::verify_box(out, 0, dec.global, mine), 0u);
+    r->read("contig", out.data(), mine);
+    EXPECT_EQ(wk::verify_box(out, 1, dec.global, mine), 0u);
+    r->close();
+  });
+}
+
+TEST(ChunkedFacade, H5PsetChunkFlow) {
+  using namespace minihdf5;
+  PmemNode node(opts());
+  pmemcpy::par::Runtime::run(2, [&](pmemcpy::par::Comm& comm) {
+    hsize_t dims[2] = {16, 16};
+    hsize_t off[2] = {static_cast<hsize_t>(comm.rank()) * 8, 0};
+    hsize_t cnt[2] = {8, 16};
+    std::vector<double> data(128);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = comm.rank() * 1000.0 + static_cast<double>(i);
+    }
+
+    hid_t fapl = H5Pcreate(H5P_FILE_ACCESS);
+    ASSERT_EQ(H5Pset_fapl_mpio(fapl, node, comm), 0);
+    hid_t dcpl = H5Pcreate(H5P_DATASET_CREATE);
+    hsize_t chunk[2] = {5, 5};
+    ASSERT_EQ(H5Pset_chunk(dcpl, 2, chunk), 0);
+    // Wrong class rejected.
+    EXPECT_EQ(H5Pset_chunk(fapl, 2, chunk), -1);
+
+    hid_t file = H5Fcreate("/ck.h5", H5F_ACC_TRUNC, H5P_DEFAULT, fapl);
+    hid_t fspace = H5Screate_simple(2, dims, nullptr);
+    hid_t dset = H5Dcreate(file, "d", H5T_NATIVE_DOUBLE, fspace, H5P_DEFAULT,
+                           dcpl, H5P_DEFAULT);
+    ASSERT_NE(dset, H5_INVALID);
+    H5Sclose(fspace);
+    fspace = H5Dget_space(dset);
+    ASSERT_EQ(H5Sselect_hyperslab(fspace, H5S_SELECT_SET, off, nullptr, cnt,
+                                  nullptr),
+              0);
+    ASSERT_EQ(H5Dwrite(dset, H5T_NATIVE_DOUBLE, H5P_DEFAULT, fspace,
+                       H5P_DEFAULT, data.data()),
+              0);
+    H5Sclose(fspace);
+    H5Dclose(dset);
+    H5Fclose(file);
+    H5Pclose(dcpl);
+
+    file = H5Fopen("/ck.h5", H5F_ACC_RDONLY, fapl);
+    dset = H5Dopen(file, "d", H5P_DEFAULT);
+    fspace = H5Dget_space(dset);
+    ASSERT_EQ(H5Sselect_hyperslab(fspace, H5S_SELECT_SET, off, nullptr, cnt,
+                                  nullptr),
+              0);
+    std::vector<double> out(128, -1);
+    ASSERT_EQ(H5Dread(dset, H5T_NATIVE_DOUBLE, H5P_DEFAULT, fspace,
+                      H5P_DEFAULT, out.data()),
+              0);
+    EXPECT_EQ(out, data);
+    H5Sclose(fspace);
+    H5Dclose(dset);
+    H5Fclose(file);
+    H5Pclose(fapl);
+  });
+}
+
+TEST(ChunkedFacade, RankMismatchRejected) {
+  using namespace minihdf5;
+  PmemNode node(opts());
+  pmemcpy::par::Runtime::run(1, [&](pmemcpy::par::Comm& comm) {
+    hid_t fapl = H5Pcreate(H5P_FILE_ACCESS);
+    ASSERT_EQ(H5Pset_fapl_mpio(fapl, node, comm), 0);
+    hid_t dcpl = H5Pcreate(H5P_DATASET_CREATE);
+    hsize_t chunk[3] = {2, 2, 2};
+    ASSERT_EQ(H5Pset_chunk(dcpl, 3, chunk), 0);
+    hid_t file = H5Fcreate("/m.h5", H5F_ACC_TRUNC, H5P_DEFAULT, fapl);
+    hsize_t dims[2] = {4, 4};  // 2-D dataset, 3-D chunk
+    hid_t fspace = H5Screate_simple(2, dims, nullptr);
+    EXPECT_EQ(H5Dcreate(file, "d", H5T_NATIVE_DOUBLE, fspace, H5P_DEFAULT,
+                        dcpl, H5P_DEFAULT),
+              H5_INVALID);
+    H5Sclose(fspace);
+    H5Fclose(file);
+    H5Pclose(dcpl);
+    H5Pclose(fapl);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Tests for the miniHDF5 and miniADIOS1 API facades.
+#include <miniio/adios1.hpp>
+#include <miniio/hdf5.hpp>
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace {
+
+using pmemcpy::PmemNode;
+
+PmemNode::Options opts() {
+  PmemNode::Options o;
+  o.capacity = 96ull << 20;
+  o.pool_fraction = 0.05;
+  return o;
+}
+
+TEST(Hdf5Facade, WriteReadRoundtrip) {
+  using namespace minihdf5;
+  PmemNode node(opts());
+  constexpr int kProcs = 3;
+  constexpr hsize_t kPer = 64;
+  pmemcpy::par::Runtime::run(kProcs, [&](pmemcpy::par::Comm& comm) {
+    hsize_t count = kPer;
+    hsize_t offset = kPer * static_cast<hsize_t>(comm.rank());
+    hsize_t dimsf = kPer * kProcs;
+    std::vector<double> data(kPer);
+    std::iota(data.begin(), data.end(), comm.rank() * 100.0);
+
+    hid_t fapl = H5Pcreate(H5P_FILE_ACCESS);
+    ASSERT_EQ(H5Pset_fapl_mpio(fapl, node, comm), 0);
+    hid_t file = H5Fcreate("/t.h5", H5F_ACC_TRUNC, H5P_DEFAULT, fapl);
+    ASSERT_NE(file, H5_INVALID);
+    hid_t fspace = H5Screate_simple(1, &dimsf, nullptr);
+    hid_t dset = H5Dcreate(file, "d", H5T_NATIVE_DOUBLE, fspace, H5P_DEFAULT,
+                           H5P_DEFAULT, H5P_DEFAULT);
+    ASSERT_NE(dset, H5_INVALID);
+    ASSERT_EQ(H5Sclose(fspace), 0);
+    fspace = H5Dget_space(dset);
+    ASSERT_EQ(H5Sselect_hyperslab(fspace, H5S_SELECT_SET, &offset, nullptr,
+                                  &count, nullptr),
+              0);
+    hid_t mspace = H5Screate_simple(1, &count, nullptr);
+    ASSERT_EQ(H5Dwrite(dset, H5T_NATIVE_DOUBLE, mspace, fspace, H5P_DEFAULT,
+                       data.data()),
+              0);
+    H5Sclose(mspace);
+    H5Sclose(fspace);
+    H5Dclose(dset);
+    ASSERT_EQ(H5Fclose(file), 0);
+
+    // Read back through the read-mode path.
+    file = H5Fopen("/t.h5", H5F_ACC_RDONLY, fapl);
+    ASSERT_NE(file, H5_INVALID);
+    dset = H5Dopen(file, "d", H5P_DEFAULT);
+    ASSERT_NE(dset, H5_INVALID);
+    fspace = H5Dget_space(dset);
+    ASSERT_EQ(H5Sselect_hyperslab(fspace, H5S_SELECT_SET, &offset, nullptr,
+                                  &count, nullptr),
+              0);
+    std::vector<double> out(kPer, -1);
+    ASSERT_EQ(H5Dread(dset, H5T_NATIVE_DOUBLE, H5P_DEFAULT, fspace,
+                      H5P_DEFAULT, out.data()),
+              0);
+    EXPECT_EQ(out, data);
+    H5Sclose(fspace);
+    H5Dclose(dset);
+    H5Fclose(file);
+    H5Pclose(fapl);
+  });
+}
+
+TEST(Hdf5Facade, ErrorsReturnNegatives) {
+  using namespace minihdf5;
+  PmemNode node(opts());
+  pmemcpy::par::Runtime::run(1, [&](pmemcpy::par::Comm& comm) {
+    // File access plist without fapl setup.
+    hid_t fapl = H5Pcreate(H5P_FILE_ACCESS);
+    EXPECT_EQ(H5Fcreate("/x.h5", H5F_ACC_TRUNC, H5P_DEFAULT, fapl),
+              H5_INVALID);
+    ASSERT_EQ(H5Pset_fapl_mpio(fapl, node, comm), 0);
+    // Wrong plist class.
+    hid_t xfer = H5Pcreate(H5P_DATASET_XFER);
+    EXPECT_EQ(H5Pset_fapl_mpio(xfer, node, comm), -1);
+    // Read-mode open of a missing file.
+    EXPECT_EQ(H5Fopen("/missing.h5", H5F_ACC_RDONLY, fapl), H5_INVALID);
+    // Invalid hyperslab (out of extent).
+    hsize_t dims = 10;
+    hid_t space = H5Screate_simple(1, &dims, nullptr);
+    hsize_t off = 8, cnt = 5;
+    EXPECT_EQ(H5Sselect_hyperslab(space, H5S_SELECT_SET, &off, nullptr, &cnt,
+                                  nullptr),
+              -1);
+    // Double close.
+    EXPECT_EQ(H5Sclose(space), 0);
+    EXPECT_EQ(H5Sclose(space), -1);
+    H5Pclose(xfer);
+    H5Pclose(fapl);
+  });
+}
+
+TEST(Adios1Facade, Fig5FlowRoundtrips) {
+  using namespace miniadios1;
+  PmemNode node(opts());
+  ASSERT_EQ(adios_init("A=dimsf/offset/count", node), 0);
+  constexpr int kProcs = 4;
+  constexpr std::size_t kPer = 50;
+  pmemcpy::par::Runtime::run(kProcs, [&](pmemcpy::par::Comm& comm) {
+    std::vector<double> data(kPer, comm.rank() + 0.5);
+    std::int64_t h;
+    std::size_t count = kPer;
+    std::size_t offset = kPer * static_cast<std::size_t>(comm.rank());
+    std::size_t dimsf = kPer * kProcs;
+    ASSERT_EQ(adios_open(&h, "dataset", "/a.bp", "w", comm), 0);
+    ASSERT_EQ(adios_write(h, "count", &count), 0);
+    ASSERT_EQ(adios_write(h, "dimsf", &dimsf), 0);
+    ASSERT_EQ(adios_write(h, "offset", &offset), 0);
+    ASSERT_EQ(adios_write(h, "A", data.data()), 0);
+    ASSERT_EQ(adios_close(h), 0);
+
+    ASSERT_EQ(adios_open(&h, "dataset", "/a.bp", "r", comm), 0);
+    ASSERT_EQ(adios_write(h, "count", &count), 0);
+    ASSERT_EQ(adios_write(h, "dimsf", &dimsf), 0);
+    ASSERT_EQ(adios_write(h, "offset", &offset), 0);
+    std::vector<double> out(kPer, -1);
+    ASSERT_EQ(adios_read(h, "A", out.data()), 0);
+    EXPECT_EQ(out, data);
+    ASSERT_EQ(adios_close(h), 0);
+  });
+  EXPECT_EQ(adios_finalize(0), 0);
+}
+
+TEST(Adios1Facade, ConfigErrors) {
+  using namespace miniadios1;
+  PmemNode node(opts());
+  EXPECT_EQ(adios_init("broken-spec-no-equals", node), -1);
+  EXPECT_EQ(adios_init("A=only/two", node), -1);
+  EXPECT_EQ(adios_init("A=g0,g1/o0/c0", node), -1);  // rank mismatch
+  EXPECT_EQ(adios_init("A=dimsf/offset/count", node), 0);
+  pmemcpy::par::Runtime::run(1, [&](pmemcpy::par::Comm& comm) {
+    std::int64_t h;
+    EXPECT_EQ(adios_open(&h, "g", "/e.bp", "q", comm), -1);  // bad mode
+    ASSERT_EQ(adios_open(&h, "g", "/e.bp", "w", comm), 0);
+    double data[4] = {};
+    // Array write before its dimension scalars exist.
+    EXPECT_EQ(adios_write(h, "A", data), -1);
+    EXPECT_EQ(adios_close(h), 0);
+    EXPECT_EQ(adios_close(h), -1);  // double close
+  });
+  EXPECT_EQ(adios_finalize(0), 0);
+}
+
+TEST(Adios1Facade, MultiDimensionalConfig) {
+  using namespace miniadios1;
+  PmemNode node(opts());
+  ASSERT_EQ(adios_init("V=gx,gy/ox,oy/cx,cy", node), 0);
+  pmemcpy::par::Runtime::run(2, [&](pmemcpy::par::Comm& comm) {
+    // 2-D 8x8 array, split into 4x8 halves by rank.
+    std::size_t gx = 8, gy = 8;
+    std::size_t ox = static_cast<std::size_t>(comm.rank()) * 4, oy = 0;
+    std::size_t cx = 4, cy = 8;
+    std::vector<double> data(32);
+    std::iota(data.begin(), data.end(), comm.rank() * 1000.0);
+    std::int64_t h;
+    ASSERT_EQ(adios_open(&h, "g", "/2d.bp", "w", comm), 0);
+    adios_write(h, "gx", &gx);
+    adios_write(h, "gy", &gy);
+    adios_write(h, "ox", &ox);
+    adios_write(h, "oy", &oy);
+    adios_write(h, "cx", &cx);
+    adios_write(h, "cy", &cy);
+    ASSERT_EQ(adios_write(h, "V", data.data()), 0);
+    ASSERT_EQ(adios_close(h), 0);
+
+    ASSERT_EQ(adios_open(&h, "g", "/2d.bp", "r", comm), 0);
+    adios_write(h, "gx", &gx);
+    adios_write(h, "gy", &gy);
+    adios_write(h, "ox", &ox);
+    adios_write(h, "oy", &oy);
+    adios_write(h, "cx", &cx);
+    adios_write(h, "cy", &cy);
+    std::vector<double> out(32, -1);
+    ASSERT_EQ(adios_read(h, "V", out.data()), 0);
+    EXPECT_EQ(out, data);
+    ASSERT_EQ(adios_close(h), 0);
+  });
+  EXPECT_EQ(adios_finalize(0), 0);
+}
+
+}  // namespace

@@ -1,0 +1,211 @@
+// Tests for N-d box algebra and region copies, including property-style
+// sweeps over dimensions and shapes.
+#include <pmemcpy/core/hyperslab.hpp>
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+namespace {
+
+using pmemcpy::Box;
+using pmemcpy::box_from_string;
+using pmemcpy::box_linear_index;
+using pmemcpy::box_to_string;
+using pmemcpy::contains;
+using pmemcpy::copy_box_region;
+using pmemcpy::Dimensions;
+using pmemcpy::for_each_row;
+using pmemcpy::intersect;
+
+TEST(BoxTest, ElementsAndEmpty) {
+  Box b({0, 0}, {3, 4});
+  EXPECT_EQ(b.elements(), 12u);
+  EXPECT_FALSE(b.empty());
+  Box e({1, 1}, {0, 4});
+  EXPECT_TRUE(e.empty());
+  EXPECT_TRUE(Box{}.empty());
+}
+
+TEST(BoxTest, IntersectOverlap) {
+  Box a({0, 0}, {10, 10});
+  Box b({5, 5}, {10, 10});
+  const Box i = intersect(a, b);
+  EXPECT_EQ(i.offset, (Dimensions{5, 5}));
+  EXPECT_EQ(i.count, (Dimensions{5, 5}));
+}
+
+TEST(BoxTest, IntersectDisjointIsEmpty) {
+  Box a({0}, {5});
+  Box b({10}, {5});
+  EXPECT_TRUE(intersect(a, b).empty());
+}
+
+TEST(BoxTest, IntersectTouchingIsEmpty) {
+  Box a({0}, {5});
+  Box b({5}, {5});
+  EXPECT_TRUE(intersect(a, b).empty());
+}
+
+TEST(BoxTest, IntersectRankMismatchThrows) {
+  EXPECT_THROW(intersect(Box({0}, {1}), Box({0, 0}, {1, 1})),
+               std::invalid_argument);
+}
+
+TEST(BoxTest, Contains) {
+  Box outer({0, 0}, {10, 10});
+  EXPECT_TRUE(contains(outer, Box({2, 3}, {4, 5})));
+  EXPECT_TRUE(contains(outer, outer));
+  EXPECT_FALSE(contains(outer, Box({8, 8}, {4, 4})));
+}
+
+TEST(BoxTest, LinearIndex) {
+  Box b({10, 20}, {5, 6});
+  EXPECT_EQ(box_linear_index(b, {10, 20}), 0u);
+  EXPECT_EQ(box_linear_index(b, {10, 21}), 1u);
+  EXPECT_EQ(box_linear_index(b, {11, 20}), 6u);
+  EXPECT_EQ(box_linear_index(b, {14, 25}), 29u);
+}
+
+TEST(BoxTest, StringRoundtrip) {
+  Box b({1, 22, 333}, {40, 5, 6});
+  EXPECT_EQ(box_from_string(box_to_string(b)), b);
+  EXPECT_EQ(box_to_string(b), "1_22_333:40_5_6");
+}
+
+TEST(BoxTest, StringParseErrors) {
+  EXPECT_THROW(box_from_string("nocolon"), std::invalid_argument);
+  EXPECT_THROW(box_from_string("1_2:3"), std::invalid_argument);
+}
+
+TEST(ForEachRow, CoversWholeBoxOnce) {
+  const Dimensions global{4, 5, 6};
+  const Box box({1, 2, 1}, {2, 2, 4});
+  std::vector<int> hits(4 * 5 * 6, 0);
+  std::size_t rows = 0;
+  std::size_t expected_box_off = 0;
+  for_each_row(global, box,
+               [&](std::size_t lin, std::size_t elems, std::size_t box_off) {
+                 EXPECT_EQ(elems, 4u);
+                 EXPECT_EQ(box_off, expected_box_off);
+                 expected_box_off += elems;
+                 for (std::size_t i = 0; i < elems; ++i) ++hits[lin + i];
+                 ++rows;
+               });
+  EXPECT_EQ(rows, 4u);  // 2*2 rows
+  std::size_t covered = 0;
+  for (int h : hits) {
+    EXPECT_LE(h, 1);
+    covered += static_cast<std::size_t>(h);
+  }
+  EXPECT_EQ(covered, box.elements());
+}
+
+TEST(ForEachRow, OneDimensional) {
+  std::size_t calls = 0;
+  for_each_row({100}, Box({25}, {50}),
+               [&](std::size_t lin, std::size_t elems, std::size_t off) {
+                 EXPECT_EQ(lin, 25u);
+                 EXPECT_EQ(elems, 50u);
+                 EXPECT_EQ(off, 0u);
+                 ++calls;
+               });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(CopyBoxRegion, FullCopy1D) {
+  std::vector<double> src(10);
+  std::iota(src.begin(), src.end(), 0.0);
+  std::vector<double> dst(10, -1);
+  const Box b({0}, {10});
+  copy_box_region(reinterpret_cast<std::byte*>(dst.data()), b,
+                  reinterpret_cast<const std::byte*>(src.data()), b, b, 8);
+  EXPECT_EQ(dst, src);
+}
+
+TEST(CopyBoxRegion, OffsetRegion2D) {
+  // src covers rows 0..3 of a 4x4; dst covers rows 2..5; copy rows 2..3.
+  const Box src_box({0, 0}, {4, 4});
+  const Box dst_box({2, 0}, {4, 4});
+  const Box region({2, 0}, {2, 4});
+  std::vector<std::int32_t> src(16);
+  std::iota(src.begin(), src.end(), 0);
+  std::vector<std::int32_t> dst(16, -1);
+  copy_box_region(reinterpret_cast<std::byte*>(dst.data()), dst_box,
+                  reinterpret_cast<const std::byte*>(src.data()), src_box,
+                  region, 4);
+  // Region rows land at the start of dst's buffer.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(dst[static_cast<std::size_t>(i)], 8 + i);
+  for (int i = 8; i < 16; ++i) EXPECT_EQ(dst[static_cast<std::size_t>(i)], -1);
+}
+
+TEST(CopyBoxRegion, RegionNotContainedThrows) {
+  const Box a({0}, {4});
+  const Box b({2}, {4});
+  std::vector<std::byte> buf(64);
+  EXPECT_THROW(
+      copy_box_region(buf.data(), a, buf.data(), b, Box({0}, {4}), 1),
+      std::invalid_argument);
+}
+
+TEST(CopyBoxRegion, EmptyRegionIsNoop) {
+  std::vector<std::byte> buf(8, std::byte{1});
+  copy_box_region(buf.data(), Box({0}, {8}), buf.data(), Box({0}, {8}),
+                  Box({0}, {0}), 1);
+}
+
+/// Property sweep: scatter a source box into a global array through
+/// copy_box_region and verify every element lands at its global position.
+class CopyBoxProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CopyBoxProperty, RandomBoxesRoundtrip) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::uniform_int_distribution<std::size_t> dim_d(1, 3);
+  const std::size_t nd = dim_d(rng);
+  Dimensions gdims(nd);
+  std::uniform_int_distribution<std::size_t> size_d(3, 9);
+  for (auto& d : gdims) d = size_d(rng);
+  const Box gbox(Dimensions(nd, 0), gdims);
+
+  auto random_subbox = [&] {
+    Box b;
+    b.offset.resize(nd);
+    b.count.resize(nd);
+    for (std::size_t d = 0; d < nd; ++d) {
+      std::uniform_int_distribution<std::size_t> off_d(0, gdims[d] - 1);
+      b.offset[d] = off_d(rng);
+      std::uniform_int_distribution<std::size_t> cnt_d(1,
+                                                       gdims[d] - b.offset[d]);
+      b.count[d] = cnt_d(rng);
+    }
+    return b;
+  };
+
+  const Box src_box = random_subbox();
+  // Source buffer: value = global linear index of the element.
+  std::vector<std::uint64_t> src(src_box.elements());
+  for_each_row(gdims, src_box,
+               [&](std::size_t lin, std::size_t elems, std::size_t off) {
+                 for (std::size_t i = 0; i < elems; ++i) src[off + i] = lin + i;
+               });
+
+  std::vector<std::uint64_t> global(gbox.elements(), ~0ull);
+  copy_box_region(reinterpret_cast<std::byte*>(global.data()), gbox,
+                  reinterpret_cast<const std::byte*>(src.data()), src_box,
+                  src_box, 8);
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    if (global[i] != ~0ull) {
+      EXPECT_EQ(global[i], i);
+    }
+  }
+  // Count matches the box volume.
+  const auto filled = static_cast<std::size_t>(
+      std::count_if(global.begin(), global.end(),
+                    [](std::uint64_t v) { return v != ~0ull; }));
+  EXPECT_EQ(filled, src_box.elements());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CopyBoxProperty, ::testing::Range(0, 25));
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Integration tests of the baseline PIO libraries (miniADIOS, miniNetCDF4,
+// miniPNetCDF) over the 3-D domain-decomposition workload.
+#include <miniio/miniio.hpp>
+#include <pmemcpy/workload/domain3d.hpp>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using miniio::Library;
+using pmemcpy::Box;
+using pmemcpy::Dimensions;
+using pmemcpy::PmemNode;
+namespace wk = pmemcpy::wk;
+
+class MiniioTest : public ::testing::TestWithParam<std::tuple<Library, int>> {};
+
+TEST_P(MiniioTest, WriteReadSymmetric) {
+  const auto [lib, nranks] = GetParam();
+  PmemNode::Options o;
+  o.capacity = 96ull << 20;
+  o.pool_fraction = 0.1;  // baselines only need the filesystem
+  PmemNode node(o);
+
+  const int nvars = 3;
+  const auto dec = wk::decompose(/*elems_per_var=*/32 * 32 * 32, nranks);
+
+  pmemcpy::par::Runtime::run(nranks, [&](pmemcpy::par::Comm& comm) {
+    const Box& mine = dec.rank_boxes[static_cast<std::size_t>(comm.rank())];
+    {
+      auto w = miniio::open_writer(lib, node, "/data.out", comm);
+      std::vector<double> buf;
+      for (int v = 0; v < nvars; ++v) {
+        wk::fill_box(buf, v, dec.global, mine);
+        w->write("var" + std::to_string(v), buf.data(), mine, dec.global);
+      }
+      w->close();
+    }
+    {
+      auto r = miniio::open_reader(lib, node, "/data.out", comm);
+      EXPECT_EQ(r->dims("var0"), dec.global);
+      std::vector<double> buf(mine.elements());
+      for (int v = 0; v < nvars; ++v) {
+        std::fill(buf.begin(), buf.end(), -1.0);
+        r->read("var" + std::to_string(v), buf.data(), mine);
+        EXPECT_EQ(wk::verify_box(buf, v, dec.global, mine), 0u)
+            << miniio::to_string(lib) << " var" << v;
+      }
+      r->close();
+    }
+  });
+}
+
+TEST_P(MiniioTest, NonSymmetricRead) {
+  const auto [lib, nranks] = GetParam();
+  PmemNode::Options o;
+  o.capacity = 96ull << 20;
+  o.pool_fraction = 0.1;
+  PmemNode node(o);
+  const auto dec = wk::decompose(24 * 24 * 24, nranks);
+
+  pmemcpy::par::Runtime::run(nranks, [&](pmemcpy::par::Comm& comm) {
+    const Box& mine = dec.rank_boxes[static_cast<std::size_t>(comm.rank())];
+    {
+      auto w = miniio::open_writer(lib, node, "/ns.out", comm);
+      std::vector<double> buf;
+      wk::fill_box(buf, 0, dec.global, mine);
+      w->write("v", buf.data(), mine, dec.global);
+      w->close();
+    }
+    {
+      auto r = miniio::open_reader(lib, node, "/ns.out", comm);
+      // Every rank reads a centred slab spanning multiple writers' boxes.
+      Box want;
+      want.offset = {dec.global[0] / 4, dec.global[1] / 4, dec.global[2] / 4};
+      want.count = {dec.global[0] / 2, dec.global[1] / 2, dec.global[2] / 2};
+      std::vector<double> buf(want.elements(), -1.0);
+      r->read("v", buf.data(), want);
+      EXPECT_EQ(wk::verify_box(buf, 0, dec.global, want), 0u)
+          << miniio::to_string(lib);
+      r->close();
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLibraries, MiniioTest,
+    ::testing::Combine(::testing::Values(Library::kAdios, Library::kNetcdf4,
+                                         Library::kPnetcdf),
+                       ::testing::Values(1, 4, 6)),
+    [](const auto& info) {
+      return miniio::to_string(std::get<0>(info.param)) +
+             std::to_string(std::get<1>(info.param)) + "ranks";
+    });
+
+TEST(MiniioCrossRankCounts, WriteWith6ReadWith3) {
+  // Readers need not match the writer's process count (e.g. an analysis
+  // job); exercises the stripe re-partitioning of the contiguous engine and
+  // the index intersection of ADIOS.
+  PmemNode::Options o;
+  o.capacity = 96ull << 20;
+  o.pool_fraction = 0.1;
+  for (const auto lib :
+       {Library::kAdios, Library::kNetcdf4, Library::kPnetcdf}) {
+    PmemNode node(o);
+    const auto wdec = wk::decompose(24 * 24 * 24, 6);
+    pmemcpy::par::Runtime::run(6, [&](pmemcpy::par::Comm& comm) {
+      const Box& mine = wdec.rank_boxes[static_cast<std::size_t>(comm.rank())];
+      auto w = miniio::open_writer(lib, node, "/x.out", comm);
+      std::vector<double> buf;
+      wk::fill_box(buf, 0, wdec.global, mine);
+      w->write("v", buf.data(), mine, wdec.global);
+      w->close();
+    });
+    pmemcpy::par::Runtime::run(3, [&](pmemcpy::par::Comm& comm) {
+      auto r = miniio::open_reader(lib, node, "/x.out", comm);
+      // Use the *writer's* global dims but a 3-way slab split.
+      const auto dims = r->dims("v");
+      ASSERT_EQ(dims, wdec.global);
+      Box want;
+      const std::size_t slab = dims[0] / 3;
+      want.offset = {slab * static_cast<std::size_t>(comm.rank()), 0, 0};
+      want.count = {comm.rank() == 2 ? dims[0] - 2 * slab : slab, dims[1],
+                    dims[2]};
+      std::vector<double> buf(want.elements(), -1.0);
+      r->read("v", buf.data(), want);
+      EXPECT_EQ(wk::verify_box(buf, 0, dims, want), 0u)
+          << miniio::to_string(lib);
+      r->close();
+    });
+  }
+}
+
+TEST(MiniioNetcdfFill, FillModeWritesFillValues) {
+  PmemNode::Options o;
+  o.capacity = 64ull << 20;
+  o.pool_fraction = 0.1;
+  PmemNode node(o);
+  const auto dec = wk::decompose(16 * 16 * 16, 2);
+  miniio::Options opts;
+  opts.nofill = false;
+
+  pmemcpy::par::Runtime::run(2, [&](pmemcpy::par::Comm& comm) {
+    const Box& mine = dec.rank_boxes[static_cast<std::size_t>(comm.rank())];
+    auto w = miniio::open_writer(Library::kNetcdf4, node, "/fill.nc", comm,
+                                 opts);
+    // Only rank 0 writes its box; the rest of the variable stays filled.
+    std::vector<double> buf;
+    wk::fill_box(buf, 0, dec.global, mine);
+    if (comm.rank() == 0) {
+      w->write("v", buf.data(), mine, dec.global);
+    } else {
+      // Collective: all ranks participate with an empty box.
+      Box empty;
+      empty.offset = {0, 0, 0};
+      empty.count = {0, 0, 0};
+      w->write("v", buf.data(), empty, dec.global);
+    }
+    w->close();
+
+    auto r = miniio::open_reader(Library::kNetcdf4, node, "/fill.nc", comm);
+    const Box& other = dec.rank_boxes[1];
+    std::vector<double> out(other.elements(), 0.0);
+    r->read("v", out.data(), other);
+    for (double d : out) {
+      ASSERT_DOUBLE_EQ(d, 9.96920996838687e+36);  // NC_FILL_DOUBLE
+    }
+    r->close();
+  });
+}
+
+TEST(MiniioErrors, UnknownVariableThrows) {
+  PmemNode::Options o;
+  o.capacity = 64ull << 20;
+  o.pool_fraction = 0.1;
+  PmemNode node(o);
+  pmemcpy::par::Runtime::run(1, [&](pmemcpy::par::Comm& comm) {
+    auto w = miniio::open_writer(Library::kAdios, node, "/e.out", comm);
+    std::vector<double> buf(8, 1.0);
+    Box b{{0}, {8}};
+    w->write("v", buf.data(), b, Dimensions{8});
+    w->close();
+    auto r = miniio::open_reader(Library::kAdios, node, "/e.out", comm);
+    EXPECT_THROW(r->dims("zzz"), pmemcpy::fs::FsError);
+    r->close();
+  });
+}
+
+}  // namespace

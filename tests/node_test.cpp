@@ -1,0 +1,118 @@
+// Tests for the PmemNode environment: pool registry, shared instances,
+// remount after crash.
+#include <pmemcpy/core/node.hpp>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using pmemcpy::PmemNode;
+using pmemcpy::ScopedDefaultNode;
+
+PmemNode::Options opts(std::size_t cap = 64ull << 20) {
+  PmemNode::Options o;
+  o.capacity = cap;
+  return o;
+}
+
+TEST(NodeTest, CreateAndReopenPool) {
+  PmemNode node(opts());
+  auto p1 = node.create_pool("alpha", 8ull << 20);
+  p1->set_root(77);
+  auto p2 = node.open_pool("alpha");
+  EXPECT_EQ(p1.get(), p2.get());  // shared instance
+  EXPECT_EQ(p2->root(), 77u);
+}
+
+TEST(NodeTest, DuplicateCreateThrows) {
+  PmemNode node(opts());
+  (void)node.create_pool("a", 8ull << 20);
+  EXPECT_THROW((void)node.create_pool("a", 8ull << 20),
+               pmemcpy::obj::PoolError);
+}
+
+TEST(NodeTest, OpenMissingThrows) {
+  PmemNode node(opts());
+  EXPECT_THROW((void)node.open_pool("ghost"), pmemcpy::obj::PoolError);
+}
+
+TEST(NodeTest, HasPool) {
+  PmemNode node(opts());
+  EXPECT_FALSE(node.has_pool("x"));
+  (void)node.create_pool("x", 8ull << 20);
+  EXPECT_TRUE(node.has_pool("x"));
+}
+
+TEST(NodeTest, MultiplePoolsDontOverlap) {
+  PmemNode node(opts());
+  auto a = node.create_pool("a", 8ull << 20);
+  auto b = node.create_pool("b", 8ull << 20);
+  a->set_root(1);
+  b->set_root(2);
+  EXPECT_EQ(a->root(), 1u);
+  EXPECT_EQ(b->root(), 2u);
+  EXPECT_NE(a->base(), b->base());
+}
+
+TEST(NodeTest, PoolAreaExhaustion) {
+  PmemNode node(opts());
+  // pool area is ~half of 64 MiB.
+  (void)node.create_pool("big", 24ull << 20);
+  EXPECT_THROW((void)node.create_pool("more", 24ull << 20),
+               pmemcpy::obj::PoolError);
+}
+
+TEST(NodeTest, ZeroSizeTakesRemainingArea) {
+  PmemNode node(opts());
+  auto p = node.create_pool("all", 0);
+  EXPECT_GT(p->size(), 16ull << 20);
+  EXPECT_THROW((void)node.create_pool("none", 1ull << 20),
+               pmemcpy::obj::PoolError);
+}
+
+TEST(NodeTest, TableForReturnsSharedInstance) {
+  PmemNode node(opts());
+  auto pool = node.create_pool("t", 8ull << 20);
+  auto table = pmemcpy::obj::HashTable::create(*pool, 64);
+  pool->set_root(table.header_off());
+  auto t1 = node.table_for(pool, pool->root());
+  auto t2 = node.table_for(pool, pool->root());
+  EXPECT_EQ(t1.get(), t2.get());
+}
+
+TEST(NodeTest, RemountRecoversRegistryAndFs) {
+  PmemNode node(opts());
+  {
+    auto pool = node.create_pool("persistent", 8ull << 20);
+    pool->set_root(123);
+    auto f = node.fs().open("/data.txt", pmemcpy::fs::OpenMode::kTruncate);
+    const char msg[] = "survives";
+    node.fs().pwrite(f, msg, sizeof(msg), 0);
+  }
+  node.remount();  // simulated restart
+  EXPECT_TRUE(node.has_pool("persistent"));
+  auto pool = node.open_pool("persistent");
+  EXPECT_EQ(pool->root(), 123u);
+  auto f = node.fs().open("/data.txt", pmemcpy::fs::OpenMode::kRead);
+  char out[16] = {};
+  node.fs().pread(f, out, 9, 0);
+  EXPECT_STREQ(out, "survives");
+}
+
+TEST(NodeTest, DefaultNodeScoped) {
+  EXPECT_EQ(PmemNode::default_node(), nullptr);
+  PmemNode node(opts());
+  {
+    ScopedDefaultNode scope(node);
+    EXPECT_EQ(PmemNode::default_node(), &node);
+  }
+  EXPECT_EQ(PmemNode::default_node(), nullptr);
+}
+
+TEST(NodeTest, PoolNameTooLongThrows) {
+  PmemNode node(opts());
+  EXPECT_THROW((void)node.create_pool(std::string(100, 'x'), 8ull << 20),
+               pmemcpy::obj::PoolError);
+}
+
+}  // namespace

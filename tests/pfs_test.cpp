@@ -1,0 +1,193 @@
+// Tests for the parallel-filesystem model and the burst-buffer drain path.
+#include <pmemcpy/bb/burst_buffer.hpp>
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace {
+
+using pmemcpy::PMEM;
+using pmemcpy::PmemNode;
+using pmemcpy::bb::BurstBuffer;
+using pmemcpy::pfs::ParallelFileSystem;
+using pmemcpy::sim::Charge;
+
+std::vector<std::byte> bytes(std::initializer_list<int> vals) {
+  std::vector<std::byte> out;
+  for (int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(PfsTest, PutGetRoundtrip) {
+  ParallelFileSystem pfs;
+  const auto data = bytes({1, 2, 3, 4});
+  pfs.put("obj", data);
+  const auto back = pfs.get("obj");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(PfsTest, GetMissingReturnsNullopt) {
+  ParallelFileSystem pfs;
+  EXPECT_FALSE(pfs.get("nope").has_value());
+}
+
+TEST(PfsTest, OverwriteAndRemove) {
+  ParallelFileSystem pfs;
+  pfs.put("k", bytes({1}));
+  pfs.put("k", bytes({2, 3}));
+  EXPECT_EQ(pfs.size("k"), 2u);
+  EXPECT_TRUE(pfs.remove("k"));
+  EXPECT_FALSE(pfs.remove("k"));
+  EXPECT_FALSE(pfs.exists("k"));
+}
+
+TEST(PfsTest, ListByPrefix) {
+  ParallelFileSystem pfs;
+  pfs.put("ckpt/a", bytes({1}));
+  pfs.put("ckpt/b", bytes({2}));
+  pfs.put("other", bytes({3}));
+  const auto names = pfs.list("ckpt/");
+  EXPECT_EQ(names, (std::vector<std::string>{"ckpt/a", "ckpt/b"}));
+  EXPECT_EQ(pfs.bytes_stored(), 3u);
+}
+
+TEST(PfsTest, TransfersAreCharged) {
+  ParallelFileSystem pfs;
+  pmemcpy::sim::Context c;
+  pmemcpy::sim::ScopedContext sc(c);
+  std::vector<std::byte> big(1 << 20);
+  pfs.put("big", big);
+  const double after_put = c.charged(Charge::kPfs);
+  EXPECT_GT(after_put, 1e-4);  // latency + ~0.7ms at 1.5 GB/s
+  (void)pfs.get("big");
+  EXPECT_GT(c.charged(Charge::kPfs), after_put);
+}
+
+TEST(PfsTest, PfsIsFarSlowerThanPmem) {
+  ParallelFileSystem pfs;
+  PmemNode node;
+  pmemcpy::sim::Context c;
+  pmemcpy::sim::ScopedContext sc(c);
+  std::vector<std::byte> buf(4 << 20);
+  node.device().write(0, buf.data(), buf.size());
+  const double pmem_t = c.charged(Charge::kPmemWrite);
+  pfs.put("o", buf);
+  const double pfs_t = c.charged(Charge::kPfs);
+  EXPECT_GT(pfs_t, 2 * pmem_t);
+}
+
+struct BurstBufferTest : ::testing::Test {
+  BurstBufferTest() {
+    PmemNode::Options o;
+    o.capacity = 64ull << 20;
+    node = std::make_unique<PmemNode>(o);
+    cfg.node = node.get();
+  }
+  std::unique_ptr<PmemNode> node;
+  pmemcpy::Config cfg;
+  ParallelFileSystem pfs;
+};
+
+TEST_F(BurstBufferTest, DrainShipsEverything) {
+  PMEM pmem{cfg};
+  pmem.mmap("/app");
+  std::vector<double> v(1000);
+  std::iota(v.begin(), v.end(), 0.0);
+  const std::size_t dims = v.size(), off = 0;
+  pmem.alloc<double>("A", 1, &dims);
+  pmem.store("A", v.data(), 1, &off, &dims);
+  pmem.store("step", std::int32_t{7});
+
+  BurstBuffer bb(pfs);
+  const auto report = bb.drain(pmem, "ckpt0");
+  EXPECT_EQ(report.entries, 3u);  // A#dims, A#p:..., step
+  EXPECT_GT(report.bytes, 8000u);
+  EXPECT_GT(report.ready_at, report.started_at);
+  EXPECT_EQ(pfs.list("ckpt0/").size(), 3u);
+  pmem.munmap();
+}
+
+TEST_F(BurstBufferTest, DrainIsAsynchronous) {
+  pmemcpy::sim::Context c;
+  pmemcpy::sim::ScopedContext sc(c);
+  PMEM pmem{cfg};
+  pmem.mmap("/app");
+  std::vector<double> v(1 << 18);
+  pmem.store("big", v);
+
+  BurstBuffer bb(pfs);
+  const double before = c.now();
+  const auto report = bb.drain(pmem, "d");
+  EXPECT_DOUBLE_EQ(c.now(), before);  // caller pays nothing
+  EXPECT_GT(report.duration(), 1e-4);
+  BurstBuffer::wait(report);
+  EXPECT_GE(c.now(), report.ready_at);
+  pmem.munmap();
+}
+
+TEST_F(BurstBufferTest, StageInRestoresData) {
+  {
+    PMEM pmem{cfg};
+    pmem.mmap("/app");
+    std::vector<double> v(512);
+    std::iota(v.begin(), v.end(), 1.5);
+    const std::size_t dims = v.size(), off = 0;
+    pmem.alloc<double>("A", 1, &dims);
+    pmem.store("A", v.data(), 1, &off, &dims);
+    pmem.store("note", std::string("hello pfs"));
+    BurstBuffer bb(pfs);
+    BurstBuffer::wait(bb.drain(pmem, "ckpt"));
+    pmem.munmap();
+  }
+  // A different node (e.g. after the machine was reimaged) stages in.
+  PmemNode::Options o;
+  o.capacity = 64ull << 20;
+  PmemNode fresh(o);
+  pmemcpy::Config cfg2;
+  cfg2.node = &fresh;
+  PMEM pmem{cfg2};
+  pmem.mmap("/restored");
+  BurstBuffer bb(pfs);
+  const auto report = bb.stage_in("ckpt", pmem);
+  EXPECT_EQ(report.entries, 3u);
+  EXPECT_EQ(pmem.load<std::string>("note"), "hello pfs");
+  const auto dims = pmem.load_dims("A");
+  ASSERT_EQ(dims.size(), 1u);
+  std::vector<double> v(dims[0]);
+  const std::size_t off = 0;
+  pmem.load("A", v.data(), 1, &off, &dims[0]);
+  EXPECT_DOUBLE_EQ(v[0], 1.5);
+  EXPECT_DOUBLE_EQ(v[511], 512.5);
+  pmem.munmap();
+}
+
+TEST_F(BurstBufferTest, IdsListsVariables) {
+  PMEM pmem{cfg};
+  pmem.mmap("/app");
+  pmem.store("scalar", 1.0);
+  const std::size_t dims = 16, off = 0;
+  std::vector<double> v(16);
+  pmem.alloc<double>("arr", 1, &dims);
+  pmem.store("arr", v.data(), 1, &off, &dims);
+  EXPECT_EQ(pmem.ids(), (std::vector<std::string>{"arr", "scalar"}));
+  pmem.munmap();
+}
+
+TEST_F(BurstBufferTest, WorksWithHierarchicalLayout) {
+  cfg.layout = pmemcpy::Layout::kHierarchical;
+  PMEM pmem{cfg};
+  pmem.mmap("/tree.bp");
+  pmem.store("grp/x", 2.5);
+  pmem.store("y", 3.5);
+  BurstBuffer bb(pfs);
+  const auto report = bb.drain(pmem, "t");
+  EXPECT_EQ(report.entries, 2u);
+  EXPECT_TRUE(pfs.exists("t/grp/x"));
+  EXPECT_TRUE(pfs.exists("t/y"));
+  EXPECT_EQ(pmem.ids(), (std::vector<std::string>{"grp/x", "y"}));
+  pmem.munmap();
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Tests for the persistent list and persistent mutex.
+#include <pmemcpy/obj/plist.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+
+namespace {
+
+using pmemcpy::obj::PList;
+using pmemcpy::obj::PMutex;
+using pmemcpy::obj::Pool;
+using pmemcpy::obj::PoolError;
+using pmemcpy::pmem::Device;
+
+constexpr std::size_t kPool = 32ull << 20;
+
+struct PListTest : ::testing::Test {
+  PListTest()
+      : dev(kPool, /*crash_shadow=*/true),
+        pool(Pool::create(dev, 0, kPool)) {}
+  Device dev;
+  Pool pool;
+};
+
+TEST_F(PListTest, PushPopLifo) {
+  PList list = PList::create(pool, sizeof(std::uint64_t));
+  for (std::uint64_t v : {1ull, 2ull, 3ull}) list.push(&v);
+  EXPECT_EQ(list.size(), 3u);
+  std::uint64_t out = 0;
+  EXPECT_TRUE(list.pop(&out));
+  EXPECT_EQ(out, 3u);
+  EXPECT_TRUE(list.pop(&out));
+  EXPECT_EQ(out, 2u);
+  EXPECT_TRUE(list.pop(&out));
+  EXPECT_EQ(out, 1u);
+  EXPECT_FALSE(list.pop(&out));
+  EXPECT_TRUE(list.empty());
+}
+
+TEST_F(PListTest, ForEachVisitsHeadToTail) {
+  PList list = PList::create(pool, sizeof(std::uint32_t));
+  for (std::uint32_t v = 0; v < 10; ++v) list.push(&v);
+  std::vector<std::uint32_t> seen;
+  list.for_each([&](const std::byte* p) {
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    seen.push_back(v);
+  });
+  ASSERT_EQ(seen.size(), 10u);
+  EXPECT_EQ(seen.front(), 9u);  // LIFO
+  EXPECT_EQ(seen.back(), 0u);
+}
+
+TEST_F(PListTest, OpenSeesExistingRecords) {
+  std::uint64_t hoff = 0;
+  {
+    PList list = PList::create(pool, 16);
+    const char rec[16] = "persist-me";
+    list.push(rec);
+    hoff = list.header_off();
+  }
+  PList list = PList::open(pool, hoff);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.value_size(), 16u);
+  char out[16] = {};
+  EXPECT_TRUE(list.pop(out));
+  EXPECT_STREQ(out, "persist-me");
+}
+
+TEST_F(PListTest, OpenGarbageThrows) {
+  const auto off = pool.alloc(64);
+  std::vector<std::byte> zeros(64, std::byte{0});
+  pool.write(off, zeros.data(), zeros.size());
+  EXPECT_THROW((void)PList::open(pool, off), PoolError);
+}
+
+TEST_F(PListTest, PopFreesMemory) {
+  PList list = PList::create(pool, 1024);
+  const auto before = pool.bytes_in_use();
+  std::vector<std::byte> rec(1024, std::byte{7});
+  list.push(rec.data());
+  EXPECT_GT(pool.bytes_in_use(), before);
+  list.pop(rec.data());
+  EXPECT_EQ(pool.bytes_in_use(), before);
+}
+
+TEST_F(PListTest, ConcurrentPushersAllLand) {
+  PList list = PList::create(pool, sizeof(std::uint64_t));
+  constexpr int kThreads = 8, kPer = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPer; ++i) {
+        const std::uint64_t v =
+            static_cast<std::uint64_t>(t) * 1000 + static_cast<std::uint64_t>(i);
+        list.push(&v);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(list.size(), static_cast<std::size_t>(kThreads * kPer));
+  std::set<std::uint64_t> seen;
+  list.for_each([&](const std::byte* p) {
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    seen.insert(v);
+  });
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kThreads * kPer));
+}
+
+TEST_F(PListTest, UnlinkedPushInvisibleAfterCrash) {
+  PList list = PList::create(pool, sizeof(std::uint64_t));
+  const std::uint64_t v = 42;
+  list.push(&v);
+  const auto hoff = list.header_off();
+  // A crash now: everything push() persisted survives; the list is intact.
+  dev.simulate_crash();
+  Pool reopened = Pool::open(dev, 0);
+  PList list2 = PList::open(reopened, hoff);
+  EXPECT_EQ(list2.size(), 1u);
+  std::uint64_t out = 0;
+  EXPECT_TRUE(list2.pop(&out));
+  EXPECT_EQ(out, 42u);
+}
+
+TEST(PMutexTest, LockUnlockTryLock) {
+  Device dev(kPool);
+  Pool pool = Pool::create(dev, 0, kPool);
+  PMutex m = PMutex::create(pool);
+  m.lock();
+  EXPECT_FALSE(m.try_lock());
+  m.unlock();
+  EXPECT_TRUE(m.try_lock());
+  m.unlock();
+}
+
+TEST(PMutexTest, MutualExclusionUnderContention) {
+  Device dev(kPool);
+  Pool pool = Pool::create(dev, 0, kPool);
+  PMutex m = PMutex::create(pool);
+  int counter = 0;  // unprotected except by m
+  constexpr int kThreads = 8, kPer = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPer; ++i) {
+        m.lock();
+        ++counter;
+        m.unlock();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * kPer);
+}
+
+TEST(PMutexTest, ReopenReleasesPreCrashOwner) {
+  Device dev(kPool, true);
+  Pool pool = Pool::create(dev, 0, kPool);
+  std::uint64_t off = 0;
+  {
+    PMutex m = PMutex::create(pool);
+    off = m.off();
+    m.lock();
+    // Crash while held.
+    dev.simulate_crash();
+    // (Unlock the DRAM-side mutex so its destructor is well-defined; the
+    // persistent slot already reflects the crash.)
+    m.unlock();
+  }
+  Pool reopened = Pool::open(dev, 0);
+  PMutex m = PMutex::open(reopened, off);
+  EXPECT_TRUE(m.try_lock());  // pre-crash ownership does not survive
+  m.unlock();
+}
+
+TEST(PMutexTest, OpenGarbageThrows) {
+  Device dev(kPool);
+  Pool pool = Pool::create(dev, 0, kPool);
+  const auto off = pool.alloc(16);
+  std::vector<std::byte> zeros(16, std::byte{0});
+  pool.write(off, zeros.data(), zeros.size());
+  EXPECT_THROW((void)PMutex::open(pool, off), PoolError);
+}
+
+}  // namespace

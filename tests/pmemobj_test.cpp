@@ -1,0 +1,334 @@
+// Tests for the libpmemobj-lite pool: allocator, transactions, recovery.
+#include <pmemcpy/obj/pool.hpp>
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <thread>
+
+namespace {
+
+using pmemcpy::obj::Pool;
+using pmemcpy::obj::PoolError;
+using pmemcpy::obj::PoolOptions;
+using pmemcpy::obj::Transaction;
+using pmemcpy::pmem::Device;
+
+constexpr std::size_t kPool = 32ull << 20;
+
+TEST(PoolTest, CreateOpenRoundtrip) {
+  Device dev(kPool);
+  {
+    Pool p = Pool::create(dev, 0, kPool);
+    p.set_root(1234);
+  }
+  Pool p = Pool::open(dev, 0);
+  EXPECT_EQ(p.root(), 1234u);
+}
+
+TEST(PoolTest, OpenUnformattedThrows) {
+  Device dev(kPool);
+  dev.fill(0, 4096, std::byte{0});
+  EXPECT_THROW(Pool::open(dev, 0), PoolError);
+}
+
+TEST(PoolTest, CreateTooSmallThrows) {
+  Device dev(kPool);
+  EXPECT_THROW(Pool::create(dev, 0, 64 * 1024), PoolError);
+}
+
+TEST(PoolTest, AllocBasics) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  const auto a = p.alloc(100);
+  const auto b = p.alloc(100);
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_GE(p.usable_size(a), 100u);
+  // Payloads do not overlap.
+  std::vector<std::byte> ones(100, std::byte{0xAA});
+  std::vector<std::byte> twos(100, std::byte{0x55});
+  p.write(a, ones.data(), 100);
+  p.write(b, twos.data(), 100);
+  std::vector<std::byte> out(100);
+  p.read(a, out.data(), 100);
+  EXPECT_EQ(out, ones);
+}
+
+TEST(PoolTest, AllocZeroBytesStillValid) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  const auto a = p.alloc(0);
+  EXPECT_NE(a, 0u);
+  EXPECT_GE(p.usable_size(a), 1u);
+}
+
+TEST(PoolTest, FreeAndReuseSmall) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  const auto a = p.alloc(100);
+  p.free(a);
+  const auto b = p.alloc(100);  // same size class -> reuses the chunk
+  EXPECT_EQ(a, b);
+}
+
+TEST(PoolTest, FreeAndReuseLarge) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  const auto a = p.alloc(1 << 20);
+  p.free(a);
+  const auto b = p.alloc(1 << 20);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PoolTest, LargeSplitLeavesUsableRemainder) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  const auto big = p.alloc(4 << 20);
+  p.free(big);
+  const auto small = p.alloc(128 * 1024);  // first-fit splits the 4 MiB chunk
+  const auto rest = p.alloc(2 << 20);      // remainder serves this
+  EXPECT_NE(small, 0u);
+  EXPECT_NE(rest, 0u);
+}
+
+TEST(PoolTest, BytesInUseTracksAllocFree) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  const auto before = p.bytes_in_use();
+  const auto a = p.alloc(1000);
+  EXPECT_GT(p.bytes_in_use(), before);
+  p.free(a);
+  EXPECT_EQ(p.bytes_in_use(), before);
+}
+
+TEST(PoolTest, ExhaustionThrowsBadAlloc) {
+  Device dev(8ull << 20);
+  Pool p = Pool::create(dev, 0, 8ull << 20);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 10000; ++i) p.alloc(1 << 20);
+      },
+      std::bad_alloc);
+}
+
+TEST(PoolTest, FreeGarbageOffsetThrows) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  EXPECT_THROW(p.free(12345678), PoolError);
+}
+
+TEST(PoolTest, OutOfRangeAccessThrows) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  std::byte b{};
+  EXPECT_THROW(p.write(kPool + 10, &b, 1), std::out_of_range);
+  EXPECT_THROW(p.read(kPool - 1, &b, 2), std::out_of_range);
+}
+
+TEST(PoolTest, AllocStressRandomSizesNoOverlap) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<std::size_t> size_d(1, 200000);
+  std::map<std::uint64_t, std::size_t> live;  // off -> size
+  for (int i = 0; i < 500; ++i) {
+    if (live.size() > 50 && rng() % 2 == 0) {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng() % live.size()));
+      p.free(it->first);
+      live.erase(it);
+    } else {
+      const std::size_t sz = size_d(rng);
+      const auto off = p.alloc(sz);
+      // No overlap with any live allocation.
+      for (const auto& [o, s] : live) {
+        EXPECT_TRUE(off + sz <= o || o + s <= off)
+            << "overlap: [" << off << "+" << sz << ") vs [" << o << "+" << s
+            << ")";
+      }
+      live[off] = sz;
+    }
+  }
+}
+
+TEST(PoolTest, ConcurrentAllocNoOverlap) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100;
+  std::vector<std::vector<std::uint64_t>> offs(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        offs[static_cast<std::size_t>(t)].push_back(
+            p.alloc(64 + static_cast<std::size_t>(i)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<std::uint64_t> all;
+  for (const auto& v : offs) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+TEST(TransactionTest, CommitKeepsNewValue) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  const auto off = p.alloc(8);
+  p.set<std::uint64_t>(off, 111);
+  {
+    Transaction tx(p);
+    tx.snapshot(off, 8);
+    p.set<std::uint64_t>(off, 222);
+    tx.commit();
+  }
+  EXPECT_EQ(p.get<std::uint64_t>(off), 222u);
+}
+
+TEST(TransactionTest, AbortRollsBack) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  const auto off = p.alloc(8);
+  p.set<std::uint64_t>(off, 111);
+  {
+    Transaction tx(p);
+    tx.snapshot(off, 8);
+    p.set<std::uint64_t>(off, 222);
+    // no commit: destructor aborts
+  }
+  EXPECT_EQ(p.get<std::uint64_t>(off), 111u);
+}
+
+TEST(TransactionTest, MultiRangeAbortRollsBackAll) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  const auto a = p.alloc(8);
+  const auto b = p.alloc(8);
+  p.set<std::uint64_t>(a, 1);
+  p.set<std::uint64_t>(b, 2);
+  {
+    Transaction tx(p);
+    tx.snapshot(a, 8);
+    p.set<std::uint64_t>(a, 10);
+    tx.snapshot(b, 8);
+    p.set<std::uint64_t>(b, 20);
+  }
+  EXPECT_EQ(p.get<std::uint64_t>(a), 1u);
+  EXPECT_EQ(p.get<std::uint64_t>(b), 2u);
+}
+
+TEST(TransactionTest, OverlappingSnapshotsRestoreOldest) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  const auto off = p.alloc(8);
+  p.set<std::uint64_t>(off, 1);
+  {
+    Transaction tx(p);
+    tx.snapshot(off, 8);
+    p.set<std::uint64_t>(off, 2);
+    tx.snapshot(off, 8);  // snapshots the intermediate value 2
+    p.set<std::uint64_t>(off, 3);
+  }
+  EXPECT_EQ(p.get<std::uint64_t>(off), 1u);  // oldest pre-image wins
+}
+
+TEST(TransactionTest, LogFullThrows) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  const auto off = p.alloc(Pool::kTxLogBytes);
+  Transaction tx(p);
+  EXPECT_THROW(tx.snapshot(off, Pool::kTxLogBytes), PoolError);
+  tx.commit();
+}
+
+TEST(TransactionTest, ConcurrentLanes) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  constexpr int kThreads = 24;  // more threads than lanes
+  std::vector<std::uint64_t> offs;
+  for (int i = 0; i < kThreads; ++i) offs.push_back(p.alloc(8));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto off = offs[static_cast<std::size_t>(t)];
+      p.set<std::uint64_t>(off, 7);
+      Transaction tx(p);
+      tx.snapshot(off, 8);
+      p.set<std::uint64_t>(off, 99);
+      if (t % 2 == 0) tx.commit();
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(p.get<std::uint64_t>(offs[static_cast<std::size_t>(t)]),
+              t % 2 == 0 ? 99u : 7u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery (power failure with stores still in CPU caches)
+// ---------------------------------------------------------------------------
+
+TEST(CrashRecoveryTest, UnpersistedWritesRevert) {
+  Device dev(1 << 20, /*crash_shadow=*/true);
+  const std::uint64_t v1 = 0x1111111111111111ull;
+  const std::uint64_t v2 = 0x2222222222222222ull;
+  dev.write(0, &v1, 8);
+  dev.persist(0, 8);
+  dev.write(0, &v2, 8);  // not persisted
+  EXPECT_GT(dev.unpersisted_lines(), 0u);
+  dev.simulate_crash();
+  std::uint64_t out = 0;
+  dev.read(0, &out, 8);
+  EXPECT_EQ(out, v1);
+}
+
+TEST(CrashRecoveryTest, TxCrashMidMutationRollsBackOnOpen) {
+  Device dev(kPool, /*crash_shadow=*/true);
+  std::uint64_t off = 0;
+  {
+    Pool p = Pool::create(dev, 0, kPool);
+    off = p.alloc(64);
+    p.set<std::uint64_t>(off, 42);
+
+    // A real crash destroys the process before the transaction destructor
+    // can roll back — model that by leaking the transaction object.
+    auto* tx = new Transaction(p);
+    tx->snapshot(off, 8);
+    p.set<std::uint64_t>(off, 99);
+    // Crash before commit: the persisted undo-log entry survives, and so
+    // does the (persisted) mutation; recovery must undo it.
+    dev.simulate_crash();
+    (void)tx;  // intentionally leaked
+  }
+  Pool p = Pool::open(dev, 0);  // runs recovery
+  EXPECT_EQ(p.get<std::uint64_t>(off), 42u);
+}
+
+TEST(CrashRecoveryTest, CommittedTxSurvivesCrash) {
+  Device dev(kPool, /*crash_shadow=*/true);
+  std::uint64_t off = 0;
+  {
+    Pool p = Pool::create(dev, 0, kPool);
+    off = p.alloc(64);
+    p.set<std::uint64_t>(off, 42);
+    Transaction tx(p);
+    tx.snapshot(off, 8);
+    p.set<std::uint64_t>(off, 99);
+    tx.commit();
+    dev.simulate_crash();
+  }
+  Pool p = Pool::open(dev, 0);
+  EXPECT_EQ(p.get<std::uint64_t>(off), 99u);
+}
+
+}  // namespace

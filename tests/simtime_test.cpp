@@ -1,0 +1,133 @@
+// Tests for the simulated-clock context and machine model.
+#include <pmemcpy/sim/context.hpp>
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace {
+
+using pmemcpy::sim::Charge;
+using pmemcpy::sim::Context;
+using pmemcpy::sim::ScopedContext;
+using pmemcpy::sim::ctx;
+using pmemcpy::sim::default_model;
+
+TEST(ContextTest, AdvanceAccumulates) {
+  Context c;
+  c.advance(1.5, Charge::kCpuCopy);
+  c.advance(0.5, Charge::kNetwork);
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+  EXPECT_DOUBLE_EQ(c.charged(Charge::kCpuCopy), 1.5);
+  EXPECT_DOUBLE_EQ(c.charged(Charge::kNetwork), 0.5);
+}
+
+TEST(ContextTest, ResetClearsEverything) {
+  Context c;
+  c.advance(3.0, Charge::kPmemWrite);
+  c.reset_clock();
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+  EXPECT_DOUBLE_EQ(c.charged(Charge::kPmemWrite), 0.0);
+}
+
+TEST(ContextTest, DefaultContextUsedOutsideScopes) {
+  auto& d = pmemcpy::sim::default_context();
+  EXPECT_EQ(&ctx(), &d);
+}
+
+TEST(ContextTest, ScopedContextInstallsAndRestores) {
+  Context mine;
+  {
+    ScopedContext sc(mine);
+    EXPECT_EQ(&ctx(), &mine);
+    Context inner;
+    {
+      ScopedContext sc2(inner);
+      EXPECT_EQ(&ctx(), &inner);
+    }
+    EXPECT_EQ(&ctx(), &mine);
+  }
+  EXPECT_NE(&ctx(), &mine);
+}
+
+TEST(ContextTest, ScopedContextIsThreadLocal) {
+  Context mine;
+  ScopedContext sc(mine);
+  std::thread t([&] { EXPECT_NE(&ctx(), &mine); });
+  t.join();
+}
+
+TEST(ModelTest, CpuSlowdownFlatUpToCores) {
+  const auto& m = default_model();
+  for (int k : {1, 8, 16, 24}) {
+    Context c(m, k, 0);
+    EXPECT_DOUBLE_EQ(c.cpu_slowdown(), 1.0) << k;
+  }
+}
+
+TEST(ModelTest, CpuSlowdownMonotoneBeyondCores) {
+  const auto& m = default_model();
+  double prev = 1.0;
+  for (int k : {25, 32, 40, 48, 64}) {
+    Context c(m, k, 0);
+    EXPECT_GE(c.cpu_slowdown(), prev) << k;
+    prev = c.cpu_slowdown();
+  }
+}
+
+TEST(ModelTest, AggregateCopyThroughputSaturatesAtCores) {
+  // K * shared_bw should grow until 24 ranks and stay ~flat after.
+  const auto& m = default_model();
+  auto aggregate = [&](int k) {
+    Context c(m, k, 0);
+    return k * c.shared_bw(m.cpu.dram_stream_bw, m.cpu.dram_total_bw);
+  };
+  EXPECT_GT(aggregate(16), aggregate(8));
+  EXPECT_GT(aggregate(24), aggregate(16));
+  EXPECT_NEAR(aggregate(32), aggregate(24), aggregate(24) * 0.05);
+  EXPECT_NEAR(aggregate(48), aggregate(24), aggregate(24) * 0.05);
+}
+
+TEST(ModelTest, SharedBwRespectsStreamCap) {
+  const auto& m = default_model();
+  Context c(m, 1, 0);
+  // A single rank cannot exceed its stream bandwidth.
+  EXPECT_DOUBLE_EQ(c.shared_bw(4e9, 8e9), 4e9);
+}
+
+TEST(ModelTest, SharedBwRespectsFairShare) {
+  const auto& m = default_model();
+  Context c(m, 16, 0);
+  EXPECT_DOUBLE_EQ(c.shared_bw(4e9, 8e9), 8e9 / 16);
+}
+
+TEST(ModelTest, LatencyParallelismScalesToThreads) {
+  const auto& m = default_model();
+  EXPECT_EQ(Context(m, 8, 0).latency_parallelism(), 8);
+  EXPECT_EQ(Context(m, 48, 0).latency_parallelism(), 48);
+  EXPECT_EQ(Context(m, 96, 0).latency_parallelism(), 48);
+}
+
+TEST(ModelTest, ChargeHelpers) {
+  Context c;
+  c.charge_syscall();
+  EXPECT_DOUBLE_EQ(c.charged(Charge::kSyscall),
+                   default_model().cpu.syscall_cost);
+  c.charge_minor_faults(3);
+  EXPECT_DOUBLE_EQ(c.charged(Charge::kPageFault),
+                   3 * default_model().cpu.minor_fault_cost);
+  const double before = c.now();
+  c.charge_cpu_copy(1 << 20);
+  EXPECT_GT(c.now(), before);
+}
+
+TEST(ModelTest, StrataConstants) {
+  // The paper's emulation constants (§4 "Emulating PMEM").
+  const auto& pm = default_model().pmem;
+  EXPECT_DOUBLE_EQ(pm.read_latency, 300e-9);
+  EXPECT_DOUBLE_EQ(pm.write_latency, 125e-9);
+  EXPECT_DOUBLE_EQ(pm.read_total_bw, 30e9);
+  EXPECT_DOUBLE_EQ(pm.write_total_bw, 8e9);
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Reference-model stress tests: thousands of randomized operations against
+// an in-DRAM oracle, for the hashtable, the allocator, and the filesystem.
+#include <pmemcpy/fs/filesystem.hpp>
+#include <pmemcpy/obj/hashtable.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <random>
+
+namespace {
+
+using pmemcpy::fs::FileSystem;
+using pmemcpy::fs::OpenMode;
+using pmemcpy::obj::HashTable;
+using pmemcpy::obj::Pool;
+using pmemcpy::pmem::Device;
+
+class StressSeed : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StressSeed, HashTableMatchesMapOracle) {
+  Device dev(64ull << 20);
+  Pool pool = Pool::create(dev, 0, 64ull << 20);
+  HashTable table = HashTable::create(pool, 128);  // force chaining
+  std::map<std::string, std::string> oracle;
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> key_d(0, 199);
+  std::uniform_int_distribution<int> op_d(0, 9);
+  std::uniform_int_distribution<std::size_t> len_d(0, 300);
+
+  for (int step = 0; step < 2000; ++step) {
+    const std::string key = "k" + std::to_string(key_d(rng));
+    const int op = op_d(rng);
+    if (op < 5) {  // put / replace
+      std::string value(len_d(rng), char('a' + step % 26));
+      table.put(key, value.data(), value.size(),
+                static_cast<std::uint64_t>(step));
+      oracle[key] = std::move(value);
+    } else if (op < 7) {  // erase
+      EXPECT_EQ(table.erase(key), oracle.erase(key) > 0) << key;
+    } else {  // find
+      auto ref = table.find(key);
+      auto it = oracle.find(key);
+      ASSERT_EQ(ref.has_value(), it != oracle.end()) << key;
+      if (ref) {
+        std::string out(ref->val_size, '\0');
+        table.read_value(*ref, out.data());
+        EXPECT_EQ(out, it->second) << key;
+      }
+    }
+    if (step % 500 == 499) {
+      ASSERT_EQ(table.count(), oracle.size());
+      if (step % 1000 == 999) table.rehash(table.nbuckets() * 2);
+    }
+  }
+  // Final full sweep.
+  std::size_t visited = 0;
+  table.for_each([&](std::string_view key, const pmemcpy::obj::ValueRef& ref) {
+    const auto it = oracle.find(std::string(key));
+    ASSERT_NE(it, oracle.end());
+    EXPECT_EQ(ref.val_size, it->second.size());
+    ++visited;
+  });
+  EXPECT_EQ(visited, oracle.size());
+}
+
+TEST_P(StressSeed, AllocatorContentsSurviveChurn) {
+  Device dev(64ull << 20);
+  Pool pool = Pool::create(dev, 0, 64ull << 20);
+  std::mt19937 rng(GetParam() + 77);
+  std::uniform_int_distribution<std::size_t> size_d(1, 100000);
+  struct Live {
+    std::uint64_t off;
+    std::uint32_t seed;
+    std::size_t size;
+  };
+  std::vector<Live> live;
+
+  auto fill = [&](const Live& a) {
+    std::vector<std::byte> buf(a.size);
+    std::mt19937 g(a.seed);
+    for (auto& b : buf) b = static_cast<std::byte>(g());
+    pool.write(a.off, buf.data(), a.size);
+  };
+  auto check = [&](const Live& a) {
+    std::vector<std::byte> buf(a.size);
+    pool.read(a.off, buf.data(), a.size);
+    std::mt19937 g(a.seed);
+    for (std::size_t i = 0; i < a.size; ++i) {
+      ASSERT_EQ(buf[i], static_cast<std::byte>(g())) << "off=" << a.off;
+    }
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    if (live.size() > 40 && rng() % 2 == 0) {
+      const std::size_t idx = rng() % live.size();
+      check(live[idx]);  // contents intact right up to free
+      pool.free(live[idx].off);
+      live[idx] = live.back();
+      live.pop_back();
+    } else {
+      Live a;
+      a.size = size_d(rng);
+      a.off = pool.alloc(a.size);
+      a.seed = static_cast<std::uint32_t>(rng());
+      fill(a);
+      live.push_back(a);
+    }
+  }
+  for (const auto& a : live) check(a);
+}
+
+TEST_P(StressSeed, FileSystemMatchesOracle) {
+  Device dev(64ull << 20);
+  FileSystem fs = FileSystem::format(dev, 0, 64ull << 20);
+  std::map<std::string, std::string> oracle;  // path -> contents
+  std::mt19937 rng(GetParam() + 555);
+  std::uniform_int_distribution<int> name_d(0, 19);
+  std::uniform_int_distribution<int> op_d(0, 9);
+  std::uniform_int_distribution<std::size_t> len_d(0, 40000);
+
+  for (int step = 0; step < 400; ++step) {
+    const std::string path = "/f" + std::to_string(name_d(rng));
+    const int op = op_d(rng);
+    if (op < 4) {  // write fresh contents
+      std::string data(len_d(rng), char('A' + step % 26));
+      auto f = fs.open(path, OpenMode::kTruncate);
+      if (!data.empty()) fs.pwrite(f, data.data(), data.size(), 0);
+      oracle[path] = std::move(data);
+    } else if (op < 6) {  // append
+      auto it = oracle.find(path);
+      if (it == oracle.end()) continue;
+      std::string extra(len_d(rng) / 4, char('0' + step % 10));
+      auto f = fs.open(path, OpenMode::kWrite);
+      if (!extra.empty()) {
+        fs.pwrite(f, extra.data(), extra.size(), it->second.size());
+      }
+      it->second += extra;
+    } else if (op < 7) {  // remove
+      if (oracle.erase(path) > 0) {
+        fs.remove(path);
+      } else {
+        EXPECT_THROW(fs.remove(path), pmemcpy::fs::FsError);
+      }
+    } else if (op < 8) {  // rename onto another name
+      const std::string to = "/f" + std::to_string(name_d(rng));
+      if (!oracle.contains(path) || to == path) continue;
+      fs.rename(path, to);
+      oracle[to] = std::move(oracle[path]);
+      oracle.erase(path);
+    } else {  // verify
+      auto it = oracle.find(path);
+      EXPECT_EQ(fs.exists(path), it != oracle.end()) << path;
+      if (it != oracle.end()) {
+        auto f = fs.open(path, OpenMode::kRead);
+        std::string out(it->second.size(), '\0');
+        fs.pread(f, out.data(), out.size(), 0);
+        ASSERT_EQ(out, it->second) << path;
+      }
+    }
+  }
+  // Final verification of every file.
+  for (const auto& [path, contents] : oracle) {
+    auto f = fs.open(path, OpenMode::kRead);
+    ASSERT_EQ(fs.size(f), contents.size()) << path;
+    std::string out(contents.size(), '\0');
+    fs.pread(f, out.data(), out.size(), 0);
+    ASSERT_EQ(out, contents) << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressSeed, ::testing::Range(0u, 6u));
+
+}  // namespace

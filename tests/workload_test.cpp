@@ -1,0 +1,107 @@
+// Tests for the S3D-style 3-D domain decomposition workload generator.
+#include <pmemcpy/workload/domain3d.hpp>
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using pmemcpy::Box;
+using pmemcpy::Dimensions;
+namespace wk = pmemcpy::wk;
+
+TEST(BalancedFactors, ProductMatches) {
+  for (int n : {1, 2, 3, 8, 16, 24, 32, 48, 97}) {
+    const auto f = wk::balanced_factors(n);
+    EXPECT_EQ(f[0] * f[1] * f[2], static_cast<std::size_t>(n)) << n;
+  }
+}
+
+TEST(BalancedFactors, PrefersCubes) {
+  EXPECT_EQ(wk::balanced_factors(8), (std::array<std::size_t, 3>{2, 2, 2}));
+  EXPECT_EQ(wk::balanced_factors(27), (std::array<std::size_t, 3>{3, 3, 3}));
+  const auto f24 = wk::balanced_factors(24);
+  EXPECT_EQ(f24[0] * f24[1] * f24[2], 24u);
+  EXPECT_LE(f24[0], 4u);  // 4x3x2 beats 24x1x1
+}
+
+TEST(BalancedFactors, InvalidThrows) {
+  EXPECT_THROW((void)wk::balanced_factors(0), std::invalid_argument);
+}
+
+class DecomposeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecomposeTest, BoxesPartitionTheCube) {
+  const int nranks = GetParam();
+  const auto dec = wk::decompose(1 << 15, nranks);
+  ASSERT_EQ(dec.rank_boxes.size(), static_cast<std::size_t>(nranks));
+
+  // All boxes identical size, disjoint, and covering the global cube.
+  std::size_t covered = 0;
+  const std::size_t per = dec.rank_boxes[0].elements();
+  for (const auto& b : dec.rank_boxes) {
+    EXPECT_EQ(b.elements(), per);
+    covered += b.elements();
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_LE(b.offset[d] + b.count[d], dec.global[d]);
+    }
+  }
+  EXPECT_EQ(covered, dec.total_elements());
+  for (std::size_t i = 0; i < dec.rank_boxes.size(); ++i) {
+    for (std::size_t j = i + 1; j < dec.rank_boxes.size(); ++j) {
+      EXPECT_TRUE(
+          pmemcpy::intersect(dec.rank_boxes[i], dec.rank_boxes[j]).empty())
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST_P(DecomposeTest, VolumeNearTarget) {
+  const int nranks = GetParam();
+  const std::size_t target = 1 << 18;
+  const auto dec = wk::decompose(target, nranks);
+  const double ratio = static_cast<double>(dec.total_elements()) /
+                       static_cast<double>(target);
+  EXPECT_GT(ratio, 0.85) << nranks;
+  EXPECT_LT(ratio, 1.15) << nranks;
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DecomposeTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 24, 32, 48));
+
+TEST(ElementValue, DeterministicAndVariesByVar) {
+  EXPECT_EQ(wk::element_value(3, 100), wk::element_value(3, 100));
+  EXPECT_NE(wk::element_value(3, 100), wk::element_value(4, 100));
+}
+
+TEST(FillVerify, MatchingPatternPasses) {
+  const auto dec = wk::decompose(4096, 4);
+  std::vector<double> buf;
+  wk::fill_box(buf, 2, dec.global, dec.rank_boxes[1]);
+  EXPECT_EQ(wk::verify_box(buf, 2, dec.global, dec.rank_boxes[1]), 0u);
+}
+
+TEST(FillVerify, CorruptionDetected) {
+  const auto dec = wk::decompose(4096, 4);
+  std::vector<double> buf;
+  wk::fill_box(buf, 0, dec.global, dec.rank_boxes[0]);
+  buf[7] += 1.0;
+  EXPECT_EQ(wk::verify_box(buf, 0, dec.global, dec.rank_boxes[0]), 1u);
+}
+
+TEST(FillVerify, WrongVarDetected) {
+  const auto dec = wk::decompose(4096, 4);
+  std::vector<double> buf;
+  wk::fill_box(buf, 0, dec.global, dec.rank_boxes[0]);
+  EXPECT_GT(wk::verify_box(buf, 1, dec.global, dec.rank_boxes[0]), 0u);
+}
+
+TEST(FillVerify, ShortBufferDetected) {
+  const auto dec = wk::decompose(4096, 4);
+  std::vector<double> buf(3);
+  EXPECT_EQ(wk::verify_box(buf, 0, dec.global, dec.rank_boxes[0]),
+            dec.rank_boxes[0].elements());
+}
+
+}  // namespace
