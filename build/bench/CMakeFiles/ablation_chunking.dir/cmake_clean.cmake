@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chunking.dir/ablation_chunking.cpp.o"
+  "CMakeFiles/ablation_chunking.dir/ablation_chunking.cpp.o.d"
+  "ablation_chunking"
+  "ablation_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

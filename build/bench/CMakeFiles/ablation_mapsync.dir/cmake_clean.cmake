@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mapsync.dir/ablation_mapsync.cpp.o"
+  "CMakeFiles/ablation_mapsync.dir/ablation_mapsync.cpp.o.d"
+  "ablation_mapsync"
+  "ablation_mapsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mapsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

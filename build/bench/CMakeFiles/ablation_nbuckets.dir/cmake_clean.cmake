@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nbuckets.dir/ablation_nbuckets.cpp.o"
+  "CMakeFiles/ablation_nbuckets.dir/ablation_nbuckets.cpp.o.d"
+  "ablation_nbuckets"
+  "ablation_nbuckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nbuckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

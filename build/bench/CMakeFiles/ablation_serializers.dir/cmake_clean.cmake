@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_serializers.dir/ablation_serializers.cpp.o"
+  "CMakeFiles/ablation_serializers.dir/ablation_serializers.cpp.o.d"
+  "ablation_serializers"
+  "ablation_serializers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_serializers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

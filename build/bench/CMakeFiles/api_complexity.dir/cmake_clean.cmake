@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_complexity.dir/api_complexity.cpp.o"
+  "CMakeFiles/api_complexity.dir/api_complexity.cpp.o.d"
+  "api_complexity"
+  "api_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

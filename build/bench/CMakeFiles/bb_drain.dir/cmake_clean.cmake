@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_drain.dir/bb_drain.cpp.o"
+  "CMakeFiles/bb_drain.dir/bb_drain.cpp.o.d"
+  "bb_drain"
+  "bb_drain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_drain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_read.dir/fig7_read.cpp.o"
+  "CMakeFiles/fig7_read.dir/fig7_read.cpp.o.d"
+  "fig7_read"
+  "fig7_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_par.dir/micro_par.cpp.o"
+  "CMakeFiles/micro_par.dir/micro_par.cpp.o.d"
+  "micro_par"
+  "micro_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

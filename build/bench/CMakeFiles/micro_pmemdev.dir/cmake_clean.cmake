@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pmemdev.dir/micro_pmemdev.cpp.o"
+  "CMakeFiles/micro_pmemdev.dir/micro_pmemdev.cpp.o.d"
+  "micro_pmemdev"
+  "micro_pmemdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pmemdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_pmemfs.cpp" "bench/CMakeFiles/micro_pmemfs.dir/micro_pmemfs.cpp.o" "gcc" "bench/CMakeFiles/micro_pmemfs.dir/micro_pmemfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pmemcpy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmemobj/CMakeFiles/pmemcpy_pmemobj.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/pmemcpy_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmemfs/CMakeFiles/pmemcpy_pmemfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmemdev/CMakeFiles/pmemcpy_pmemdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/pmemcpy_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/simtime/CMakeFiles/pmemcpy_simtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pmemfs.dir/micro_pmemfs.cpp.o"
+  "CMakeFiles/micro_pmemfs.dir/micro_pmemfs.cpp.o.d"
+  "micro_pmemfs"
+  "micro_pmemfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pmemfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pmemobj.dir/micro_pmemobj.cpp.o"
+  "CMakeFiles/micro_pmemobj.dir/micro_pmemobj.cpp.o.d"
+  "micro_pmemobj"
+  "micro_pmemobj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pmemobj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

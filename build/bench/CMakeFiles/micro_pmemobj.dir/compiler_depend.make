@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for micro_pmemobj.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_serial.dir/micro_serial.cpp.o"
+  "CMakeFiles/micro_serial.dir/micro_serial.cpp.o.d"
+  "micro_serial"
+  "micro_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

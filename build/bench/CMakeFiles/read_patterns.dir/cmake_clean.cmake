@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_patterns.dir/read_patterns.cpp.o"
+  "CMakeFiles/read_patterns.dir/read_patterns.cpp.o.d"
+  "read_patterns"
+  "read_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_reader.dir/analysis_reader.cpp.o"
+  "CMakeFiles/analysis_reader.dir/analysis_reader.cpp.o.d"
+  "analysis_reader"
+  "analysis_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

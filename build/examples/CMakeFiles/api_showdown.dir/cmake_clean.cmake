@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_showdown.dir/api_showdown.cpp.o"
+  "CMakeFiles/api_showdown.dir/api_showdown.cpp.o.d"
+  "api_showdown"
+  "api_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_buffer.dir/burst_buffer.cpp.o"
+  "CMakeFiles/burst_buffer.dir/burst_buffer.cpp.o.d"
+  "burst_buffer"
+  "burst_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c_quickstart.dir/c_quickstart.c.o"
+  "CMakeFiles/c_quickstart.dir/c_quickstart.c.o.d"
+  "c_quickstart"
+  "c_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C)
+  include(CMakeFiles/c_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_vars.dir/hierarchical_vars.cpp.o"
+  "CMakeFiles/hierarchical_vars.dir/hierarchical_vars.cpp.o.d"
+  "hierarchical_vars"
+  "hierarchical_vars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_vars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

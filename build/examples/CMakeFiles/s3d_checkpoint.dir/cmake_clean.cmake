@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3d_checkpoint.dir/s3d_checkpoint.cpp.o"
+  "CMakeFiles/s3d_checkpoint.dir/s3d_checkpoint.cpp.o.d"
+  "s3d_checkpoint"
+  "s3d_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3d_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniio.dir/adios.cpp.o"
+  "CMakeFiles/miniio.dir/adios.cpp.o.d"
+  "CMakeFiles/miniio.dir/adios1_facade.cpp.o"
+  "CMakeFiles/miniio.dir/adios1_facade.cpp.o.d"
+  "CMakeFiles/miniio.dir/contiguous.cpp.o"
+  "CMakeFiles/miniio.dir/contiguous.cpp.o.d"
+  "CMakeFiles/miniio.dir/footer.cpp.o"
+  "CMakeFiles/miniio.dir/footer.cpp.o.d"
+  "CMakeFiles/miniio.dir/hdf5_facade.cpp.o"
+  "CMakeFiles/miniio.dir/hdf5_facade.cpp.o.d"
+  "libminiio.a"
+  "libminiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

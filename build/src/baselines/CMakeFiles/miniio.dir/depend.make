@@ -1,0 +1,2 @@
+# Empty dependencies file for miniio.
+# This may be replaced when dependencies are built.

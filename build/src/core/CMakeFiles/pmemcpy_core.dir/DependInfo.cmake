@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backend.cpp" "src/core/CMakeFiles/pmemcpy_core.dir/backend.cpp.o" "gcc" "src/core/CMakeFiles/pmemcpy_core.dir/backend.cpp.o.d"
+  "/root/repo/src/core/capi.cpp" "src/core/CMakeFiles/pmemcpy_core.dir/capi.cpp.o" "gcc" "src/core/CMakeFiles/pmemcpy_core.dir/capi.cpp.o.d"
+  "/root/repo/src/core/hyperslab.cpp" "src/core/CMakeFiles/pmemcpy_core.dir/hyperslab.cpp.o" "gcc" "src/core/CMakeFiles/pmemcpy_core.dir/hyperslab.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/core/CMakeFiles/pmemcpy_core.dir/node.cpp.o" "gcc" "src/core/CMakeFiles/pmemcpy_core.dir/node.cpp.o.d"
+  "/root/repo/src/core/pmemcpy.cpp" "src/core/CMakeFiles/pmemcpy_core.dir/pmemcpy.cpp.o" "gcc" "src/core/CMakeFiles/pmemcpy_core.dir/pmemcpy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmemobj/CMakeFiles/pmemcpy_pmemobj.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmemfs/CMakeFiles/pmemcpy_pmemfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/pmemcpy_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/pmemcpy_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmemdev/CMakeFiles/pmemcpy_pmemdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/simtime/CMakeFiles/pmemcpy_simtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

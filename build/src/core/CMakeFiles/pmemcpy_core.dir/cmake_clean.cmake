@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemcpy_core.dir/backend.cpp.o"
+  "CMakeFiles/pmemcpy_core.dir/backend.cpp.o.d"
+  "CMakeFiles/pmemcpy_core.dir/capi.cpp.o"
+  "CMakeFiles/pmemcpy_core.dir/capi.cpp.o.d"
+  "CMakeFiles/pmemcpy_core.dir/hyperslab.cpp.o"
+  "CMakeFiles/pmemcpy_core.dir/hyperslab.cpp.o.d"
+  "CMakeFiles/pmemcpy_core.dir/node.cpp.o"
+  "CMakeFiles/pmemcpy_core.dir/node.cpp.o.d"
+  "CMakeFiles/pmemcpy_core.dir/pmemcpy.cpp.o"
+  "CMakeFiles/pmemcpy_core.dir/pmemcpy.cpp.o.d"
+  "libpmemcpy_core.a"
+  "libpmemcpy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemcpy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemcpy_par.dir/comm.cpp.o"
+  "CMakeFiles/pmemcpy_par.dir/comm.cpp.o.d"
+  "libpmemcpy_par.a"
+  "libpmemcpy_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemcpy_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemcpy_pfs.dir/burst_buffer.cpp.o"
+  "CMakeFiles/pmemcpy_pfs.dir/burst_buffer.cpp.o.d"
+  "CMakeFiles/pmemcpy_pfs.dir/pfs.cpp.o"
+  "CMakeFiles/pmemcpy_pfs.dir/pfs.cpp.o.d"
+  "libpmemcpy_pfs.a"
+  "libpmemcpy_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemcpy_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemcpy_pmemdev.dir/device.cpp.o"
+  "CMakeFiles/pmemcpy_pmemdev.dir/device.cpp.o.d"
+  "libpmemcpy_pmemdev.a"
+  "libpmemcpy_pmemdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemcpy_pmemdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pmemcpy_pmemdev.
+# This may be replaced when dependencies are built.

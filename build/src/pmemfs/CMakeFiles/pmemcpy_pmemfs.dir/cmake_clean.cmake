@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemcpy_pmemfs.dir/filesystem.cpp.o"
+  "CMakeFiles/pmemcpy_pmemfs.dir/filesystem.cpp.o.d"
+  "libpmemcpy_pmemfs.a"
+  "libpmemcpy_pmemfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemcpy_pmemfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemcpy_pmemobj.dir/hashtable.cpp.o"
+  "CMakeFiles/pmemcpy_pmemobj.dir/hashtable.cpp.o.d"
+  "CMakeFiles/pmemcpy_pmemobj.dir/plist.cpp.o"
+  "CMakeFiles/pmemcpy_pmemobj.dir/plist.cpp.o.d"
+  "CMakeFiles/pmemcpy_pmemobj.dir/pool.cpp.o"
+  "CMakeFiles/pmemcpy_pmemobj.dir/pool.cpp.o.d"
+  "libpmemcpy_pmemobj.a"
+  "libpmemcpy_pmemobj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemcpy_pmemobj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

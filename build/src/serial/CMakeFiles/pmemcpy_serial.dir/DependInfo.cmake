@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serial/bp4.cpp" "src/serial/CMakeFiles/pmemcpy_serial.dir/bp4.cpp.o" "gcc" "src/serial/CMakeFiles/pmemcpy_serial.dir/bp4.cpp.o.d"
+  "/root/repo/src/serial/capnp.cpp" "src/serial/CMakeFiles/pmemcpy_serial.dir/capnp.cpp.o" "gcc" "src/serial/CMakeFiles/pmemcpy_serial.dir/capnp.cpp.o.d"
+  "/root/repo/src/serial/filter.cpp" "src/serial/CMakeFiles/pmemcpy_serial.dir/filter.cpp.o" "gcc" "src/serial/CMakeFiles/pmemcpy_serial.dir/filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmemfs/CMakeFiles/pmemcpy_pmemfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmemdev/CMakeFiles/pmemcpy_pmemdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/simtime/CMakeFiles/pmemcpy_simtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

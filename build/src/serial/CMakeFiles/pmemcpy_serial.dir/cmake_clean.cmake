@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemcpy_serial.dir/bp4.cpp.o"
+  "CMakeFiles/pmemcpy_serial.dir/bp4.cpp.o.d"
+  "CMakeFiles/pmemcpy_serial.dir/capnp.cpp.o"
+  "CMakeFiles/pmemcpy_serial.dir/capnp.cpp.o.d"
+  "CMakeFiles/pmemcpy_serial.dir/filter.cpp.o"
+  "CMakeFiles/pmemcpy_serial.dir/filter.cpp.o.d"
+  "libpmemcpy_serial.a"
+  "libpmemcpy_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemcpy_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmemcpy_serial.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemcpy_simtime.dir/context.cpp.o"
+  "CMakeFiles/pmemcpy_simtime.dir/context.cpp.o.d"
+  "libpmemcpy_simtime.a"
+  "libpmemcpy_simtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemcpy_simtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

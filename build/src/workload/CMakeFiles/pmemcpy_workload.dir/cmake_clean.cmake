@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemcpy_workload.dir/domain3d.cpp.o"
+  "CMakeFiles/pmemcpy_workload.dir/domain3d.cpp.o.d"
+  "libpmemcpy_workload.a"
+  "libpmemcpy_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemcpy_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

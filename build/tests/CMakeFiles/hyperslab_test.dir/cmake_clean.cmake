@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperslab_test.dir/hyperslab_test.cpp.o"
+  "CMakeFiles/hyperslab_test.dir/hyperslab_test.cpp.o.d"
+  "hyperslab_test"
+  "hyperslab_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperslab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniio_test.dir/miniio_test.cpp.o"
+  "CMakeFiles/miniio_test.dir/miniio_test.cpp.o.d"
+  "miniio_test"
+  "miniio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plist_test.dir/plist_test.cpp.o"
+  "CMakeFiles/plist_test.dir/plist_test.cpp.o.d"
+  "plist_test"
+  "plist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

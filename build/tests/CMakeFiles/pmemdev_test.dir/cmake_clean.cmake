@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemdev_test.dir/pmemdev_test.cpp.o"
+  "CMakeFiles/pmemdev_test.dir/pmemdev_test.cpp.o.d"
+  "pmemdev_test"
+  "pmemdev_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemdev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemfs_test.dir/pmemfs_test.cpp.o"
+  "CMakeFiles/pmemfs_test.dir/pmemfs_test.cpp.o.d"
+  "pmemfs_test"
+  "pmemfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

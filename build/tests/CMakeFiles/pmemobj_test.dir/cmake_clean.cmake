@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemobj_test.dir/pmemobj_test.cpp.o"
+  "CMakeFiles/pmemobj_test.dir/pmemobj_test.cpp.o.d"
+  "pmemobj_test"
+  "pmemobj_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemobj_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
