@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + full test suite, in a plain Release config and
+# again under AddressSanitizer + UBSan (PMEMCPY_SANITIZE).
+#
+#   ./ci.sh            # both configs
+#   ./ci.sh release    # release only
+#   ./ci.sh sanitize   # sanitizers only
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run_config() {
+  local name="$1"
+  shift
+  local dir="build-ci-${name}"
+  echo "==== [${name}] configure ===="
+  cmake -B "${dir}" -S . "$@"
+  echo "==== [${name}] build ===="
+  cmake --build "${dir}" -j"$(nproc)"
+  echo "==== [${name}] test ===="
+  ctest --test-dir "${dir}" --output-on-failure -j"$(nproc)"
+}
+
+what="${1:-all}"
+
+case "${what}" in
+  release)
+    run_config release -DCMAKE_BUILD_TYPE=Release
+    ;;
+  sanitize)
+    run_config sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPMEMCPY_SANITIZE=ON
+    ;;
+  all)
+    run_config release -DCMAKE_BUILD_TYPE=Release
+    run_config sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPMEMCPY_SANITIZE=ON
+    ;;
+  *)
+    echo "usage: $0 [release|sanitize|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "==== all configs green ===="

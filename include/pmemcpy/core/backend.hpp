@@ -23,7 +23,10 @@ namespace pmemcpy::detail {
 
 struct EntryInfo {
   std::uint64_t size = 0;  ///< blob bytes
-  std::uint64_t meta = 0;  ///< caller-defined word (kind/dtype/serializer)
+  /// Caller-defined word.  The low 32 bits carry kind/dtype/serializer/
+  /// filter codes; the high 32 bits hold the CRC32C of the blob, stamped at
+  /// commit() so torn data is detectable on read.
+  std::uint64_t meta = 0;
 };
 
 class Store {
@@ -33,7 +36,9 @@ class Store {
    public:
     virtual ~Put() = default;
     [[nodiscard]] virtual serial::Sink& sink() = 0;
-    virtual void commit() = 0;
+    /// Publish the entry, folding @p payload_crc (CRC32C of every blob byte)
+    /// into the high half of the meta word.
+    virtual void commit(std::uint32_t payload_crc = 0) = 0;
   };
 
   /// A found entry.

@@ -69,6 +69,9 @@ class HashTable {
     /// Charged, crash-tracked writable span over the reserved blob.
     [[nodiscard]] std::span<std::byte> value();
     [[nodiscard]] std::uint64_t value_off() const noexcept { return val_off_; }
+    /// Overwrite the high 32 bits of the entry's meta word (the blob
+    /// checksum slot) before publishing.
+    void set_meta_high(std::uint32_t hi);
     /// Persist the blob + node and link the entry (replacing any existing
     /// entry with the same key).  With @p keep_existing an existing entry
     /// wins instead and the reservation is discarded; returns whether this

@@ -3,11 +3,16 @@
 // A Pool lives inside a region of an emulated PMEM device and provides:
 //   * offset-based persistent pointers (PPtr<T>) that stay valid across
 //     re-opens,
-//   * a crash-safe allocator (size-class free lists + bump arena, every
-//     metadata mutation is a single persisted 8-byte store),
+//   * a crash-safe allocator (size-class free lists + bump arena; every
+//     multi-store metadata mutation is made atomic by a dedicated allocator
+//     undo log, so a crash at any persist boundary rolls the whole
+//     allocation or free back),
 //   * undo-log transactions (snapshot ranges, mutate, commit; recovery on
 //     open rolls back incomplete transactions),
-//   * a root object offset for bootstrapping data structures.
+//   * a root object offset for bootstrapping data structures,
+//   * CRC32C checksums on the pool header and every chunk header, plus an
+//     offline integrity verifier (check()) that walks the arena, the free
+//     lists and the transaction logs.
 //
 // All stores go through write()/set()/persist() so they are visible to the
 // device's crash tracking and charged on the simulated clock.  The pool can
@@ -24,6 +29,7 @@
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace pmemcpy::obj {
@@ -48,12 +54,37 @@ struct PoolError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Result of the offline integrity verifier, Pool::check().
+struct CheckReport {
+  /// Human-readable descriptions of every invariant violation found.
+  std::vector<std::string> issues;
+  /// Chunks visited by the heap walk (allocated + free).
+  std::size_t chunks_walked = 0;
+  /// Chunks found on the size-class and large free lists.
+  std::size_t free_chunks = 0;
+  /// bytes_in_use recomputed from the heap walk (compare to the stored
+  /// counter; a mismatch is also reported as an issue).
+  std::uint64_t bytes_in_use = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return issues.empty(); }
+};
+
 class Pool {
  public:
   /// Number of independent transaction lanes (concurrent transactions).
   static constexpr std::size_t kTxLanes = 16;
   /// Undo-log capacity per lane (payload bytes, excluding entry headers).
   static constexpr std::size_t kTxLogBytes = 64 * 1024;
+
+  /// Deliberate-bug knobs for validating the crash harness (mutation
+  /// testing): re-introduce a known durability bug and assert the crash
+  /// matrix catches it.  Never enable outside tests.
+  struct TestFaults {
+    /// Skip persisting the lane-header zero in Transaction::commit() — the
+    /// historical bug where a crash right after commit re-exposes the stale
+    /// undo entries and recovery rolls a *committed* transaction back.
+    bool skip_lane_zero_persist = false;
+  };
 
   /// Format a fresh pool over device bytes [base, base+size).
   static Pool create(pmem::Device& dev, std::size_t base, std::size_t size,
@@ -70,6 +101,7 @@ class Pool {
   [[nodiscard]] pmem::Device& device() noexcept { return *dev_; }
   [[nodiscard]] bool map_sync() const noexcept { return opts_.map_sync; }
   void set_map_sync(bool on) noexcept { opts_.map_sync = on; }
+  [[nodiscard]] TestFaults& test_faults() noexcept { return test_faults_; }
 
   // --- root object ----------------------------------------------------------
 
@@ -79,21 +111,36 @@ class Pool {
   // --- allocation ------------------------------------------------------------
 
   /// Allocate @p bytes of persistent memory; returns a pool-relative offset.
-  /// Throws std::bad_alloc when the pool is exhausted.
+  /// Throws std::bad_alloc when the pool is exhausted.  Crash-atomic: a
+  /// crash at any internal persist boundary rolls the allocation back.
   std::uint64_t alloc(std::size_t bytes);
-  /// Return an allocation to the pool.
+  /// Return an allocation to the pool.  Crash-atomic like alloc().
   void free(std::uint64_t off);
   /// Usable payload size of an allocation.
   [[nodiscard]] std::size_t usable_size(std::uint64_t off) const;
   /// Bytes currently handed out (payload, excluding headers).
   [[nodiscard]] std::size_t bytes_in_use() const noexcept;
 
+  // --- integrity --------------------------------------------------------------
+
+  /// Offline integrity verifier: validates the pool-header checksum, walks
+  /// the arena chunk by chunk (header checksums, overlap), the size-class
+  /// and large free lists (cycles, class mismatches, double-listing), the
+  /// transaction lanes and the allocator undo log (structural validity),
+  /// and recomputes bytes_in_use.  Read-only; safe on a just-opened pool.
+  [[nodiscard]] CheckReport check() const;
+
+  /// Throw pmem::DeviceError if [off, off+len) intersects injected bad
+  /// media, without reading it (for zero-copy consumers of direct()).
+  void verify_media(std::uint64_t off, std::size_t len) const;
+
   // --- charged data access ----------------------------------------------------
 
   /// memcpy @p len bytes into the pool at @p off (DAX store: charged, crash-
   /// tracked, NOT yet persisted — call persist()).
   void write(std::uint64_t off, const void* src, std::size_t len);
-  /// memcpy @p len bytes out of the pool (DAX load: charged).
+  /// memcpy @p len bytes out of the pool (DAX load: charged).  Throws
+  /// pmem::DeviceError on injected media errors.
   void read(std::uint64_t off, void* dst, std::size_t len) const;
   /// Store a trivially-copyable value and persist it (one metadata store).
   template <typename T>
@@ -164,10 +211,20 @@ class Pool {
   void release_tx_lane(int lane);
   [[nodiscard]] std::uint64_t lane_off(int lane) const;
 
+  // Allocator undo log: pre-image logging that makes the multi-store
+  // allocator mutations atomic across crashes.
+  void aundo_log(std::uint64_t off, std::size_t len);
+  void aundo_commit();
+  /// Roll back an undo log (newest entry first) and retire it.  Shared by
+  /// lane recovery, transaction rollback and allocator-undo recovery.
+  void rollback_log(std::uint64_t header_off, std::uint64_t payload_off,
+                    std::uint64_t capacity);
+
   pmem::Device* dev_;
   std::size_t base_;
   std::size_t size_;
   PoolOptions opts_;
+  TestFaults test_faults_;
 
   std::unique_ptr<std::mutex> alloc_mu_ = std::make_unique<std::mutex>();
   std::unique_ptr<std::mutex> lane_mu_ = std::make_unique<std::mutex>();

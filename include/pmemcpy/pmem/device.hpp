@@ -14,21 +14,73 @@
 // every cacheline written since it was last persisted; simulate_crash()
 // restores those lines, emulating the loss of CPU-cache-resident stores on
 // power failure.
+//
+// On top of that sits a Jaaru-style fault plan for systematic crash-point
+// exploration: every persist()/drain() bumps a monotonic persist-op counter,
+// and a plan can schedule a crash at the Nth such op.  When the crash fires
+// the device reverts unpersisted cachelines (all of them, or — in torn-write
+// mode — a deterministic pseudo-random subset, emulating lines that happened
+// to be evicted to media before power was lost), freezes itself like a
+// powered-off DIMM (subsequent stores and persists are ignored, so stack
+// unwinding through destructors cannot retroactively mutate the post-crash
+// image), and throws CrashError for the harness to catch.  Injected media
+// read errors surface as a typed DeviceError from every checked read path.
 #pragma once
 
 #include <pmemcpy/sim/context.hpp>
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace pmemcpy::pmem {
 
 inline constexpr std::size_t kCacheLine = 64;
+
+/// Typed device-level failure (media errors).  Callers can degrade
+/// gracefully — report the bad range — instead of consuming garbage.
+struct DeviceError : std::runtime_error {
+  enum class Kind { kMediaRead };
+
+  DeviceError(Kind k, std::size_t off_, std::size_t len_,
+              const std::string& what)
+      : std::runtime_error(what), kind(k), off(off_), len(len_) {}
+
+  Kind kind;
+  std::size_t off;
+  std::size_t len;
+};
+
+/// Thrown when a scheduled fault-plan crash point fires.  By the time the
+/// harness catches it the device has already reverted unpersisted lines and
+/// frozen itself; call revive() before re-mounting.
+struct CrashError : std::runtime_error {
+  explicit CrashError(std::uint64_t op)
+      : std::runtime_error("pmem::Device: scheduled crash at persist op " +
+                           std::to_string(op)),
+        persist_op(op) {}
+
+  std::uint64_t persist_op;
+};
+
+/// Schedule of injected faults for one run.
+struct FaultPlan {
+  /// Crash when the persist-op counter reaches this 1-based value (the op
+  /// itself never completes).  0 disables crash scheduling.
+  std::uint64_t crash_at_persist = 0;
+  /// Torn-write mode: on crash, revert only a deterministic pseudo-random
+  /// subset of the unpersisted cachelines instead of all of them.
+  bool torn_writes = false;
+  /// Seed selecting the torn subset (same seed → same subset).
+  std::uint64_t torn_seed = 0x9E3779B97F4A7C15ull;
+};
 
 class Device {
  public:
@@ -51,14 +103,16 @@ class Device {
   /// Store @p len bytes at @p off; charges write latency + bandwidth.
   void write(std::size_t off, const void* src, std::size_t len);
   /// Load @p len bytes from @p off; charges read latency + bandwidth.
+  /// Throws DeviceError if the range intersects an injected media error.
   void read(std::size_t off, void* dst, std::size_t len) const;
   /// Set @p len bytes at @p off to @p value; charged like a write.
   void fill(std::size_t off, std::size_t len, std::byte value);
 
   /// Flush the cachelines covering [off, off+len) and drain: after this the
   /// range survives simulate_crash().  Charges per-line flush + fence cost.
+  /// Counts one persist op; throws CrashError when the fault plan fires.
   void persist(std::size_t off, std::size_t len);
-  /// Fence only (SFENCE); charges drain cost.
+  /// Fence only (SFENCE); charges drain cost.  Counts one persist op.
   void drain();
 
   // --- DAX path -------------------------------------------------------------
@@ -92,11 +146,40 @@ class Device {
 
   // --- crash simulation ------------------------------------------------------
 
-  /// Revert every cacheline written since it was last persisted (requires
+  /// Revert cachelines written since they were last persisted (requires
   /// crash_shadow).  Emulates power loss with stores still in CPU caches.
+  /// Honors the fault plan's torn-write mode: with it, only a deterministic
+  /// pseudo-random subset of the unpersisted lines is reverted.
   void simulate_crash();
   /// Number of distinct unpersisted cachelines currently tracked.
   [[nodiscard]] std::size_t unpersisted_lines() const;
+
+  // --- fault plan -------------------------------------------------------------
+
+  /// Arm a fault plan for the current run (requires crash_shadow when a
+  /// crash point is scheduled).
+  void set_fault_plan(const FaultPlan& plan);
+  /// Monotonic count of persist()/drain() ops since construction.
+  [[nodiscard]] std::uint64_t persist_ops() const noexcept {
+    return persist_ops_.load(std::memory_order_relaxed);
+  }
+  /// True after a scheduled crash fired: the device ignores stores and
+  /// persists like powered-off hardware until revive() is called.
+  [[nodiscard]] bool frozen() const noexcept {
+    return frozen_.load(std::memory_order_relaxed);
+  }
+  /// Clear the frozen state and the fault plan ("power the device back on"
+  /// before re-mounting and recovering).
+  void revive();
+
+  /// Mark [off, off+len) as failing media: checked reads of any overlapping
+  /// range throw DeviceError{kMediaRead}.
+  void inject_read_error(std::size_t off, std::size_t len);
+  void clear_read_errors();
+  /// Throw DeviceError if [off, off+len) intersects an injected bad range.
+  /// DAX-path consumers (which bypass read()) call this before trusting a
+  /// raw() view.
+  void check_media(std::size_t off, std::size_t len) const;
 
   // --- statistics -------------------------------------------------------------
 
@@ -111,13 +194,26 @@ class Device {
   void check_range(std::size_t off, std::size_t len) const;
   /// Pages of [off,len) not yet touched since the last reset; marks them.
   std::size_t claim_new_pages(std::size_t off, std::size_t len);
+  /// Revert unpersisted lines per the torn-write policy; clears the shadow.
+  void apply_crash_locked();
+  /// Deterministically decide whether a torn crash reverts @p line.
+  [[nodiscard]] bool torn_reverts(std::size_t line) const noexcept;
 
   std::size_t capacity_;
   std::unique_ptr<std::byte[]> data_;
   bool crash_shadow_;
 
-  mutable std::mutex mu_;  // protects shadow_, touched_, counters
+  // Fault-plan state.  The counter and trigger are atomics so the hot
+  // persist path stays lock-free when no shadow/plan is active.
+  std::atomic<std::uint64_t> persist_ops_{0};
+  std::atomic<std::uint64_t> crash_at_{0};
+  std::atomic<bool> frozen_{false};
+  bool torn_writes_ = false;
+  std::uint64_t torn_seed_ = 0;
+
+  mutable std::mutex mu_;  // protects shadow_, touched_, counters, bad media
   std::unordered_map<std::size_t, std::array<std::byte, kCacheLine>> shadow_;
+  std::vector<std::pair<std::size_t, std::size_t>> bad_media_;  // off, len
   std::vector<bool> touched_;  // one bit per 4 KiB page
   std::uint64_t bytes_written_ = 0;
   mutable std::uint64_t bytes_read_ = 0;

@@ -29,6 +29,7 @@
 #include <pmemcpy/core/backend.hpp>
 #include <pmemcpy/core/hyperslab.hpp>
 #include <pmemcpy/core/node.hpp>
+#include <pmemcpy/crc32c.hpp>
 #include <pmemcpy/par/comm.hpp>
 #include <pmemcpy/serial/binary.hpp>
 #include <pmemcpy/serial/bp4.hpp>
@@ -67,6 +68,9 @@ struct Config {
   /// PMEM (how ADIOS-style libraries behave) instead of serializing
   /// directly into PMEM.
   bool force_dram_staging = false;
+  /// Verify the per-entry CRC32C on every load and throw IntegrityError on
+  /// mismatch instead of deserializing torn or rotted bytes.
+  bool verify_checksums = true;
 };
 
 struct KeyError : std::runtime_error {
@@ -79,6 +83,25 @@ struct TypeError : std::runtime_error {
 struct StateError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
+/// A stored entry failed its checksum or sits on failing media: the data is
+/// torn, rotted, or unreadable.  Typed so callers can degrade gracefully
+/// (skip/re-fetch the key) instead of consuming garbage.
+struct IntegrityError : std::runtime_error {
+  explicit IntegrityError(const std::string& detail)
+      : std::runtime_error("pmemcpy: integrity failure: " + detail) {}
+};
+
+/// Result of PMEM::scrub(): every stored key whose payload failed its
+/// checksum or could not be read back.
+struct ScrubReport {
+  struct Item {
+    std::string key;
+    std::string issue;
+  };
+  std::size_t entries = 0;  ///< keys examined
+  std::vector<Item> corrupt;
+  [[nodiscard]] bool ok() const noexcept { return corrupt.empty(); }
+};
 
 namespace detail {
 
@@ -90,6 +113,11 @@ enum class EntryKind : std::uint8_t { kScalar = 0, kPiece = 1, kDims = 2 };
 void unpack_meta(std::uint64_t meta, EntryKind* kind, serial::DType* dtype,
                  serial::SerializerId* ser,
                  serial::FilterId* filter = nullptr);
+
+/// Blob checksum stored in the high half of the meta word (see EntryInfo).
+[[nodiscard]] inline std::uint32_t meta_crc(std::uint64_t meta) {
+  return static_cast<std::uint32_t>(meta >> 32);
+}
 
 [[nodiscard]] std::string dims_key(const std::string& id);
 [[nodiscard]] std::string piece_prefix(const std::string& id);
@@ -148,14 +176,18 @@ class PMEM {
       serial::BinaryWriter w(sink);
       w(data);
     };
+    std::uint32_t crc = 0;
     if (cfg_.force_dram_staging) {
       serial::BufferSink staged(hdr + payload);
       emit(staged);
+      crc = crc32c(staged.bytes().data(), staged.bytes().size());
       put->sink().write(staged.bytes().data(), staged.bytes().size());
     } else {
-      emit(put->sink());
+      serial::ChecksumSink cs(put->sink());
+      emit(cs);
+      crc = cs.crc();
     }
-    put->commit();
+    put->commit(crc);
   }
 
   template <typename T>
@@ -177,6 +209,7 @@ class PMEM {
     if (cfg_.force_dram_staging) {
       std::vector<std::byte> staged(info.size);
       entry->read(0, staged.data(), staged.size());
+      verify_blob(id, staged.data(), staged.size(), info.meta);
       serial::BufferSource src(
           {staged.data() + hdr, staged.size() - hdr});
       serial::BinaryReader r(src);
@@ -184,6 +217,7 @@ class PMEM {
     } else {
       // Deserialize straight out of PMEM.
       const std::byte* blob = entry->direct(info.size);
+      verify_blob(id, blob, info.size, info.meta);
       serial::SpanSource src({blob + hdr, info.size - hdr});
       serial::BinaryReader r(src);
       r(data);
@@ -251,12 +285,12 @@ class PMEM {
           detail::piece_key(id, box), hdr + 8 + enc.size(),
           detail::pack_meta(detail::EntryKind::kPiece, dtype, ser,
                             cfg_.filter));
-      detail::write_blob_header(put->sink(), ser, dtype, payload, global,
-                                box);
+      serial::ChecksumSink cs(put->sink());
+      detail::write_blob_header(cs, ser, dtype, payload, global, box);
       const std::uint64_t enc_size = enc.size();
-      put->sink().write(&enc_size, sizeof(enc_size));
-      put->sink().write(enc.data(), enc.size());
-      put->commit();
+      cs.write(&enc_size, sizeof(enc_size));
+      cs.write(enc.data(), enc.size());
+      put->commit(cs.crc());
       invalidate_piece_cache(id);
       return;
     }
@@ -268,14 +302,18 @@ class PMEM {
       detail::write_blob_header(sink, ser, dtype, payload, global, box);
       sink.write(data, payload);
     };
+    std::uint32_t crc = 0;
     if (cfg_.force_dram_staging) {
       serial::BufferSink staged(hdr + payload);
       emit(staged);
+      crc = crc32c(staged.bytes().data(), staged.bytes().size());
       put->sink().write(staged.bytes().data(), staged.bytes().size());
     } else {
-      emit(put->sink());
+      serial::ChecksumSink cs(put->sink());
+      emit(cs);
+      crc = cs.crc();
     }
-    put->commit();
+    put->commit(crc);
     invalidate_piece_cache(id);
   }
 
@@ -306,6 +344,7 @@ class PMEM {
       if (filter != serial::FilterId::kNone) {
         // Decode straight from the PMEM-resident encoded bytes.
         const std::byte* blob = entry->direct(info.size);
+        verify_blob(id, blob, info.size, info.meta);
         std::uint64_t enc_size = 0;
         std::memcpy(&enc_size, blob + hdr, sizeof(enc_size));
         if (hdr + 8 + enc_size != info.size) {
@@ -322,11 +361,13 @@ class PMEM {
       if (cfg_.force_dram_staging) {
         std::vector<std::byte> staged(payload);
         entry->read(hdr, staged.data(), payload);
+        verify_piece(id, *entry, hdr, staged.data(), payload, info.meta);
         std::memcpy(data, staged.data(), payload);
         sim::ctx().charge_cpu_copy(payload);
       } else {
         // One pass: PMEM -> user buffer.
         entry->read(hdr, data, payload);
+        verify_piece(id, *entry, hdr, data, payload, info.meta);
       }
       return;
     }
@@ -356,6 +397,7 @@ class PMEM {
       if (filter != serial::FilterId::kNone) {
         // Decode the whole piece to scratch, then intersect.
         const std::byte* blob = entry->direct(info.size);
+        verify_blob(key, blob, info.size, info.meta);
         std::uint64_t enc_size = 0;
         std::memcpy(&enc_size, blob + hdr, sizeof(enc_size));
         std::vector<std::byte> raw(pbox.elements() * sizeof(T));
@@ -365,6 +407,7 @@ class PMEM {
       } else {
         const std::byte* blob =
             entry->direct(region.elements() * sizeof(T));
+        verify_blob(key, blob, info.size, info.meta);
         copy_box_region(reinterpret_cast<std::byte*>(data), want, blob + hdr,
                         pbox, region, sizeof(T));
       }
@@ -385,6 +428,11 @@ class PMEM {
   /// Remove a scalar, or an array with all of its pieces, dims and
   /// attributes.
   void remove(const std::string& id);
+
+  /// Walk every stored entry, read its full blob back (so injected media
+  /// errors surface) and re-verify its checksum.  Returns all corruption
+  /// found; never throws for corrupt data.
+  [[nodiscard]] ScrubReport scrub();
 
   // --- attributes -----------------------------------------------------------
 
@@ -422,6 +470,32 @@ class PMEM {
   [[nodiscard]] detail::Store& store_ref() {
     if (!store_) throw StateError("pmemcpy: not mapped (call mmap first)");
     return *store_;
+  }
+  /// Compare a full blob against the checksum in its meta word.
+  void verify_blob(const std::string& key, const std::byte* blob,
+                   std::size_t size, std::uint64_t meta) const {
+    if (!cfg_.verify_checksums) return;
+    if (crc32c(blob, size) != detail::meta_crc(meta)) {
+      throw IntegrityError("checksum mismatch in " + key);
+    }
+  }
+  /// Fast-path piece verification without a second payload pass: the blob
+  /// header is re-read and chained with the payload already in the caller's
+  /// buffer (CRC32C(header || payload) == stored checksum).
+  void verify_piece(const std::string& key, detail::Store::Entry& entry,
+                    std::size_t hdr, const void* payload,
+                    std::size_t payload_len, std::uint64_t meta) const {
+    if (!cfg_.verify_checksums) return;
+    std::uint32_t c = 0;
+    if (hdr > 0) {
+      std::vector<std::byte> hb(hdr);
+      entry.read(0, hb.data(), hdr);
+      c = crc32c(hb.data(), hdr);
+    }
+    c = crc32c(payload, payload_len, c);
+    if (c != detail::meta_crc(meta)) {
+      throw IntegrityError("checksum mismatch in " + key);
+    }
   }
   void put_dims(const std::string& id, serial::DType dtype,
                 const Dimensions& dims);

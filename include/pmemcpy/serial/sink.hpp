@@ -14,10 +14,12 @@
 //     mapping (hierarchical layout), charged per store.
 #pragma once
 
+#include <pmemcpy/crc32c.hpp>
 #include <pmemcpy/fs/filesystem.hpp>
 #include <pmemcpy/sim/context.hpp>
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <span>
 #include <stdexcept>
@@ -154,6 +156,27 @@ class MappingSource final : public Source {
   const fs::Mapping* m_;
   std::uint64_t off_;
   std::size_t pos_ = 0;
+};
+
+/// Forwards to another sink while checksumming every byte that flows
+/// through.  The integrity layer stores the resulting CRC32C next to the
+/// entry so reads can detect torn or rotted payloads.
+class ChecksumSink final : public Sink {
+ public:
+  explicit ChecksumSink(Sink& inner) : inner_(&inner) {}
+
+  void write(const void* data, std::size_t len) override {
+    crc_ = crc32c(data, len, crc_);
+    inner_->write(data, len);
+  }
+  [[nodiscard]] std::size_t tell() const override { return inner_->tell(); }
+
+  /// CRC32C of everything written so far.
+  [[nodiscard]] std::uint32_t crc() const noexcept { return crc_; }
+
+ private:
+  Sink* inner_;
+  std::uint32_t crc_ = 0;
 };
 
 /// Measures serialized size without moving bytes (for blob reservation).

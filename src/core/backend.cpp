@@ -20,7 +20,10 @@ class TablePut final : public Store::Put {
         keep_existing_(keep_existing) {}
 
   serial::Sink& sink() override { return sink_; }
-  void commit() override { ins_.publish(keep_existing_); }
+  void commit(std::uint32_t payload_crc) override {
+    ins_.set_meta_high(payload_crc);
+    ins_.publish(keep_existing_);
+  }
 
  private:
   obj::HashTable::Inserter ins_;
@@ -43,6 +46,9 @@ class TableEntry final : public Store::Entry {
   }
 
   const std::byte* direct(std::size_t charge_bytes) override {
+    // Zero-copy bypasses the checked read path, so probe for injected
+    // media errors explicitly before handing out the pointer.
+    pool_->verify_media(ref_.val_off, ref_.val_size);
     pool_->charge_read(charge_bytes);
     return pool_->direct(ref_.val_off);
   }
@@ -111,9 +117,10 @@ class TreePut final : public Store::Put {
         tmp_path_(std::move(tmp_path)),
         final_path_(std::move(final_path)),
         sink_(mapping_, kTreeHeader),
+        meta_(meta),
         size_(size),
         keep_existing_(keep_existing) {
-    mapping_.store(0, &meta, sizeof(meta));
+    mapping_.store(0, &meta_, sizeof(meta_));
   }
 
   ~TreePut() override {
@@ -122,7 +129,11 @@ class TreePut final : public Store::Put {
 
   serial::Sink& sink() override { return sink_; }
 
-  void commit() override {
+  void commit(std::uint32_t payload_crc) override {
+    const std::uint64_t meta =
+        (meta_ & 0xFFFFFFFFull) |
+        (static_cast<std::uint64_t>(payload_crc) << 32);
+    mapping_.store(0, &meta, sizeof(meta));
     mapping_.persist(0, kTreeHeader + size_);
     fs_->rename(tmp_path_, final_path_, /*replace=*/!keep_existing_);
     committed_ = true;
@@ -134,6 +145,7 @@ class TreePut final : public Store::Put {
   std::string tmp_path_;
   std::string final_path_;
   serial::MappingSink sink_;
+  std::uint64_t meta_;
   std::size_t size_;
   bool keep_existing_;
   bool committed_ = false;

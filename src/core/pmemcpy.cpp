@@ -194,9 +194,10 @@ void PMEM::put_dims(const std::string& id, serial::DType dtype,
       detail::pack_meta(detail::EntryKind::kDims, dtype,
                         serial::SerializerId::kBinary),
       /*keep_existing=*/true);
-  serial::BinaryWriter w(put->sink());
+  serial::ChecksumSink cs(put->sink());
+  serial::BinaryWriter w(cs);
   w(static_cast<std::uint8_t>(dtype), d64);
-  put->commit();
+  put->commit(cs.crc());
 }
 
 bool PMEM::get_dims(const std::string& id, serial::DType* dtype,
@@ -205,6 +206,7 @@ bool PMEM::get_dims(const std::string& id, serial::DType* dtype,
   if (!entry) return false;
   const auto info = entry->info();
   const std::byte* blob = entry->direct(info.size);
+  verify_blob(detail::dims_key(id), blob, info.size, info.meta);
   serial::SpanSource src({blob, info.size});
   serial::BinaryReader r(src);
   std::uint8_t dt = 0;
@@ -278,7 +280,9 @@ void PMEM::import_raw(const std::string& key, std::span<const std::byte> data,
                       std::uint64_t meta) {
   auto put = store_ref().put(key, data.size(), meta);
   put->sink().write(data.data(), data.size());
-  put->commit();
+  // Re-derive the checksum from the bytes rather than trusting the high
+  // half of an exported meta word.
+  put->commit(crc32c(data.data(), data.size()));
 }
 
 void PMEM::remove(const std::string& id) {
@@ -299,6 +303,33 @@ void PMEM::remove(const std::string& id) {
   for (const auto& key : attrs) any |= st.erase(key);
   invalidate_piece_cache(id);
   if (!any) throw KeyError(id);
+}
+
+ScrubReport PMEM::scrub() {
+  auto& st = store_ref();
+  ScrubReport rep;
+  std::vector<std::string> keys;
+  st.for_each_prefix("",
+                     [&](const std::string& key, const detail::EntryInfo&) {
+                       keys.push_back(key);
+                     });
+  for (const auto& key : keys) {
+    auto entry = st.find(key);
+    if (!entry) continue;  // concurrently removed
+    ++rep.entries;
+    const auto info = entry->info();
+    std::vector<std::byte> blob(info.size);
+    try {
+      entry->read(0, blob.data(), blob.size());
+    } catch (const pmem::DeviceError& e) {
+      rep.corrupt.push_back({key, std::string("media error: ") + e.what()});
+      continue;
+    }
+    if (crc32c(blob.data(), blob.size()) != detail::meta_crc(info.meta)) {
+      rep.corrupt.push_back({key, "checksum mismatch"});
+    }
+  }
+  return rep;
 }
 
 std::vector<std::string> PMEM::attributes(const std::string& id) {

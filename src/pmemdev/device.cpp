@@ -12,6 +12,14 @@ constexpr std::size_t kPage = 4096;
 std::size_t round_up(std::size_t v, std::size_t to) {
   return (v + to - 1) / to * to;
 }
+
+/// splitmix64 finalizer — a cheap, well-mixed hash for torn-line selection.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
 }  // namespace
 
 Device::Device(std::size_t capacity, bool crash_shadow)
@@ -30,6 +38,7 @@ void Device::check_range(std::size_t off, std::size_t len) const {
 
 void Device::write(std::size_t off, const void* src, std::size_t len) {
   check_range(off, len);
+  if (frozen()) return;  // powered off: stores vanish
   note_write(off, len);
   std::memcpy(data_.get() + off, src, len);
   auto& c = sim::ctx();
@@ -44,6 +53,7 @@ void Device::write(std::size_t off, const void* src, std::size_t len) {
 
 void Device::read(std::size_t off, void* dst, std::size_t len) const {
   check_range(off, len);
+  check_media(off, len);
   std::memcpy(dst, data_.get() + off, len);
   auto& c = sim::ctx();
   const auto& pm = c.model().pmem;
@@ -57,6 +67,7 @@ void Device::read(std::size_t off, void* dst, std::size_t len) const {
 
 void Device::fill(std::size_t off, std::size_t len, std::byte value) {
   check_range(off, len);
+  if (frozen()) return;
   note_write(off, len);
   std::memset(data_.get() + off, std::to_integer<int>(value), len);
   auto& c = sim::ctx();
@@ -71,6 +82,7 @@ void Device::fill(std::size_t off, std::size_t len, std::byte value) {
 
 void Device::persist(std::size_t off, std::size_t len) {
   check_range(off, len);
+  if (frozen()) return;  // powered off: nothing to make durable
   const std::size_t first = off / kCacheLine;
   const std::size_t last = (off + len + kCacheLine - 1) / kCacheLine;
   auto& c = sim::ctx();
@@ -78,18 +90,42 @@ void Device::persist(std::size_t off, std::size_t len) {
   c.advance(static_cast<double>(last - first) * pm.persist_line_cost +
                 pm.drain_cost,
             sim::Charge::kPmemPersist);
+  const std::uint64_t op =
+      persist_ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (op == crash_at_.load(std::memory_order_relaxed)) {
+    // The scheduled crash point: power fails *before* this persist takes
+    // effect, so the lines it covers stay unpersisted and are subject to
+    // the revert policy like any other in-flight store.
+    {
+      std::lock_guard lk(mu_);
+      apply_crash_locked();
+      frozen_.store(true, std::memory_order_relaxed);
+    }
+    throw CrashError(op);
+  }
   if (!crash_shadow_) return;
   std::lock_guard lk(mu_);
   for (std::size_t line = first; line < last; ++line) shadow_.erase(line);
 }
 
 void Device::drain() {
+  if (frozen()) return;
   auto& c = sim::ctx();
   c.advance(c.model().pmem.drain_cost, sim::Charge::kPmemPersist);
+  const std::uint64_t op =
+      persist_ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (op == crash_at_.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard lk(mu_);
+      apply_crash_locked();
+      frozen_.store(true, std::memory_order_relaxed);
+    }
+    throw CrashError(op);
+  }
 }
 
 void Device::note_write(std::size_t off, std::size_t len) {
-  if (!crash_shadow_ || len == 0) return;
+  if (!crash_shadow_ || len == 0 || frozen()) return;
   check_range(off, len);
   const std::size_t first = off / kCacheLine;
   const std::size_t last = (off + len + kCacheLine - 1) / kCacheLine;
@@ -121,6 +157,7 @@ std::size_t Device::claim_new_pages(std::size_t off, std::size_t len) {
 void Device::charge_dax_write(std::size_t off, std::size_t len,
                               bool map_sync) {
   check_range(off, len);
+  if (frozen()) return;
   const std::size_t fresh = claim_new_pages(off, len);
   auto& c = sim::ctx();
   const auto& m = c.model();
@@ -153,21 +190,75 @@ void Device::reset_page_touches() {
   touched_.assign(touched_.size(), false);
 }
 
+bool Device::torn_reverts(std::size_t line) const noexcept {
+  // Deterministic coin flip per (seed, line): about half the in-flight
+  // lines reach media before the power dies, the rest are lost.
+  return (mix64(torn_seed_ ^ static_cast<std::uint64_t>(line)) & 1u) != 0;
+}
+
+void Device::apply_crash_locked() {
+  for (const auto& [line, image] : shadow_) {
+    if (torn_writes_ && !torn_reverts(line)) continue;  // line made it out
+    std::memcpy(data_.get() + line * kCacheLine, image.data(), kCacheLine);
+  }
+  shadow_.clear();
+}
+
 void Device::simulate_crash() {
   if (!crash_shadow_) {
     throw std::logic_error(
         "pmem::Device::simulate_crash requires crash_shadow mode");
   }
   std::lock_guard lk(mu_);
-  for (const auto& [line, image] : shadow_) {
-    std::memcpy(data_.get() + line * kCacheLine, image.data(), kCacheLine);
-  }
-  shadow_.clear();
+  apply_crash_locked();
 }
 
 std::size_t Device::unpersisted_lines() const {
   std::lock_guard lk(mu_);
   return shadow_.size();
+}
+
+void Device::set_fault_plan(const FaultPlan& plan) {
+  if (plan.crash_at_persist != 0 && !crash_shadow_) {
+    throw std::logic_error(
+        "pmem::Device: scheduling a crash point requires crash_shadow mode");
+  }
+  std::lock_guard lk(mu_);
+  torn_writes_ = plan.torn_writes;
+  torn_seed_ = plan.torn_seed;
+  crash_at_.store(plan.crash_at_persist, std::memory_order_relaxed);
+}
+
+void Device::revive() {
+  std::lock_guard lk(mu_);
+  crash_at_.store(0, std::memory_order_relaxed);
+  frozen_.store(false, std::memory_order_relaxed);
+  torn_writes_ = false;
+  shadow_.clear();
+}
+
+void Device::inject_read_error(std::size_t off, std::size_t len) {
+  check_range(off, len);
+  std::lock_guard lk(mu_);
+  bad_media_.emplace_back(off, len);
+}
+
+void Device::clear_read_errors() {
+  std::lock_guard lk(mu_);
+  bad_media_.clear();
+}
+
+void Device::check_media(std::size_t off, std::size_t len) const {
+  std::lock_guard lk(mu_);
+  if (bad_media_.empty()) return;
+  for (const auto& [boff, blen] : bad_media_) {
+    if (off < boff + blen && boff < off + len) {
+      throw DeviceError(DeviceError::Kind::kMediaRead, off, len,
+                        "pmem::Device: media read error in [" +
+                            std::to_string(boff) + ", +" +
+                            std::to_string(blen) + ")");
+    }
+  }
 }
 
 }  // namespace pmemcpy::pmem

@@ -334,8 +334,20 @@ HashTable::Inserter::Inserter(Inserter&& o) noexcept
 
 HashTable::Inserter::~Inserter() {
   if (published_ || node_off_ == 0) return;
-  table_->pool_->free(node_off_);
-  if (val_off_ != 0) table_->pool_->free(val_off_);
+  try {
+    table_->pool_->free(node_off_);
+    if (val_off_ != 0) table_->pool_->free(val_off_);
+  } catch (...) {
+    // Reached during exception unwind (e.g. a scheduled crash fired before
+    // publish).  Crash-point exceptions must not escape a destructor; the
+    // allocator undo log reconciles interrupted frees on reopen.
+  }
+}
+
+void HashTable::Inserter::set_meta_high(std::uint32_t hi) {
+  auto meta = table_->pool_->get<std::uint64_t>(node_off_ + kNodeMeta);
+  meta = (meta & 0xFFFFFFFFull) | (static_cast<std::uint64_t>(hi) << 32);
+  table_->pool_->set<std::uint64_t>(node_off_ + kNodeMeta, meta);
 }
 
 std::span<std::byte> HashTable::Inserter::value() {

@@ -1,8 +1,11 @@
 #include <pmemcpy/obj/pool.hpp>
 
+#include <pmemcpy/crc32c.hpp>
+
 #include <array>
 #include <cstring>
 #include <new>
+#include <unordered_set>
 
 namespace pmemcpy::obj {
 
@@ -19,6 +22,8 @@ constexpr std::size_t kSplitMin = 4096;
 constexpr std::array<std::size_t, 11> kClassSizes = {
     64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536};
 constexpr std::uint32_t kLargeClass = 0xFFFFFFFFu;
+/// Seed of the chunk-header checksum; doubles as the old magic constant, so
+/// the check word can only validate if it was produced by make_chunk().
 constexpr std::uint32_t kChunkMagic = 0xA110C8EDu;
 
 constexpr std::size_t round_up(std::size_t v, std::size_t to) {
@@ -31,7 +36,15 @@ struct PoolHeader {
   std::uint32_t pad;
   std::uint64_t size;
   std::uint64_t root;
+  std::uint32_t crc;  // CRC32C over all preceding fields
+  std::uint32_t pad2;
 };
+static_assert(sizeof(PoolHeader) == 40);
+static_assert(offsetof(PoolHeader, crc) == 32);
+
+std::uint32_t header_crc(const PoolHeader& h) {
+  return crc32c(&h, offsetof(PoolHeader, crc));
+}
 
 struct AllocState {
   std::uint64_t arena_cursor;
@@ -43,10 +56,22 @@ struct AllocState {
 
 struct ChunkHeader {
   std::uint64_t payload_size;
-  std::uint32_t cls;  // index into kClassSizes, or kLargeClass
-  std::uint32_t magic;
+  std::uint32_t cls;    // index into kClassSizes, or kLargeClass
+  std::uint32_t check;  // CRC32C of the fields above, seeded with kChunkMagic
 };
 static_assert(sizeof(ChunkHeader) == kChunkHeader);
+
+std::uint32_t chunk_check(const ChunkHeader& h) {
+  return crc32c(&h, offsetof(ChunkHeader, check), kChunkMagic);
+}
+
+ChunkHeader make_chunk(std::uint64_t payload_size, std::uint32_t cls) {
+  ChunkHeader h{payload_size, cls, 0};
+  h.check = chunk_check(h);
+  return h;
+}
+
+bool chunk_ok(const ChunkHeader& h) { return h.check == chunk_check(h); }
 
 struct LogEntryHeader {
   std::uint64_t off;
@@ -58,12 +83,22 @@ struct LogEntryHeader {
 struct Pool::Layout {
   static constexpr std::uint64_t kHeaderOff = 64;
   static constexpr std::uint64_t kAllocOff = 4096;
+  /// Allocator undo log: [u64 used][pre-image entries].  Gives the
+  /// multi-store free-list/arena mutations in alloc()/free() the same
+  /// crash-atomicity the tx lanes give user data, without taking a lane
+  /// (allocations happen inside transactions; borrowing a lane could
+  /// self-deadlock when all lanes are busy).
+  static constexpr std::uint64_t kAllocUndoOff = 4608;
   static constexpr std::uint64_t kLaneBase = 8192;
+  static constexpr std::uint64_t kAllocUndoBytes =
+      kLaneBase - kAllocUndoOff - 8;
   static constexpr std::uint64_t kLaneHeader = 64;
   static constexpr std::uint64_t kLaneStride = kLaneHeader + Pool::kTxLogBytes;
   static constexpr std::uint64_t heap_start() {
     return round_up(kLaneBase + Pool::kTxLanes * kLaneStride, 4096);
   }
+  static_assert(kAllocOff + sizeof(AllocState) <= 4608,
+                "alloc state must not overlap the allocator undo log");
 };
 
 Pool::Pool(pmem::Device& dev, std::size_t base, std::size_t size,
@@ -91,6 +126,9 @@ Pool Pool::open(pmem::Device& dev, std::size_t base, PoolOptions opts) {
   const auto hdr = p.get<PoolHeader>(Layout::kHeaderOff);
   if (hdr.magic != kMagic) throw PoolError("Pool::open: bad magic");
   if (hdr.version != kVersion) throw PoolError("Pool::open: bad version");
+  if (hdr.crc != header_crc(hdr)) {
+    throw PoolError("Pool::open: pool header checksum mismatch");
+  }
   if (base + hdr.size > dev.capacity()) {
     throw PoolError("Pool::open: header size exceeds device");
   }
@@ -107,6 +145,7 @@ void Pool::format() {
   as.large_free_head = 0;
   for (auto& h : as.free_head) h = 0;
   set(Layout::kAllocOff, as);
+  set<std::uint64_t>(Layout::kAllocUndoOff, 0);  // allocator undo log empty
 
   for (std::size_t lane = 0; lane < kTxLanes; ++lane) {
     set<std::uint64_t>(lane_off(static_cast<int>(lane)), 0);  // log empty
@@ -119,6 +158,7 @@ void Pool::format() {
   hdr.version = kVersion;
   hdr.size = size_;
   hdr.root = 0;
+  hdr.crc = header_crc(hdr);
   set(Layout::kHeaderOff, hdr);
 }
 
@@ -130,6 +170,10 @@ void Pool::check_off(std::uint64_t off, std::size_t len) const {
 
 void Pool::write(std::uint64_t off, const void* src, std::size_t len) {
   check_off(off, len);
+  // The device cannot intercept stores made through raw pointers, so the
+  // powered-off gate lives here too: post-crash unwind (destructor
+  // rollbacks, frees) must not mutate the crash image.
+  if (dev_->frozen()) return;
   dev_->note_write(base_ + off, len);
   std::memcpy(dev_->raw(base_ + off), src, len);
   dev_->charge_dax_write(base_ + off, len, opts_.map_sync);
@@ -137,6 +181,7 @@ void Pool::write(std::uint64_t off, const void* src, std::size_t len) {
 
 void Pool::read(std::uint64_t off, void* dst, std::size_t len) const {
   check_off(off, len);
+  dev_->check_media(base_ + off, len);
   std::memcpy(dst, dev_->raw(base_ + off), len);
   dev_->charge_dax_read(len, opts_.map_sync);
 }
@@ -146,9 +191,21 @@ void Pool::persist(std::uint64_t off, std::size_t len) {
   dev_->persist(base_ + off, len);
 }
 
+void Pool::verify_media(std::uint64_t off, std::size_t len) const {
+  check_off(off, len);
+  dev_->check_media(base_ + off, len);
+}
+
 std::span<std::byte> Pool::direct_write_span(std::uint64_t off,
                                              std::size_t len) {
   check_off(off, len);
+  if (dev_->frozen()) {
+    // Powered off: hand out scratch DRAM so the caller's stores vanish,
+    // exactly like stores through a dead DIMM mapping.
+    thread_local std::vector<std::byte> scratch;
+    scratch.assign(len, std::byte{});
+    return {scratch.data(), len};
+  }
   dev_->note_write(base_ + off, len);
   dev_->charge_dax_write(base_ + off, len, opts_.map_sync);
   return {dev_->raw(base_ + off), len};
@@ -159,9 +216,12 @@ std::uint64_t Pool::root() const {
 }
 
 void Pool::set_root(std::uint64_t off) {
-  const std::uint64_t field =
-      Layout::kHeaderOff + offsetof(PoolHeader, root);
-  set(field, off);
+  // Rewrite the whole header so the checksum stays valid.  40 bytes within
+  // one cacheline: atomic under the crash model.
+  auto hdr = get<PoolHeader>(Layout::kHeaderOff);
+  hdr.root = off;
+  hdr.crc = header_crc(hdr);
+  set(Layout::kHeaderOff, hdr);
 }
 
 // ---------------------------------------------------------------------------
@@ -177,13 +237,12 @@ std::uint64_t Pool::alloc(std::size_t bytes) {
 std::uint64_t Pool::alloc_locked(std::size_t bytes) {
   const std::size_t need = round_up(bytes + kChunkHeader, kChunkAlign);
   const std::uint64_t as_off = Layout::kAllocOff;
-  auto as = get<AllocState>(as_off);
+  const auto as = get<AllocState>(as_off);
 
-  std::uint64_t chunk = 0;
-  std::size_t chunk_size = 0;
+  // Phase 1 — decide (reads only): pick the chunk and precompute every
+  // mutation, so phase 2 can log pre-images before anything changes.
   std::uint32_t cls = kLargeClass;
-
-  // Small path: smallest size class that fits.
+  std::size_t chunk_size = 0;
   for (std::size_t c = 0; c < kClassSizes.size(); ++c) {
     if (kClassSizes[c] >= need) {
       cls = static_cast<std::uint32_t>(c);
@@ -192,42 +251,37 @@ std::uint64_t Pool::alloc_locked(std::size_t bytes) {
     }
   }
 
+  std::uint64_t chunk = 0;
+  std::uint64_t lnext = 0;  // successor of the chosen free-list chunk
+  std::uint64_t prev = 0;   // large-list predecessor (0 = head)
+  std::uint64_t rest = 0;   // split remainder, if any
+  std::uint64_t rest_payload = 0;
+  bool from_class_list = false;
+  bool from_large_list = false;
+
   if (cls != kLargeClass && as.free_head[cls] != 0) {
-    // Pop the class free list: a single persisted 8-byte head update.
     chunk = as.free_head[cls];
-    const auto next = get<std::uint64_t>(chunk + kChunkHeader);
-    set(as_off + offsetof(AllocState, free_head) + cls * 8, next);
+    lnext = get<std::uint64_t>(chunk + kChunkHeader);
+    from_class_list = true;
   } else if (cls == kLargeClass) {
     chunk_size = need;
     // First fit on the large free list.
-    std::uint64_t prev = 0;
     std::uint64_t cur = as.large_free_head;
     while (cur != 0) {
       const auto hdr = get<ChunkHeader>(cur);
       const std::size_t total = hdr.payload_size + kChunkHeader;
       const auto next = get<std::uint64_t>(cur + kChunkHeader);
       if (total >= need) {
-        // Unlink.
-        if (prev == 0) {
-          set(as_off + offsetof(AllocState, large_free_head), next);
-        } else {
-          set(prev + kChunkHeader, next);
-        }
+        chunk = cur;
+        lnext = next;
+        from_large_list = true;
         if (total - need >= kSplitMin) {
-          // Split the tail back onto the large list.
-          const std::uint64_t rest = cur + need;
-          ChunkHeader rh{};
-          rh.payload_size = total - need - kChunkHeader;
-          rh.cls = kLargeClass;
-          rh.magic = kChunkMagic;
-          set(rest, rh);
-          set(rest + kChunkHeader, get<AllocState>(as_off).large_free_head);
-          set(as_off + offsetof(AllocState, large_free_head), rest);
+          rest = cur + need;
+          rest_payload = total - need - kChunkHeader;
           chunk_size = need;
         } else {
           chunk_size = total;
         }
-        chunk = cur;
         break;
       }
       prev = cur;
@@ -237,21 +291,46 @@ std::uint64_t Pool::alloc_locked(std::size_t bytes) {
 
   if (chunk == 0) {
     // Bump arena.
-    as = get<AllocState>(as_off);
     const std::uint64_t at = round_up(as.arena_cursor, kChunkAlign);
     if (at + chunk_size > as.arena_end) throw std::bad_alloc{};
-    set(as_off + offsetof(AllocState, arena_cursor), at + chunk_size);
     chunk = at;
   }
 
-  ChunkHeader hdr{};
-  hdr.payload_size = chunk_size - kChunkHeader;
-  hdr.cls = cls;
-  hdr.magic = kChunkMagic;
-  set(chunk, hdr);
+  // Phase 2 — log pre-images: a crash anywhere below rolls the whole
+  // allocation back on recovery, as if it never happened.
+  aundo_log(as_off, sizeof(AllocState));
+  if (from_class_list || from_large_list) aundo_log(chunk, kChunkHeader);
+  if (prev != 0) aundo_log(prev + kChunkHeader, 8);
+  // The split remainder's header + next pointer are carved out of the chosen
+  // chunk's old payload; logging those bytes restores the unsplit chunk.
+  if (rest != 0) aundo_log(rest, kChunkHeader + 8);
 
-  const auto in_use = get<std::uint64_t>(as_off + offsetof(AllocState, bytes_in_use));
-  set(as_off + offsetof(AllocState, bytes_in_use), in_use + hdr.payload_size);
+  // Phase 3 — mutate (each store individually persisted; any prefix of the
+  // sequence is undone by the log above).
+  if (from_class_list) {
+    set(as_off + offsetof(AllocState, free_head) + cls * 8, lnext);
+  } else if (from_large_list) {
+    std::uint64_t new_head = as.large_free_head;
+    if (prev == 0) {
+      new_head = lnext;
+    } else {
+      set(prev + kChunkHeader, lnext);
+    }
+    if (rest != 0) {
+      set(rest, make_chunk(rest_payload, kLargeClass));
+      set(rest + kChunkHeader, new_head);
+      new_head = rest;
+    }
+    set(as_off + offsetof(AllocState, large_free_head), new_head);
+  } else {
+    set(as_off + offsetof(AllocState, arena_cursor), chunk + chunk_size);
+  }
+  set(chunk, make_chunk(chunk_size - kChunkHeader, cls));
+  set(as_off + offsetof(AllocState, bytes_in_use),
+      as.bytes_in_use + (chunk_size - kChunkHeader));
+
+  // Phase 4 — commit: retire the undo log; the allocation now stands.
+  aundo_commit();
   return chunk + kChunkHeader;
 }
 
@@ -260,26 +339,41 @@ void Pool::free(std::uint64_t off) {
   std::lock_guard lk(*alloc_mu_);
   const std::uint64_t chunk = off - kChunkHeader;
   const auto hdr = get<ChunkHeader>(chunk);
-  if (hdr.magic != kChunkMagic) {
+  if (!chunk_ok(hdr)) {
     throw PoolError("Pool::free: not an allocation");
   }
+  if (hdr.cls != kLargeClass && hdr.cls >= kClassSizes.size()) {
+    throw PoolError("Pool::free: corrupt chunk class");
+  }
   const std::uint64_t as_off = Layout::kAllocOff;
+  const auto as = get<AllocState>(as_off);
+
   std::uint64_t head_field;
+  std::uint64_t old_head;
   if (hdr.cls == kLargeClass) {
     head_field = as_off + offsetof(AllocState, large_free_head);
+    old_head = as.large_free_head;
   } else {
     head_field = as_off + offsetof(AllocState, free_head) + hdr.cls * 8;
+    old_head = as.free_head[hdr.cls];
   }
+
+  // Pre-images: allocator state + the payload word that becomes the free-
+  // list next pointer.  A crash mid-free leaves the chunk allocated.
+  aundo_log(as_off, sizeof(AllocState));
+  aundo_log(off, 8);
+
   // Push: write the next pointer into the payload, then swing the head.
-  set(off, get<std::uint64_t>(head_field));
+  set(off, old_head);
   set(head_field, chunk);
-  const auto in_use = get<std::uint64_t>(as_off + offsetof(AllocState, bytes_in_use));
-  set(as_off + offsetof(AllocState, bytes_in_use), in_use - hdr.payload_size);
+  set(as_off + offsetof(AllocState, bytes_in_use),
+      as.bytes_in_use - hdr.payload_size);
+  aundo_commit();
 }
 
 std::size_t Pool::usable_size(std::uint64_t off) const {
   const auto hdr = get<ChunkHeader>(off - kChunkHeader);
-  if (hdr.magic != kChunkMagic) {
+  if (!chunk_ok(hdr)) {
     throw PoolError("Pool::usable_size: not an allocation");
   }
   return hdr.payload_size;
@@ -293,6 +387,250 @@ std::size_t Pool::bytes_in_use() const noexcept {
                         offsetof(AllocState, bytes_in_use)),
               sizeof(v));
   return v;
+}
+
+// ---------------------------------------------------------------------------
+// Allocator undo log
+// ---------------------------------------------------------------------------
+
+void Pool::aundo_log(std::uint64_t off, std::size_t len) {
+  const std::uint64_t uo = Layout::kAllocUndoOff;
+  const auto used = get<std::uint64_t>(uo);
+  const std::size_t entry = sizeof(LogEntryHeader) + round_up(len, 8);
+  if (used + entry > Layout::kAllocUndoBytes) {
+    // Static capacity: one alloc/free logs a small bounded set of ranges.
+    throw PoolError("Pool: allocator undo log overflow");
+  }
+  const std::uint64_t pos = uo + 8 + used;
+  const LogEntryHeader eh{off, len};
+  write(pos, &eh, sizeof(eh));
+  std::vector<std::byte> image(len);
+  read(off, image.data(), len);
+  write(pos + sizeof(eh), image.data(), len);
+  persist(pos, entry);
+  // Only after the entry is durable does it become visible.
+  set<std::uint64_t>(uo, used + entry);
+}
+
+void Pool::aundo_commit() {
+  set<std::uint64_t>(Layout::kAllocUndoOff, 0);
+}
+
+void Pool::rollback_log(std::uint64_t header_off, std::uint64_t payload_off,
+                        std::uint64_t capacity) {
+  const auto used = get<std::uint64_t>(header_off);
+  if (used == 0) return;
+  if (used > capacity) {
+    throw PoolError("Pool: undo log header corrupt");
+  }
+  // Collect entries, then roll back newest-first so overlapping snapshots
+  // leave the oldest pre-image in place.
+  std::vector<std::uint64_t> entry_pos;
+  std::uint64_t pos = payload_off;
+  const std::uint64_t end = payload_off + used;
+  while (pos < end) {
+    const auto eh = get<LogEntryHeader>(pos);
+    if (eh.len > size_ || eh.off > size_ - eh.len) {
+      throw PoolError("Pool: undo log entry corrupt");
+    }
+    entry_pos.push_back(pos);
+    pos += sizeof(LogEntryHeader) + round_up(eh.len, 8);
+  }
+  for (auto it = entry_pos.rbegin(); it != entry_pos.rend(); ++it) {
+    const auto eh = get<LogEntryHeader>(*it);
+    std::vector<std::byte> image(eh.len);
+    read(*it + sizeof(LogEntryHeader), image.data(), eh.len);
+    write(eh.off, image.data(), eh.len);
+    persist(eh.off, eh.len);
+  }
+  // Retire the log durably: if this zero stayed in cache across a crash, a
+  // second recovery would replay stale pre-images over committed state.
+  set<std::uint64_t>(header_off, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Integrity verifier
+// ---------------------------------------------------------------------------
+
+CheckReport Pool::check() const {
+  CheckReport rep;
+  auto issue = [&rep](std::string s) {
+    if (rep.issues.size() < 64) rep.issues.push_back(std::move(s));
+  };
+
+  // --- pool header ---------------------------------------------------------
+  PoolHeader hdr{};
+  try {
+    hdr = get<PoolHeader>(Layout::kHeaderOff);
+  } catch (const pmem::DeviceError& e) {
+    issue(std::string("pool header: ") + e.what());
+    return rep;
+  }
+  if (hdr.magic != kMagic) {
+    issue("pool header: bad magic");
+    return rep;  // nothing downstream is trustworthy
+  }
+  if (hdr.version != kVersion) issue("pool header: bad version");
+  if (hdr.crc != header_crc(hdr)) issue("pool header: checksum mismatch");
+  if (hdr.size != size_) issue("pool header: size mismatch");
+
+  // --- allocator state ------------------------------------------------------
+  AllocState as{};
+  try {
+    as = get<AllocState>(Layout::kAllocOff);
+  } catch (const pmem::DeviceError& e) {
+    issue(std::string("alloc state: ") + e.what());
+    return rep;
+  }
+  const std::uint64_t heap0 = Layout::heap_start();
+  if (as.arena_cursor < heap0 || as.arena_cursor > as.arena_end ||
+      as.arena_end > size_ || as.arena_cursor % kChunkAlign != 0) {
+    issue("alloc state: arena bounds corrupt (cursor " +
+          std::to_string(as.arena_cursor) + ", end " +
+          std::to_string(as.arena_end) + ")");
+    return rep;  // heap walk bounds are meaningless
+  }
+
+  // --- heap walk ------------------------------------------------------------
+  // Every byte of [heap_start, arena_cursor) must be tiled by chunks with
+  // valid checksums; a chunk overrunning the cursor means overlap.
+  std::unordered_set<std::uint64_t> boundaries;
+  std::uint64_t payload_total = 0;
+  bool walk_ok = true;
+  for (std::uint64_t pos = heap0; pos < as.arena_cursor;) {
+    ChunkHeader ch{};
+    try {
+      ch = get<ChunkHeader>(pos);
+    } catch (const pmem::DeviceError& e) {
+      issue(std::string("heap walk: ") + e.what());
+      walk_ok = false;
+      break;
+    }
+    if (!chunk_ok(ch)) {
+      issue("heap walk: corrupt chunk header at " + std::to_string(pos));
+      walk_ok = false;
+      break;
+    }
+    const std::uint64_t adv = kChunkHeader + ch.payload_size;
+    if (adv % kChunkAlign != 0 || pos + adv > as.arena_cursor) {
+      issue("heap walk: chunk at " + std::to_string(pos) +
+            " overruns the arena (overlap or corrupt size)");
+      walk_ok = false;
+      break;
+    }
+    boundaries.insert(pos);
+    payload_total += ch.payload_size;
+    ++rep.chunks_walked;
+    pos += adv;
+  }
+
+  // --- free lists -----------------------------------------------------------
+  std::unordered_set<std::uint64_t> free_seen;
+  std::uint64_t free_payload = 0;
+  // Cap generous enough for any legal list; only a cycle can exceed it.
+  const std::size_t max_hops = (as.arena_cursor - heap0) / kChunkAlign + 2;
+  auto walk_free = [&](std::uint64_t head, std::uint32_t want_cls,
+                       const std::string& name) {
+    std::uint64_t cur = head;
+    std::size_t hops = 0;
+    while (cur != 0) {
+      if (++hops > max_hops) {
+        issue(name + ": cycle detected");
+        return;
+      }
+      if (cur < heap0 || cur + kChunkHeader > as.arena_cursor) {
+        issue(name + ": entry " + std::to_string(cur) + " outside the heap");
+        return;
+      }
+      if (walk_ok && !boundaries.contains(cur)) {
+        issue(name + ": entry " + std::to_string(cur) +
+              " not on a chunk boundary (overlap)");
+        return;
+      }
+      if (!free_seen.insert(cur).second) {
+        issue(name + ": entry " + std::to_string(cur) +
+              " on multiple free lists");
+        return;
+      }
+      ChunkHeader ch{};
+      try {
+        ch = get<ChunkHeader>(cur);
+      } catch (const pmem::DeviceError& e) {
+        issue(name + ": " + e.what());
+        return;
+      }
+      if (!chunk_ok(ch)) {
+        issue(name + ": corrupt chunk header at " + std::to_string(cur));
+        return;
+      }
+      if (ch.cls != want_cls) {
+        issue(name + ": entry " + std::to_string(cur) + " has class " +
+              std::to_string(ch.cls) + ", want " + std::to_string(want_cls));
+        return;
+      }
+      free_payload += ch.payload_size;
+      ++rep.free_chunks;
+      cur = get<std::uint64_t>(cur + kChunkHeader);
+    }
+  };
+  for (std::size_t c = 0; c < kClassSizes.size(); ++c) {
+    walk_free(as.free_head[c], static_cast<std::uint32_t>(c),
+              "free list[" + std::to_string(kClassSizes[c]) + "]");
+  }
+  walk_free(as.large_free_head, kLargeClass, "large free list");
+
+  // --- accounting -----------------------------------------------------------
+  if (walk_ok) {
+    rep.bytes_in_use = payload_total - free_payload;
+    if (rep.bytes_in_use != as.bytes_in_use) {
+      issue("bytes_in_use mismatch: stored " +
+            std::to_string(as.bytes_in_use) + ", recomputed " +
+            std::to_string(rep.bytes_in_use));
+    }
+  }
+
+  // --- undo logs ------------------------------------------------------------
+  // Structural validity only: on a recovered pool every log is empty; a
+  // non-empty but well-formed log is merely pending recovery.
+  auto check_log = [&](std::uint64_t header_off, std::uint64_t payload_off,
+                       std::uint64_t capacity, const std::string& name) {
+    std::uint64_t used = 0;
+    try {
+      used = get<std::uint64_t>(header_off);
+    } catch (const pmem::DeviceError& e) {
+      issue(name + ": " + e.what());
+      return;
+    }
+    if (used > capacity) {
+      issue(name + ": used " + std::to_string(used) + " exceeds capacity " +
+            std::to_string(capacity));
+      return;
+    }
+    std::uint64_t pos = payload_off;
+    const std::uint64_t end = payload_off + used;
+    while (pos < end) {
+      const auto eh = get<LogEntryHeader>(pos);
+      if (eh.len > size_ || eh.off > size_ - eh.len) {
+        issue(name + ": entry at " + std::to_string(pos) +
+              " targets a range beyond the pool");
+        return;
+      }
+      const std::uint64_t adv = sizeof(LogEntryHeader) + round_up(eh.len, 8);
+      if (pos + adv > end) {
+        issue(name + ": truncated entry at " + std::to_string(pos));
+        return;
+      }
+      pos += adv;
+    }
+  };
+  check_log(Layout::kAllocUndoOff, Layout::kAllocUndoOff + 8,
+            Layout::kAllocUndoBytes, "allocator undo log");
+  for (std::size_t lane = 0; lane < kTxLanes; ++lane) {
+    const std::uint64_t lo = lane_off(static_cast<int>(lane));
+    check_log(lo, lo + Layout::kLaneHeader, kTxLogBytes,
+              "tx lane " + std::to_string(lane));
+  }
+  return rep;
 }
 
 // ---------------------------------------------------------------------------
@@ -324,28 +662,13 @@ void Pool::release_tx_lane(int lane) {
 }
 
 void Pool::recover() {
+  // Allocator undo first: an interrupted alloc/free must be rolled back
+  // before anything else trusts the heap metadata.
+  rollback_log(Layout::kAllocUndoOff, Layout::kAllocUndoOff + 8,
+               Layout::kAllocUndoBytes);
   for (std::size_t lane = 0; lane < kTxLanes; ++lane) {
     const std::uint64_t lo = lane_off(static_cast<int>(lane));
-    const auto used = get<std::uint64_t>(lo);
-    if (used == 0) continue;
-    // Collect entries, then roll back newest-first so overlapping snapshots
-    // leave the oldest pre-image in place.
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;  // log pos, -
-    std::uint64_t pos = lo + Layout::kLaneHeader;
-    const std::uint64_t end = pos + used;
-    while (pos < end) {
-      const auto eh = get<LogEntryHeader>(pos);
-      entries.emplace_back(pos, 0);
-      pos += sizeof(LogEntryHeader) + round_up(eh.len, 8);
-    }
-    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
-      const auto eh = get<LogEntryHeader>(it->first);
-      std::vector<std::byte> image(eh.len);
-      read(it->first + sizeof(LogEntryHeader), image.data(), eh.len);
-      write(eh.off, image.data(), eh.len);
-      persist(eh.off, eh.len);
-    }
-    set<std::uint64_t>(lo, 0);
+    rollback_log(lo, lo + Layout::kLaneHeader, kTxLogBytes);
   }
 }
 
@@ -353,7 +676,15 @@ Transaction::Transaction(Pool& pool)
     : pool_(&pool), lane_(pool.acquire_tx_lane()) {}
 
 Transaction::~Transaction() {
-  if (!committed_) rollback();
+  if (!committed_) {
+    try {
+      rollback();
+    } catch (...) {
+      // A scheduled crash can fire inside rollback's persists.  The device
+      // is frozen at that point; recovery on reopen finishes the job.
+      // Destructors must not throw.
+    }
+  }
   pool_->release_tx_lane(lane_);
 }
 
@@ -381,30 +712,23 @@ void Transaction::snapshot(std::uint64_t off, std::size_t len) {
 void Transaction::commit() {
   if (committed_) return;
   for (const auto& [off, len] : ranges_) pool_->persist(off, len);
-  pool_->set<std::uint64_t>(pool_->lane_off(lane_), 0);
+  // Retire the log.  The zero MUST be persisted: if it only reached the CPU
+  // cache, a crash would re-expose the stale undo entries and recovery
+  // would roll this committed transaction back.  (test_faults can skip the
+  // persist to let the crash matrix demonstrate exactly that bug.)
+  const std::uint64_t lo = pool_->lane_off(lane_);
+  const std::uint64_t zero = 0;
+  pool_->write(lo, &zero, sizeof(zero));
+  if (!pool_->test_faults_.skip_lane_zero_persist) {
+    pool_->persist(lo, sizeof(zero));
+  }
   committed_ = true;
 }
 
 void Transaction::rollback() {
-  // Newest-first, mirroring crash recovery.
-  const std::uint64_t lo = pool_->lane_off(lane_);
-  std::uint64_t pos = lo + Pool::Layout::kLaneHeader;
-  std::vector<std::uint64_t> entry_pos;
-  const auto used = pool_->get<std::uint64_t>(lo);
-  const std::uint64_t end = pos + used;
-  while (pos < end) {
-    const auto eh = pool_->get<LogEntryHeader>(pos);
-    entry_pos.push_back(pos);
-    pos += sizeof(LogEntryHeader) + round_up(eh.len, 8);
-  }
-  for (auto it = entry_pos.rbegin(); it != entry_pos.rend(); ++it) {
-    const auto eh = pool_->get<LogEntryHeader>(*it);
-    std::vector<std::byte> image(eh.len);
-    pool_->read(*it + sizeof(LogEntryHeader), image.data(), eh.len);
-    pool_->write(eh.off, image.data(), eh.len);
-    pool_->persist(eh.off, eh.len);
-  }
-  pool_->set<std::uint64_t>(lo, 0);
+  pool_->rollback_log(pool_->lane_off(lane_),
+                      pool_->lane_off(lane_) + Pool::Layout::kLaneHeader,
+                      Pool::kTxLogBytes);
 }
 
 }  // namespace pmemcpy::obj

@@ -219,4 +219,137 @@ TEST(DeviceCrashTest, NoteWritePreImagesDaxStores) {
   EXPECT_EQ(out, 7u);
 }
 
+using pmemcpy::pmem::CrashError;
+using pmemcpy::pmem::DeviceError;
+using pmemcpy::pmem::FaultPlan;
+
+TEST(FaultPlanTest, PersistOpsCountsPersistAndDrain) {
+  Device dev(1 << 20);
+  EXPECT_EQ(dev.persist_ops(), 0u);
+  const std::uint32_t v = 1;
+  dev.write(0, &v, 4);
+  dev.persist(0, 4);
+  EXPECT_EQ(dev.persist_ops(), 1u);
+  dev.drain();
+  EXPECT_EQ(dev.persist_ops(), 2u);
+  dev.persist(0, 4);
+  EXPECT_EQ(dev.persist_ops(), 3u);
+}
+
+TEST(FaultPlanTest, CrashFiresAtScheduledOpAndFreezesDevice) {
+  Device dev(1 << 20, true);
+  FaultPlan plan;
+  plan.crash_at_persist = 3;
+  dev.set_fault_plan(plan);
+
+  std::uint64_t v = 1;
+  dev.write(0, &v, 8);
+  dev.persist(0, 8);  // op 1: completes
+  v = 2;
+  dev.write(64, &v, 8);
+  dev.persist(64, 8);  // op 2: completes
+  v = 3;
+  dev.write(128, &v, 8);
+  try {
+    dev.persist(128, 8);  // op 3: scheduled crash, never completes
+    FAIL() << "expected CrashError";
+  } catch (const CrashError& e) {
+    EXPECT_EQ(e.persist_op, 3u);
+  }
+  EXPECT_TRUE(dev.frozen());
+  EXPECT_EQ(dev.persist_ops(), 3u);
+
+  // Completed persists survive; the op-3 line reverted to its pre-image.
+  std::uint64_t out = 0;
+  dev.read(0, &out, 8);
+  EXPECT_EQ(out, 1u);
+  dev.read(64, &out, 8);
+  EXPECT_EQ(out, 2u);
+  dev.read(128, &out, 8);
+  EXPECT_EQ(out, 0u);
+
+  // Frozen like powered-off hardware: stores and persists are ignored and
+  // the op counter stops.
+  v = 9;
+  dev.write(0, &v, 8);
+  dev.persist(0, 8);
+  EXPECT_EQ(dev.persist_ops(), 3u);
+  dev.read(0, &out, 8);
+  EXPECT_EQ(out, 1u);
+
+  // Power back on: normal operation resumes.
+  dev.revive();
+  EXPECT_FALSE(dev.frozen());
+  dev.write(0, &v, 8);
+  dev.persist(0, 8);
+  dev.read(0, &out, 8);
+  EXPECT_EQ(out, 9u);
+}
+
+TEST(FaultPlanTest, SchedulingACrashRequiresShadowMode) {
+  Device dev(1 << 20, false);
+  FaultPlan plan;
+  plan.crash_at_persist = 1;
+  EXPECT_THROW(dev.set_fault_plan(plan), std::logic_error);
+}
+
+TEST(FaultPlanTest, TornCrashRevertsDeterministicSubset) {
+  constexpr int kLines = 64;
+  const auto run = [](std::uint64_t seed) {
+    Device dev(1 << 20, true);
+    FaultPlan plan;
+    plan.crash_at_persist = 1;
+    plan.torn_writes = true;
+    plan.torn_seed = seed;
+    dev.set_fault_plan(plan);
+    std::vector<std::byte> ones(64, std::byte{0xFF});
+    for (int i = 0; i < kLines; ++i) {
+      dev.write(static_cast<std::size_t>(i) * 64, ones.data(), ones.size());
+    }
+    EXPECT_THROW(dev.persist(0, kLines * 64), CrashError);
+    std::vector<int> survivors;
+    for (int i = 0; i < kLines; ++i) {
+      std::byte b{};
+      dev.read(static_cast<std::size_t>(i) * 64, &b, 1);
+      if (b == std::byte{0xFF}) survivors.push_back(i);
+    }
+    return survivors;
+  };
+  const auto a = run(123);
+  const auto b = run(123);
+  const auto c = run(456);
+  EXPECT_EQ(a, b);  // same seed, same torn subset
+  // A strict, nonempty subset of the lines happened to reach media.
+  EXPECT_FALSE(a.empty());
+  EXPECT_LT(a.size(), static_cast<std::size_t>(kLines));
+  EXPECT_NE(a, c);  // different seed, different subset
+}
+
+TEST(MediaErrorTest, InjectedRangeThrowsTypedDeviceError) {
+  Device dev(1 << 20);
+  std::uint32_t v = 42;
+  dev.write(4096, &v, 4);
+  dev.persist(4096, 4);
+
+  dev.inject_read_error(4097, 2);
+  try {
+    dev.read(4096, &v, 4);  // overlaps the bad range
+    FAIL() << "expected DeviceError";
+  } catch (const DeviceError& e) {
+    EXPECT_EQ(e.kind, DeviceError::Kind::kMediaRead);
+    EXPECT_EQ(e.off, 4096u);
+    EXPECT_EQ(e.len, 4u);
+  }
+  EXPECT_THROW(dev.check_media(4000, 200), DeviceError);
+
+  // Non-overlapping reads still work.
+  std::uint32_t out = 0;
+  dev.read(0, &out, 4);
+  dev.check_media(0, 4096);
+
+  dev.clear_read_errors();
+  dev.read(4096, &out, 4);
+  EXPECT_EQ(out, 42u);
+}
+
 }  // namespace

@@ -7,6 +7,18 @@
 #include <random>
 #include <thread>
 
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define POOLTEST_LSAN 1
+#endif
+#endif
+#if !defined(POOLTEST_LSAN) && defined(__SANITIZE_ADDRESS__)
+#define POOLTEST_LSAN 1
+#endif
+#if defined(POOLTEST_LSAN)
+#include <sanitizer/lsan_interface.h>
+#endif
+
 namespace {
 
 using pmemcpy::obj::Pool;
@@ -301,8 +313,12 @@ TEST(CrashRecoveryTest, TxCrashMidMutationRollsBackOnOpen) {
     p.set<std::uint64_t>(off, 42);
 
     // A real crash destroys the process before the transaction destructor
-    // can roll back — model that by leaking the transaction object.
+    // can roll back — model that by leaking the transaction object (and
+    // telling LeakSanitizer the leak is the point of the test).
     auto* tx = new Transaction(p);
+#if defined(POOLTEST_LSAN)
+    __lsan_ignore_object(tx);
+#endif
     tx->snapshot(off, 8);
     p.set<std::uint64_t>(off, 99);
     // Crash before commit: the persisted undo-log entry survives, and so
@@ -329,6 +345,86 @@ TEST(CrashRecoveryTest, CommittedTxSurvivesCrash) {
   }
   Pool p = Pool::open(dev, 0);
   EXPECT_EQ(p.get<std::uint64_t>(off), 99u);
+}
+
+TEST(TransactionTest, SnapshotAfterCommitThrows) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  const auto off = p.alloc(64);
+  Transaction tx(p);
+  tx.snapshot(off, 8);
+  p.set<std::uint64_t>(off, 1);
+  tx.commit();
+  EXPECT_THROW(tx.snapshot(off, 8), PoolError);
+}
+
+TEST(TransactionTest, DestructorRollsBackOnExceptionUnwind) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  const auto off = p.alloc(64);
+  p.set<std::uint64_t>(off, 1);
+  try {
+    Transaction tx(p);
+    tx.snapshot(off, 8);
+    p.set<std::uint64_t>(off, 2);
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(p.get<std::uint64_t>(off), 1u);
+}
+
+TEST(PoolCheckTest, CleanPoolPasses) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  const auto a = p.alloc(100);
+  const auto b = p.alloc(5000);
+  const auto c = p.alloc(200000);
+  p.free(b);
+  (void)a;
+  (void)c;
+  const auto rep = p.check();
+  EXPECT_TRUE(rep.ok()) << (rep.issues.empty() ? "" : rep.issues.front());
+  EXPECT_GE(rep.chunks_walked, 3u);
+  EXPECT_GE(rep.free_chunks, 1u);
+  EXPECT_EQ(rep.bytes_in_use, p.bytes_in_use());
+}
+
+TEST(PoolCheckTest, DetectsPoolHeaderCorruption) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  // Scribble the header's size field without updating its CRC.
+  const std::uint64_t bogus = kPool / 2;
+  p.write(64 + 16, &bogus, sizeof(bogus));
+  p.persist(64 + 16, sizeof(bogus));
+  const auto rep = p.check();
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(PoolCheckTest, DetectsCorruptChunkHeader) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  const auto a = p.alloc(100);
+  ASSERT_TRUE(p.check().ok());
+  // Clobber the chunk-header check word (header sits 16 bytes before the
+  // payload, check word in its last 4 bytes).
+  const std::uint32_t junk = 0xDEADBEEFu;
+  p.write(a - 4, &junk, sizeof(junk));
+  p.persist(a - 4, sizeof(junk));
+  const auto rep = p.check();
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(PoolCheckTest, DetectsFreeListCorruption) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  const auto a = p.alloc(100);
+  p.free(a);
+  ASSERT_TRUE(p.check().ok());
+  // Point the freed chunk's next pointer (first payload word) back at the
+  // chunk itself: a one-node cycle on the size-class free list.
+  p.set<std::uint64_t>(a, a - 16);
+  const auto rep = p.check();
+  EXPECT_FALSE(rep.ok());
 }
 
 }  // namespace
