@@ -1,0 +1,136 @@
+// Deterministic flush/fence-efficiency audit.
+//
+// Runs a fixed-size workload through each storage layer with the
+// persistency-order checker attached and prints, per phase, the CLWB/SFENCE
+// traffic the layer generated plus any efficiency lints.  Unlike the
+// micro_* benches (whose google-benchmark loops adapt iteration counts to
+// wall-clock), every count here is exact and reproducible, so two builds
+// can be diffed flush-for-flush.  EXPERIMENTS.md §"Persistency-order
+// checker" uses this binary for its before/after numbers.
+#include <pmemcpy/check/persist_checker.hpp>
+#include <pmemcpy/fs/filesystem.hpp>
+#include <pmemcpy/obj/hashtable.hpp>
+#include <pmemcpy/obj/plist.hpp>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+using pmemcpy::check::Report;
+using pmemcpy::fs::FileSystem;
+using pmemcpy::fs::OpenMode;
+using pmemcpy::obj::HashTable;
+using pmemcpy::obj::PList;
+using pmemcpy::obj::Pool;
+using pmemcpy::obj::Transaction;
+using pmemcpy::pmem::Device;
+
+struct Phase {
+  std::string name;
+  Report delta;
+};
+
+std::vector<Phase> phases;
+
+/// Runs @p fn on a fresh checked device and records the traffic delta.
+template <typename Fn>
+void audit(const std::string& name, std::size_t dev_bytes, Fn&& fn) {
+  Device dev(dev_bytes);
+  dev.enable_checker();
+  const Report before = dev.checker()->report();
+  fn(dev);
+  Report after = dev.checker()->report();
+  after.store_ops -= before.store_ops;
+  after.flush_ops -= before.flush_ops;
+  after.lines_flushed -= before.lines_flushed;
+  after.fence_ops -= before.fence_ops;
+  phases.push_back({name, std::move(after)});
+}
+
+}  // namespace
+
+int main() {
+  // Object store: snapshot transactions.  Two snapshots land on the same
+  // cacheline so range coalescing in Transaction::commit is exercised.
+  audit("tx-commit", 64ull << 20, [](Device& dev) {
+    Pool pool = Pool::create(dev, 0, 64ull << 20);
+    const auto off = pool.alloc(256);
+    std::vector<std::byte> buf(256, std::byte{1});
+    for (int i = 0; i < 10000; ++i) {
+      Transaction tx(pool);
+      tx.snapshot(off, 16);
+      tx.snapshot(off + 16, 240);
+      pool.write(off, buf.data(), buf.size());
+      tx.commit();
+    }
+  });
+
+  // Hashtable puts, sized to trigger several rehash doublings from 1k
+  // buckets (reserve/publish staging + rehash node copies + header tx).
+  audit("ht-put", 512ull << 20, [](Device& dev) {
+    Pool pool = Pool::create(dev, 0, 512ull << 20);
+    HashTable table = HashTable::create(pool, 1024);
+    const std::string value(256, 'v');
+    for (int i = 0; i < 20000; ++i) {
+      table.put("key" + std::to_string(i), value.data(), value.size());
+    }
+  });
+
+  // Persistent list push/pop (node persist + link-in discipline).
+  audit("plist", 64ull << 20, [](Device& dev) {
+    Pool pool = Pool::create(dev, 0, 64ull << 20);
+    PList list = PList::create(pool, 64);
+    std::vector<std::byte> rec(64, std::byte{2});
+    for (int i = 0; i < 10000; ++i) list.push(rec.data());
+    while (list.pop(rec.data())) {
+    }
+  });
+
+  // Filesystem format (bitmap + inode-table persist).
+  audit("fs-format", 64ull << 20, [](Device& dev) {
+    (void)FileSystem::format(dev, 0, 64ull << 20);
+  });
+
+  // POSIX path: sequential pwrite with periodic fsync — fsync must flush
+  // exactly the dirtied lines and pay one fence.
+  audit("fs-fsync", 64ull << 20, [](Device& dev) {
+    FileSystem fs = FileSystem::format(dev, 0, 64ull << 20);
+    auto f = fs.open("/data", OpenMode::kTruncate);
+    std::vector<std::byte> buf(1024, std::byte{3});
+    for (int i = 0; i < 1000; ++i) {
+      fs.pwrite(f, buf.data(), buf.size(), std::uint64_t(i) * buf.size());
+      if (i % 10 == 9) fs.fsync(f);
+    }
+  });
+
+  // DAX path: store through a mapping, then Mapping::persist (one CLWB pass
+  // over every extent run, one fence).
+  audit("map-persist", 64ull << 20, [](Device& dev) {
+    FileSystem fs = FileSystem::format(dev, 0, 64ull << 20);
+    auto m = fs.create_mapped("/m", 1 << 20);
+    std::vector<std::byte> buf(4096, std::byte{4});
+    for (int i = 0; i < 256; ++i) {
+      m.store(std::uint64_t(i) * buf.size(), buf.data(), buf.size());
+      m.persist(std::uint64_t(i) * buf.size(), buf.size());
+    }
+  });
+
+  std::printf("%-12s %12s %10s %14s %10s %8s %8s %8s\n", "phase",
+              "store_ops", "flush_ops", "lines_flushed", "fence_ops", "clean",
+              "dup", "empty");
+  for (const auto& p : phases) {
+    std::printf("%-12s %12llu %10llu %14llu %10llu %8llu %8llu %8llu\n",
+                p.name.c_str(),
+                static_cast<unsigned long long>(p.delta.store_ops),
+                static_cast<unsigned long long>(p.delta.flush_ops),
+                static_cast<unsigned long long>(p.delta.lines_flushed),
+                static_cast<unsigned long long>(p.delta.fence_ops),
+                static_cast<unsigned long long>(p.delta.clean_flushes),
+                static_cast<unsigned long long>(p.delta.duplicate_flushes),
+                static_cast<unsigned long long>(p.delta.empty_fences));
+  }
+  return 0;
+}

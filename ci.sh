@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build + full test suite, in a plain Release config and
-# again under AddressSanitizer + UBSan (PMEMCPY_SANITIZE).
+# Tier-1 verification: lint, then build + full test suite in three configs —
+# plain Release, AddressSanitizer + UBSan (PMEMCPY_SANITIZE), and the
+# persistency-order checker build (PMEMCPY_PERSIST_CHECK, with violations
+# fatal so any unconsumed finding fails the suite).
 #
-#   ./ci.sh            # both configs
+#   ./ci.sh            # all configs
 #   ./ci.sh release    # release only
 #   ./ci.sh sanitize   # sanitizers only
+#   ./ci.sh checker    # persist-checker config only
 set -euo pipefail
 cd "$(dirname "$0")"
+
+echo "==== lint ===="
+scripts/lint.sh
 
 run_config() {
   local name="$1"
@@ -17,7 +23,13 @@ run_config() {
   echo "==== [${name}] build ===="
   cmake --build "${dir}" -j"$(nproc)"
   echo "==== [${name}] test ===="
-  ctest --test-dir "${dir}" --output-on-failure -j"$(nproc)"
+  # CTEST_ENV: extra KEY=VAL pairs exported into the test processes.
+  env ${CTEST_ENV:-} ctest --test-dir "${dir}" --output-on-failure -j"$(nproc)"
+}
+
+run_checker_config() {
+  CTEST_ENV="PMEMCPY_PERSIST_CHECK=1 PMEMCPY_PERSIST_CHECK_FATAL=1" \
+    run_config checker -DCMAKE_BUILD_TYPE=Release -DPMEMCPY_PERSIST_CHECK=ON
 }
 
 what="${1:-all}"
@@ -29,12 +41,16 @@ case "${what}" in
   sanitize)
     run_config sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPMEMCPY_SANITIZE=ON
     ;;
+  checker)
+    run_checker_config
+    ;;
   all)
     run_config release -DCMAKE_BUILD_TYPE=Release
     run_config sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPMEMCPY_SANITIZE=ON
+    run_checker_config
     ;;
   *)
-    echo "usage: $0 [release|sanitize|all]" >&2
+    echo "usage: $0 [release|sanitize|checker|all]" >&2
     exit 2
     ;;
 esac

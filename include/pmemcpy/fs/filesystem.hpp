@@ -25,6 +25,8 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace pmemcpy::fs {
@@ -67,8 +69,13 @@ class Mapping {
   void store(std::uint64_t off, const void* src, std::size_t len);
   /// Load @p len bytes from file offset @p off.
   void load(std::uint64_t off, void* dst, std::size_t len) const;
-  /// Flush + fence the given file range.
+  /// Flush + fence the given file range: one CLWB pass over every extent
+  /// run, then a single fence (not a fence per run).
   void persist(std::uint64_t off, std::size_t len);
+  /// Persistency-checker annotation: declare the file range as becoming
+  /// reachable/visible (must be flushed + fenced by now).  No-op without an
+  /// attached checker.
+  void publish(std::uint64_t off, std::size_t len);
   /// Zero-copy span when [off, off+len) is physically contiguous; throws
   /// FsError otherwise (callers fall back to store()/load()).  Uncharged —
   /// account access through charge_load()/store().
@@ -210,6 +217,13 @@ class FileSystem {
   /// DRAM cache of the block bitmap (write-through to the device).
   std::vector<bool> bitmap_cache_;
   std::uint64_t free_blocks_cache_ = 0;
+  /// File ranges written through the POSIX path since the last fsync(),
+  /// per inode (DRAM bookkeeping, like the kernel's dirty-page tracking).
+  /// fsync() flushes exactly these and pays one fence — previously it
+  /// fenced without flushing anything, which left pwrite data volatile
+  /// (the persist checker flags such fences as "empty").
+  std::unordered_map<Ino, std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      dirty_;
 };
 
 }  // namespace pmemcpy::fs

@@ -159,6 +159,17 @@ class Pool {
   }
   /// Flush + fence a pool range.
   void persist(std::uint64_t off, std::size_t len);
+  /// Flush only (CLWB, no fence); durable after the next drain().  Batch
+  /// several flushes under one drain to pay a single fence.
+  void flush(std::uint64_t off, std::size_t len);
+  /// Fence: make every previously flushed range durable.
+  void drain() { dev_->drain(); }
+  /// Persistency-checker annotation: declare a pool range as becoming
+  /// reachable/visible (it must be flushed + fenced by now).  No-op without
+  /// an attached checker.
+  void check_publish(std::uint64_t off, std::size_t len) {
+    dev_->check_publish(base_ + off, len);
+  }
 
   /// Zero-copy pointer to pool memory.  Mutating through it requires a prior
   /// note_write()/charge via write(); prefer write().  Reading through it is

@@ -25,6 +25,11 @@
 // unwinding through destructors cannot retroactively mutate the post-crash
 // image), and throws CrashError for the harness to catch.  Injected media
 // read errors surface as a typed DeviceError from every checked read path.
+// Orthogonally to crash simulation, a persistency-order checker
+// (pmemcpy::check::PersistChecker) can be attached: it shadows every
+// store/flush/fence through a per-cacheline state machine and reports
+// ordering violations and redundant-flush lints.  See
+// include/pmemcpy/check/persist_checker.hpp and DESIGN.md §7.
 #pragma once
 
 #include <pmemcpy/sim/context.hpp>
@@ -37,8 +42,14 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
+
+namespace pmemcpy::check {
+class PersistChecker;
+struct Report;
+}  // namespace pmemcpy::check
 
 namespace pmemcpy::pmem {
 
@@ -89,6 +100,7 @@ class Device {
   ///                      simulate_crash() can drop in-flight stores.  Costs
   ///                      DRAM + a hash lookup per store; enable in tests only.
   explicit Device(std::size_t capacity, bool crash_shadow = false);
+  ~Device();
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
@@ -112,6 +124,11 @@ class Device {
   /// range survives simulate_crash().  Charges per-line flush + fence cost.
   /// Counts one persist op; throws CrashError when the fault plan fires.
   void persist(std::size_t off, std::size_t len);
+  /// Flush only (CLWB, no fence): the cachelines covering [off, off+len)
+  /// start writing back but are durable only after the next drain().  Batch
+  /// several flush() calls under one drain() to pay a single fence.  Charges
+  /// per-line flush cost; counts one persist op (a crash point).
+  void flush(std::size_t off, std::size_t len);
   /// Fence only (SFENCE); charges drain cost.  Counts one persist op.
   void drain();
 
@@ -181,6 +198,35 @@ class Device {
   /// raw() view.
   void check_media(std::size_t off, std::size_t len) const;
 
+  // --- persistency-order checker ---------------------------------------------
+
+  /// Attach the PersistChecker (idempotent).  Also attached at construction
+  /// when the PMEMCPY_PERSIST_CHECK env var (or the CMake default) says so.
+  /// A pure observer: charges nothing and never mutates device contents.
+  void enable_checker();
+  [[nodiscard]] bool checker_enabled() const noexcept {
+    return checker_ != nullptr;
+  }
+  /// The attached checker, or nullptr.  Mutation tests use take_report() on
+  /// it to consume planted violations.
+  [[nodiscard]] check::PersistChecker* checker() noexcept {
+    return checker_.get();
+  }
+  /// Machine-readable snapshot of the checker state (empty Report when no
+  /// checker is attached).
+  [[nodiscard]] check::Report checker_report() const;
+
+  // Annotation hooks (no-ops when the checker is absent or the device is
+  // frozen).  Library code brackets its logically-atomic operations with
+  // these so the checker can attribute stores to scopes and verify
+  // durability at commit/publish points.
+  void check_tx_begin(std::string_view name);
+  void check_tx_commit();
+  void check_tx_abort();
+  /// Declare [off, off+len) reachable/visible to readers: every line in it
+  /// must have been flushed *and* fenced by now.
+  void check_publish(std::size_t off, std::size_t len);
+
   // --- statistics -------------------------------------------------------------
 
   [[nodiscard]] std::uint64_t bytes_written() const noexcept {
@@ -196,6 +242,9 @@ class Device {
   std::size_t claim_new_pages(std::size_t off, std::size_t len);
   /// Revert unpersisted lines per the torn-write policy; clears the shadow.
   void apply_crash_locked();
+  /// Resolve flushed-but-unfenced lines at a fence: the flush-time image is
+  /// now durable, so drop (or retarget) their shadow pre-images.
+  void drain_flush_pending_locked();
   /// Deterministically decide whether a torn crash reverts @p line.
   [[nodiscard]] bool torn_reverts(std::size_t line) const noexcept;
 
@@ -213,6 +262,12 @@ class Device {
 
   mutable std::mutex mu_;  // protects shadow_, touched_, counters, bad media
   std::unordered_map<std::size_t, std::array<std::byte, kCacheLine>> shadow_;
+  /// Lines flushed (CLWB issued) but not yet fenced, with the line image
+  /// captured at flush time: on drain() that image is what became durable,
+  /// so a line re-stored between flush and fence reverts to it on crash.
+  std::unordered_map<std::size_t, std::array<std::byte, kCacheLine>>
+      flush_pending_;
+  std::unique_ptr<check::PersistChecker> checker_;
   std::vector<std::pair<std::size_t, std::size_t>> bad_media_;  // off, len
   std::vector<bool> touched_;  // one bit per 4 KiB page
   std::uint64_t bytes_written_ = 0;

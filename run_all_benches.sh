@@ -1,5 +1,13 @@
 #!/bin/sh
 # Runs every benchmark binary (paper figures, ablations, microbenches).
+#
+# Each bench runs with the persistency-order checker attached
+# (PMEMCPY_PERSIST_CHECK=1): at exit it prints a
+#   [pmemcpy-persist-check] store_ops=... flush_ops=... fence_ops=... ...
+# line with the flush/fence-efficiency counters for that bench, so redundant
+# CLWB/SFENCE traffic shows up next to the timing numbers it explains.
+PMEMCPY_PERSIST_CHECK=1
+export PMEMCPY_PERSIST_CHECK
 for b in build/bench/*; do
   [ -x "$b" ] || continue
   echo "===================================================================="

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Static lint rules enforced by CI (./ci.sh runs this before building).
+#
+# Rule 1 — raw device access stays in the storage layers.
+#   Device::note_write() and Device::raw() bypass the charged/persist-checked
+#   transfer path.  Only the device itself, the object store, and the
+#   filesystem may use them; everything above (serializers, backends, core,
+#   benches, examples) must go through Pool/Mapping/FileSystem so stores are
+#   charged and visible to the persist checker.  Tests are exempt: they
+#   exercise the raw path on purpose (crash-image probing, planted bugs).
+#
+# Rule 2 — every test is registered.
+#   A tests/*_test.cpp that is not listed in tests/CMakeLists.txt silently
+#   never runs in CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- Rule 1: raw device mutation confined to the storage layers --------------
+allowed='^(src/pmemdev/|src/pmemobj/|src/pmemfs/|include/pmemcpy/pmem/|include/pmemcpy/obj/|include/pmemcpy/fs/)'
+while IFS= read -r file; do
+  if ! [[ "$file" =~ $allowed ]]; then
+    echo "lint: raw device access outside storage layers: $file" >&2
+    grep -n 'note_write(\|->raw(\|\.raw(' "$file" | head -5 >&2
+    fail=1
+  fi
+done < <(grep -rl 'note_write(\|->raw(\|\.raw(' \
+           --include='*.cpp' --include='*.hpp' \
+           src include bench examples 2>/dev/null || true)
+
+# --- Rule 2: every tests/*_test.cpp registered in tests/CMakeLists.txt -------
+for t in tests/*_test.cpp; do
+  name="$(basename "$t" .cpp)"
+  if ! grep -q "pmemcpy_test(${name}[ )]" tests/CMakeLists.txt; then
+    echo "lint: ${t} is not registered in tests/CMakeLists.txt" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED" >&2
+  exit 1
+fi
+echo "lint: OK"

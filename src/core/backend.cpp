@@ -135,6 +135,7 @@ class TreePut final : public Store::Put {
         (static_cast<std::uint64_t>(payload_crc) << 32);
     mapping_.store(0, &meta, sizeof(meta));
     mapping_.persist(0, kTreeHeader + size_);
+    mapping_.publish(0, kTreeHeader + size_);
     fs_->rename(tmp_path_, final_path_, /*replace=*/!keep_existing_);
     committed_ = true;
   }

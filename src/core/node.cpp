@@ -74,8 +74,10 @@ void PmemNode::store_registry() {
     e.size = registry_[i].size;
     dev_->write(kRegOff + sizeof(hdr) + i * sizeof(e), &e, sizeof(e));
   }
+  // Persist only the written prefix: entries past hdr.count are never read,
+  // and flushing all kRegMaxPools slots pays for untouched cachelines.
   dev_->persist(kRegOff,
-                sizeof(hdr) + kRegMaxPools * sizeof(RegEntryDisk));
+                sizeof(hdr) + registry_.size() * sizeof(RegEntryDisk));
 }
 
 std::optional<PmemNode::RegistryEntry> PmemNode::find_pool(

@@ -1,6 +1,11 @@
 #include <pmemcpy/pmem/device.hpp>
 
+#include <pmemcpy/check/persist_checker.hpp>
+
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <stdexcept>
 #include <string>
 
@@ -11,6 +16,31 @@ constexpr std::size_t kPage = 4096;
 
 std::size_t round_up(std::size_t v, std::size_t to) {
   return (v + to - 1) / to * to;
+}
+
+bool env_truthy(const char* value) {
+  return !(value[0] == '\0' || value[0] == '0' || value[0] == 'n' ||
+           value[0] == 'N' || value[0] == 'f' || value[0] == 'F');
+}
+
+/// PMEMCPY_PERSIST_CHECK env var wins; otherwise the CMake option
+/// (-DPMEMCPY_PERSIST_CHECK=ON compiles the default to "attached").
+bool checker_default_on() {
+  if (const char* e = std::getenv("PMEMCPY_PERSIST_CHECK")) {
+    return env_truthy(e);
+  }
+#ifdef PMEMCPY_PERSIST_CHECK_DEFAULT
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// With PMEMCPY_PERSIST_CHECK_FATAL set, a device destructed with
+/// unconsumed violations aborts the process — the CI enforcement gate.
+bool checker_fatal_on() {
+  const char* e = std::getenv("PMEMCPY_PERSIST_CHECK_FATAL");
+  return e != nullptr && env_truthy(e);
 }
 
 /// splitmix64 finalizer — a cheap, well-mixed hash for torn-line selection.
@@ -26,7 +56,53 @@ Device::Device(std::size_t capacity, bool crash_shadow)
     : capacity_(round_up(capacity, kPage)),
       data_(std::make_unique<std::byte[]>(capacity_)),
       crash_shadow_(crash_shadow),
-      touched_(capacity_ / kPage, false) {}
+      touched_(capacity_ / kPage, false) {
+  if (checker_default_on()) {
+    enable_checker();
+    // Env-driven runs (benches, checker CI config) get the process-exit
+    // counter summary; explicitly enabled test checkers stay quiet.
+    check::register_atexit_counter_dump();
+  }
+}
+
+Device::~Device() {
+  if (!checker_) return;
+  const check::Report rep = checker_->report();
+  check::accumulate_global(rep);
+  if (!rep.ok()) {
+    std::fprintf(stderr, "pmem::Device: unconsumed persistency violations:\n%s",
+                 rep.to_string().c_str());
+    if (checker_fatal_on() && std::uncaught_exceptions() == 0) {
+      std::fprintf(stderr,
+                   "pmem::Device: aborting (PMEMCPY_PERSIST_CHECK_FATAL)\n");
+      std::abort();
+    }
+  }
+}
+
+void Device::enable_checker() {
+  if (!checker_) checker_ = std::make_unique<check::PersistChecker>();
+}
+
+check::Report Device::checker_report() const {
+  return checker_ ? checker_->report() : check::Report{};
+}
+
+void Device::check_tx_begin(std::string_view name) {
+  if (checker_ && !frozen()) checker_->tx_begin(name);
+}
+
+void Device::check_tx_commit() {
+  if (checker_ && !frozen()) checker_->tx_commit(persist_ops());
+}
+
+void Device::check_tx_abort() {
+  if (checker_ && !frozen()) checker_->tx_abort();
+}
+
+void Device::check_publish(std::size_t off, std::size_t len) {
+  if (checker_ && !frozen()) checker_->publish(off, len, persist_ops());
+}
 
 void Device::check_range(std::size_t off, std::size_t len) const {
   if (off > capacity_ || len > capacity_ - off) {
@@ -103,9 +179,52 @@ void Device::persist(std::size_t off, std::size_t len) {
     }
     throw CrashError(op);
   }
-  if (!crash_shadow_) return;
-  std::lock_guard lk(mu_);
-  for (std::size_t line = first; line < last; ++line) shadow_.erase(line);
+  if (crash_shadow_) {
+    std::lock_guard lk(mu_);
+    for (std::size_t line = first; line < last; ++line) {
+      shadow_.erase(line);
+      flush_pending_.erase(line);
+    }
+    // The implicit fence also drains any earlier unfenced flush() calls.
+    drain_flush_pending_locked();
+  }
+  if (checker_) {
+    checker_->on_flush(off, len, op);
+    checker_->on_fence(op);
+  }
+}
+
+void Device::flush(std::size_t off, std::size_t len) {
+  check_range(off, len);
+  if (frozen()) return;  // powered off: nothing writes back
+  const std::size_t first = off / kCacheLine;
+  const std::size_t last = (off + len + kCacheLine - 1) / kCacheLine;
+  auto& c = sim::ctx();
+  c.advance(static_cast<double>(last - first) * c.model().pmem.persist_line_cost,
+            sim::Charge::kPmemPersist);
+  const std::uint64_t op =
+      persist_ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (op == crash_at_.load(std::memory_order_relaxed)) {
+    // Power fails before the writeback: the flushed lines are as lost as any
+    // other in-flight store (no fence ever ordered them to media).
+    {
+      std::lock_guard lk(mu_);
+      apply_crash_locked();
+      frozen_.store(true, std::memory_order_relaxed);
+    }
+    throw CrashError(op);
+  }
+  if (crash_shadow_) {
+    std::lock_guard lk(mu_);
+    for (std::size_t line = first; line < last; ++line) {
+      if (shadow_.count(line) == 0) continue;  // already durable
+      // Capture the line image the CLWB writes back: that image (not any
+      // later store) is what the next fence makes durable.
+      auto& img = flush_pending_[line];
+      std::memcpy(img.data(), data_.get() + line * kCacheLine, kCacheLine);
+    }
+  }
+  if (checker_) checker_->on_flush(off, len, op);
 }
 
 void Device::drain() {
@@ -122,11 +241,35 @@ void Device::drain() {
     }
     throw CrashError(op);
   }
+  if (crash_shadow_) {
+    std::lock_guard lk(mu_);
+    drain_flush_pending_locked();
+  }
+  if (checker_) checker_->on_fence(op);
+}
+
+void Device::drain_flush_pending_locked() {
+  for (const auto& [line, img] : flush_pending_) {
+    // The fence made the flush-time image durable.  If the line was stored
+    // to again after the flush, a crash now reverts to that image (the
+    // later store is still cache-resident); otherwise the line is simply
+    // persisted and needs no shadow at all.
+    if (std::memcmp(data_.get() + line * kCacheLine, img.data(), kCacheLine) ==
+        0) {
+      shadow_.erase(line);
+    } else {
+      auto it = shadow_.find(line);
+      if (it != shadow_.end()) it->second = img;
+    }
+  }
+  flush_pending_.clear();
 }
 
 void Device::note_write(std::size_t off, std::size_t len) {
-  if (!crash_shadow_ || len == 0 || frozen()) return;
+  if (len == 0 || frozen()) return;
   check_range(off, len);
+  if (checker_) checker_->on_store(off, len);
+  if (!crash_shadow_) return;
   const std::size_t first = off / kCacheLine;
   const std::size_t last = (off + len + kCacheLine - 1) / kCacheLine;
   std::lock_guard lk(mu_);
@@ -202,6 +345,10 @@ void Device::apply_crash_locked() {
     std::memcpy(data_.get() + line * kCacheLine, image.data(), kCacheLine);
   }
   shadow_.clear();
+  // Flushed-but-unfenced lines were never ordered to media; their loss is
+  // already covered by the shadow revert above.
+  flush_pending_.clear();
+  if (checker_) checker_->on_crash();
 }
 
 void Device::simulate_crash() {
@@ -235,6 +382,7 @@ void Device::revive() {
   frozen_.store(false, std::memory_order_relaxed);
   torn_writes_ = false;
   shadow_.clear();
+  flush_pending_.clear();
 }
 
 void Device::inject_read_error(std::size_t off, std::size_t len) {

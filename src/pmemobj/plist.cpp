@@ -48,28 +48,34 @@ std::size_t PList::size() const {
 
 void PList::push(const void* value) {
   std::lock_guard lk(*mu_);
+  pool_->device().check_tx_begin("plist.push");
   const auto hdr = pool_->get<ListHeader>(hoff_);
   const std::uint64_t node = pool_->alloc(kNodeValue + hdr.value_size);
-  // Fully persist the node before it becomes reachable.
-  pool_->set<std::uint64_t>(node + kNodeNext, hdr.head);
+  // Stage next pointer + value, then persist the node as one contiguous
+  // unit before it becomes reachable (one fence instead of two).
+  pool_->write(node + kNodeNext, &hdr.head, sizeof(hdr.head));
   pool_->write(node + kNodeValue, value, hdr.value_size);
-  pool_->persist(node + kNodeValue, hdr.value_size);
+  pool_->persist(node, kNodeValue + hdr.value_size);
+  pool_->check_publish(node, kNodeValue + hdr.value_size);
   // Single-pointer link-in.
   pool_->set<std::uint64_t>(hoff_ + offsetof(ListHeader, head), node);
   pool_->set<std::uint64_t>(hoff_ + offsetof(ListHeader, count),
                             hdr.count + 1);
+  pool_->device().check_tx_commit();
 }
 
 bool PList::pop(void* out) {
   std::lock_guard lk(*mu_);
   const auto hdr = pool_->get<ListHeader>(hoff_);
   if (hdr.head == 0) return false;
+  pool_->device().check_tx_begin("plist.pop");
   const auto next = pool_->get<std::uint64_t>(hdr.head + kNodeNext);
   pool_->read(hdr.head + kNodeValue, out, hdr.value_size);
   pool_->set<std::uint64_t>(hoff_ + offsetof(ListHeader, head), next);
   pool_->set<std::uint64_t>(hoff_ + offsetof(ListHeader, count),
                             hdr.count - 1);
   pool_->free(hdr.head);
+  pool_->device().check_tx_commit();
   return true;
 }
 

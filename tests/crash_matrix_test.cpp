@@ -16,6 +16,7 @@
 // alloc/free/transaction workload, and a mutation test re-introduces a known
 // durability bug (the unpersisted lane-header zero in Transaction::commit)
 // to prove the harness actually catches committed-data loss.
+#include <pmemcpy/check/persist_checker.hpp>
 #include <pmemcpy/core/node.hpp>
 #include <pmemcpy/obj/pool.hpp>
 #include <pmemcpy/pmem/device.hpp>
@@ -133,6 +134,7 @@ struct MatrixPlan {
 MatrixPlan counting_run() {
   MatrixPlan plan;
   pmemcpy::PmemNode node(node_opts());
+  node.device().enable_checker();
   pmemcpy::PMEM p(make_cfg(node));
   p.mmap(kPoolFile);
   plan.setup_ops = node.device().persist_ops();
@@ -145,6 +147,9 @@ MatrixPlan counting_run() {
   EXPECT_EQ(p.load_attribute<std::string>("grid", "units"), "m/s");
   EXPECT_EQ(p.load<std::vector<int>>("delta"), kDeltaData);
   p.munmap();
+  // The crash-free workload must be persistency-clean end to end.
+  const auto chk = node.device().checker()->take_report();
+  EXPECT_TRUE(chk.ok()) << chk.to_string();
   return plan;
 }
 
@@ -218,6 +223,7 @@ void run_crash_point(std::uint64_t k, const MatrixPlan& plan, bool torn) {
                (torn ? " (torn writes)" : ""));
   pmemcpy::PmemNode node(node_opts());
   auto& dev = node.device();
+  dev.enable_checker();
   {
     pmemcpy::PMEM p(make_cfg(node));
     p.mmap(kPoolFile);
@@ -259,6 +265,10 @@ void run_crash_point(std::uint64_t k, const MatrixPlan& plan, bool torn) {
 
   check_visibility(p2, plan.marks, k);
   p2.munmap();
+  // Recovery + re-read must not introduce violations (the crash itself
+  // wiped the pre-crash tracking state, so this covers the post-revive ops).
+  const auto chk = dev.checker()->take_report();
+  EXPECT_TRUE(chk.ok()) << chk.to_string();
 }
 
 void sweep_all_crash_points(bool torn) {
@@ -321,13 +331,15 @@ Marks run_pool_workload(pmemcpy::obj::Pool& pool, pmemcpy::pmem::Device& dev,
   step("tx_commit", [&] {
     pmemcpy::obj::Transaction tx(pool);
     tx.snapshot(a, 8);
-    pool.set<std::uint64_t>(a, kValTx);
+    // write(), not set(): commit() flushes every snapshotted range, so an
+    // eager persist here would flush the same line twice per transaction.
+    pool.write(a, &kValTx, sizeof(kValTx));
     tx.commit();
   });
   step("tx_abort", [&] {
     pmemcpy::obj::Transaction tx(pool);
     tx.snapshot(a, 8);
-    pool.set<std::uint64_t>(a, kValAbort);
+    pool.write(a, &kValAbort, sizeof(kValAbort));
     // no commit: the destructor rolls back before the step ends
   });
   if (a_out != nullptr) *a_out = a;
@@ -337,12 +349,15 @@ Marks run_pool_workload(pmemcpy::obj::Pool& pool, pmemcpy::pmem::Device& dev,
 PoolPlan pool_counting_run() {
   PoolPlan plan;
   pmemcpy::pmem::Device dev(kPoolBytes, /*crash_shadow=*/true);
+  dev.enable_checker();
   auto pool = pmemcpy::obj::Pool::create(dev, 0, kPoolBytes);
   plan.setup_ops = dev.persist_ops();
   plan.marks = run_pool_workload(pool, dev, &plan.a_off);
   plan.total_ops = dev.persist_ops();
   EXPECT_EQ(pool.get<std::uint64_t>(plan.a_off), kValTx);
   EXPECT_TRUE(pool.check().ok());
+  const auto chk = dev.checker()->take_report();
+  EXPECT_TRUE(chk.ok()) << chk.to_string();
   return plan;
 }
 
@@ -350,6 +365,7 @@ void run_pool_crash_point(std::uint64_t k, const PoolPlan& plan, bool torn) {
   SCOPED_TRACE("pool crash at persist op " + std::to_string(k) +
                (torn ? " (torn writes)" : ""));
   pmemcpy::pmem::Device dev(kPoolBytes, /*crash_shadow=*/true);
+  dev.enable_checker();
   {
     auto pool = pmemcpy::obj::Pool::create(dev, 0, kPoolBytes);
     ASSERT_EQ(dev.persist_ops(), plan.setup_ops);
@@ -396,6 +412,8 @@ void run_pool_crash_point(std::uint64_t k, const PoolPlan& plan, bool torn) {
   EXPECT_EQ(pool.get<std::uint64_t>(probe), 0xD00DULL);
   pool.free(probe);
   EXPECT_TRUE(pool.check().ok());
+  const auto chk = dev.checker()->take_report();
+  EXPECT_TRUE(chk.ok()) << chk.to_string();
 }
 
 void sweep_pool_crash_points(bool torn) {
@@ -423,6 +441,7 @@ TEST(CrashMatrixTest, AllocatorAndTxMatrixRecoversWithTornWrites) {
 
 TEST(CrashMatrixValidation, CatchesUnpersistedLaneHeaderCommitBug) {
   pmemcpy::pmem::Device dev(kPoolBytes, /*crash_shadow=*/true);
+  dev.enable_checker();
   auto pool = pmemcpy::obj::Pool::create(dev, 0, kPoolBytes);
   const auto off = pool.alloc(64);
   pool.set<std::uint64_t>(off, 42);
@@ -432,9 +451,12 @@ TEST(CrashMatrixValidation, CatchesUnpersistedLaneHeaderCommitBug) {
   {
     pmemcpy::obj::Transaction tx(pool);
     tx.snapshot(off, 8);
-    pool.set<std::uint64_t>(off, 99);
+    const std::uint64_t v99 = 99;
+    pool.write(off, &v99, sizeof(v99));
     tx.commit();
   }
+  ASSERT_TRUE(dev.checker()->take_report().ok())
+      << "correct commit sequence must be checker-clean";
   dev.simulate_crash();
   auto good = pmemcpy::obj::Pool::open(dev, 0);
   ASSERT_EQ(good.get<std::uint64_t>(off), 99u);
@@ -446,8 +468,16 @@ TEST(CrashMatrixValidation, CatchesUnpersistedLaneHeaderCommitBug) {
   {
     pmemcpy::obj::Transaction tx(good);
     tx.snapshot(off, 8);
-    good.set<std::uint64_t>(off, 7);
+    const std::uint64_t v7 = 7;
+    good.write(off, &v7, sizeof(v7));
     tx.commit();
+  }
+  // The persistency checker flags the same bug statically, without needing
+  // a crash: the lane-header line is still dirty when the scope commits.
+  {
+    const auto rep = dev.checker()->take_report();
+    EXPECT_GE(rep.count(pmemcpy::check::Violation::kDirtyAtCommit), 1u)
+        << rep.to_string();
   }
   dev.simulate_crash();
   auto bad = pmemcpy::obj::Pool::open(dev, 0);

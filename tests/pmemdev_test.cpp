@@ -1,5 +1,6 @@
 // Tests for the emulated PMEM device: data integrity, cost charging,
 // MAP_SYNC accounting, crash semantics.
+#include <pmemcpy/check/persist_checker.hpp>
 #include <pmemcpy/pmem/device.hpp>
 
 #include <gtest/gtest.h>
@@ -225,15 +226,23 @@ using pmemcpy::pmem::FaultPlan;
 
 TEST(FaultPlanTest, PersistOpsCountsPersistAndDrain) {
   Device dev(1 << 20);
+  dev.enable_checker();
   EXPECT_EQ(dev.persist_ops(), 0u);
   const std::uint32_t v = 1;
   dev.write(0, &v, 4);
   dev.persist(0, 4);
   EXPECT_EQ(dev.persist_ops(), 1u);
-  dev.drain();
+  dev.drain();  // nothing flushed since the persist: orders nothing
   EXPECT_EQ(dev.persist_ops(), 2u);
-  dev.persist(0, 4);
+  dev.persist(0, 4);  // line already durable: redundant flush
   EXPECT_EQ(dev.persist_ops(), 3u);
+  // Both inefficiencies above are deliberate; the checker must call them out.
+  const auto rep = dev.checker()->take_report();
+  EXPECT_EQ(rep.count(pmemcpy::check::Violation::kEmptyFence), 1u)
+      << rep.to_string();
+  EXPECT_EQ(rep.count(pmemcpy::check::Violation::kCleanFlush), 1u)
+      << rep.to_string();
+  EXPECT_EQ(rep.correctness_violations, 0u) << rep.to_string();
 }
 
 TEST(FaultPlanTest, CrashFiresAtScheduledOpAndFreezesDevice) {

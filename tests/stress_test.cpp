@@ -1,5 +1,6 @@
 // Reference-model stress tests: thousands of randomized operations against
 // an in-DRAM oracle, for the hashtable, the allocator, and the filesystem.
+#include <pmemcpy/check/persist_checker.hpp>
 #include <pmemcpy/fs/filesystem.hpp>
 #include <pmemcpy/obj/hashtable.hpp>
 
@@ -8,6 +9,7 @@
 #include <cstring>
 #include <map>
 #include <random>
+#include <thread>
 
 namespace {
 
@@ -17,10 +19,24 @@ using pmemcpy::obj::HashTable;
 using pmemcpy::obj::Pool;
 using pmemcpy::pmem::Device;
 
+/// Runs every stress workload under the persistency-order checker and
+/// asserts a violation-free report when the workload scope ends.
+struct CheckerGuard {
+  explicit CheckerGuard(Device& dev) : dev_(&dev) { dev.enable_checker(); }
+  ~CheckerGuard() {
+    const auto rep = dev_->checker()->take_report();
+    EXPECT_TRUE(rep.ok()) << rep.to_string();
+  }
+  CheckerGuard(const CheckerGuard&) = delete;
+  CheckerGuard& operator=(const CheckerGuard&) = delete;
+  Device* dev_;
+};
+
 class StressSeed : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(StressSeed, HashTableMatchesMapOracle) {
   Device dev(64ull << 20);
+  CheckerGuard chk(dev);
   Pool pool = Pool::create(dev, 0, 64ull << 20);
   HashTable table = HashTable::create(pool, 128);  // force chaining
   std::map<std::string, std::string> oracle;
@@ -67,6 +83,7 @@ TEST_P(StressSeed, HashTableMatchesMapOracle) {
 
 TEST_P(StressSeed, AllocatorContentsSurviveChurn) {
   Device dev(64ull << 20);
+  CheckerGuard chk(dev);
   Pool pool = Pool::create(dev, 0, 64ull << 20);
   std::mt19937 rng(GetParam() + 77);
   std::uniform_int_distribution<std::size_t> size_d(1, 100000);
@@ -113,6 +130,7 @@ TEST_P(StressSeed, AllocatorContentsSurviveChurn) {
 
 TEST_P(StressSeed, FileSystemMatchesOracle) {
   Device dev(64ull << 20);
+  CheckerGuard chk(dev);
   FileSystem fs = FileSystem::format(dev, 0, 64ull << 20);
   std::map<std::string, std::string> oracle;  // path -> contents
   std::mt19937 rng(GetParam() + 555);
@@ -171,5 +189,44 @@ TEST_P(StressSeed, FileSystemMatchesOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StressSeed, ::testing::Range(0u, 6u));
+
+// Regression: fsync dirty-span bookkeeping is updated from data_write, which
+// pwrite runs *outside* the fs lock so data copies can proceed in parallel.
+// An unlocked dirty_ map update corrupted the heap under concurrent pwrite
+// (first seen as a tcache abort in the multi-rank fig6 bench).
+TEST(StressConcurrentFs, ParallelPwriteFsyncKeepsDirtyTrackingSane) {
+  Device dev(64ull << 20);
+  CheckerGuard chk(dev);
+  FileSystem fs = FileSystem::format(dev, 0, 64ull << 20);
+  constexpr int kThreads = 8;
+  constexpr int kWrites = 200;
+  constexpr std::size_t kChunk = 1024;
+  std::vector<pmemcpy::fs::File> files;
+  for (int t = 0; t < kThreads; ++t) {
+    files.push_back(fs.open("/t" + std::to_string(t), OpenMode::kTruncate));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string chunk(kChunk, char('a' + t));
+      for (int i = 0; i < kWrites; ++i) {
+        fs.pwrite(files[static_cast<std::size_t>(t)], chunk.data(), kChunk,
+                  static_cast<std::uint64_t>(i) * kChunk);
+        if (i % 8 == 7) fs.fsync(files[static_cast<std::size_t>(t)]);
+      }
+      fs.fsync(files[static_cast<std::size_t>(t)]);
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::string out(kChunk, '\0');
+  for (int t = 0; t < kThreads; ++t) {
+    const std::string want(kChunk, char('a' + t));
+    for (int i = 0; i < kWrites; ++i) {
+      fs.pread(files[static_cast<std::size_t>(t)], out.data(), kChunk,
+               static_cast<std::uint64_t>(i) * kChunk);
+      ASSERT_EQ(out, want) << "file " << t << " chunk " << i;
+    }
+  }
+}
 
 }  // namespace
