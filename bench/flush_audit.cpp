@@ -7,6 +7,12 @@
 // wall-clock), every count here is exact and reproducible, so two builds
 // can be diffed flush-for-flush.  EXPERIMENTS.md §"Persistency-order
 // checker" uses this binary for its before/after numbers.
+//
+// Usage: flush_audit [--json PATH] [--baseline PATH]
+//   --json      write the per-phase counters as JSON (one object per line)
+//   --baseline  compare against a previously written JSON file and fail
+//               (exit 1) if any phase's flush_ops or fence_ops grew —
+//               ci.sh uses this as a flush-traffic regression gate.
 #include <pmemcpy/check/persist_checker.hpp>
 #include <pmemcpy/fs/filesystem.hpp>
 #include <pmemcpy/obj/hashtable.hpp>
@@ -14,6 +20,8 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -35,6 +43,14 @@ struct Phase {
 
 std::vector<Phase> phases;
 
+Report report_delta(const Report& before, Report after) {
+  after.store_ops -= before.store_ops;
+  after.flush_ops -= before.flush_ops;
+  after.lines_flushed -= before.lines_flushed;
+  after.fence_ops -= before.fence_ops;
+  return after;
+}
+
 /// Runs @p fn on a fresh checked device and records the traffic delta.
 template <typename Fn>
 void audit(const std::string& name, std::size_t dev_bytes, Fn&& fn) {
@@ -42,17 +58,104 @@ void audit(const std::string& name, std::size_t dev_bytes, Fn&& fn) {
   dev.enable_checker();
   const Report before = dev.checker()->report();
   fn(dev);
-  Report after = dev.checker()->report();
-  after.store_ops -= before.store_ops;
-  after.flush_ops -= before.flush_ops;
-  after.lines_flushed -= before.lines_flushed;
-  after.fence_ops -= before.fence_ops;
-  phases.push_back({name, std::move(after)});
+  phases.push_back({name, report_delta(before, dev.checker()->report())});
+}
+
+bool write_json(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "flush_audit: cannot write %s\n", path);
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const auto& d = phases[i].delta;
+    std::fprintf(f,
+                 "{\"phase\": \"%s\", \"store_ops\": %llu, \"flush_ops\": "
+                 "%llu, \"lines_flushed\": %llu, \"fence_ops\": %llu}%s\n",
+                 phases[i].name.c_str(),
+                 static_cast<unsigned long long>(d.store_ops),
+                 static_cast<unsigned long long>(d.flush_ops),
+                 static_cast<unsigned long long>(d.lines_flushed),
+                 static_cast<unsigned long long>(d.fence_ops),
+                 i + 1 < phases.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
+}
+
+struct BaselineRow {
+  unsigned long long flush_ops = 0;
+  unsigned long long fence_ops = 0;
+};
+
+/// Parses the one-object-per-line JSON write_json() emits.  Phases present
+/// only on one side are skipped (new phases must not fail old baselines).
+bool check_baseline(const char* path) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "flush_audit: cannot read baseline %s\n", path);
+    return false;
+  }
+  std::map<std::string, BaselineRow> base;
+  char line[512];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    char name[128];
+    unsigned long long store = 0, flush = 0, lines = 0, fence = 0;
+    if (std::sscanf(line,
+                    "{\"phase\": \"%127[^\"]\", \"store_ops\": %llu, "
+                    "\"flush_ops\": %llu, \"lines_flushed\": %llu, "
+                    "\"fence_ops\": %llu}",
+                    name, &store, &flush, &lines, &fence) == 5) {
+      base[name] = {flush, fence};
+    }
+  }
+  std::fclose(f);
+
+  bool ok = true;
+  for (const auto& p : phases) {
+    auto it = base.find(p.name);
+    if (it == base.end()) continue;
+    if (p.delta.flush_ops > it->second.flush_ops) {
+      std::fprintf(stderr,
+                   "flush_audit: REGRESSION %s flush_ops %llu > baseline "
+                   "%llu\n",
+                   p.name.c_str(),
+                   static_cast<unsigned long long>(p.delta.flush_ops),
+                   it->second.flush_ops);
+      ok = false;
+    }
+    if (p.delta.fence_ops > it->second.fence_ops) {
+      std::fprintf(stderr,
+                   "flush_audit: REGRESSION %s fence_ops %llu > baseline "
+                   "%llu\n",
+                   p.name.c_str(),
+                   static_cast<unsigned long long>(p.delta.fence_ops),
+                   it->second.fence_ops);
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  const char* baseline_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: flush_audit [--json PATH] [--baseline PATH]\n");
+      return 2;
+    }
+  }
+
   // Object store: snapshot transactions.  Two snapshots land on the same
   // cacheline so range coalescing in Transaction::commit is exercised.
   audit("tx-commit", 64ull << 20, [](Device& dev) {
@@ -78,6 +181,46 @@ int main() {
       table.put("key" + std::to_string(i), value.data(), value.size());
     }
   });
+
+  // Group commit: stage 100 reserves, then publish them all under one
+  // publish_group().  Recorded as two phases so the commit's fence cost is
+  // visible on its own: the whole batch must cost at most 2 fences
+  // (durability drain + visibility drain), not O(N).
+  {
+    Device dev(512ull << 20);
+    dev.enable_checker();
+    Pool pool = Pool::create(dev, 0, 512ull << 20);
+    HashTable table = HashTable::create(pool, 1024);
+    table.set_auto_grow(false);
+    const std::string value(256, 'v');
+    const Report before_stage = dev.checker()->report();
+    std::vector<HashTable::Inserter> staged;
+    staged.reserve(100);
+    for (int i = 0; i < 100; ++i) {
+      auto ins = table.reserve("bk" + std::to_string(i), value.size());
+      auto span = ins.value();
+      std::memcpy(span.data(), value.data(), value.size());
+      ins.close_checker_scope();
+      staged.push_back(std::move(ins));
+    }
+    const Report before_commit = dev.checker()->report();
+    std::vector<HashTable::GroupPut> puts;
+    puts.reserve(staged.size());
+    for (auto& ins : staged) puts.push_back({&ins, false, false});
+    table.publish_group(puts);
+    const Report after = dev.checker()->report();
+    phases.push_back({"ht-batch-stage",
+                      report_delta(before_stage, before_commit)});
+    phases.push_back({"ht-batch-commit", report_delta(before_commit, after)});
+    if (phases.back().delta.fence_ops > 2) {
+      std::fprintf(stderr,
+                   "flush_audit: ht-batch-commit used %llu fences for a "
+                   "100-put group commit (want <= 2)\n",
+                   static_cast<unsigned long long>(
+                       phases.back().delta.fence_ops));
+      return 1;
+    }
+  }
 
   // Persistent list push/pop (node persist + link-in discipline).
   audit("plist", 64ull << 20, [](Device& dev) {
@@ -118,11 +261,11 @@ int main() {
     }
   });
 
-  std::printf("%-12s %12s %10s %14s %10s %8s %8s %8s\n", "phase",
+  std::printf("%-16s %12s %10s %14s %10s %8s %8s %8s\n", "phase",
               "store_ops", "flush_ops", "lines_flushed", "fence_ops", "clean",
               "dup", "empty");
   for (const auto& p : phases) {
-    std::printf("%-12s %12llu %10llu %14llu %10llu %8llu %8llu %8llu\n",
+    std::printf("%-16s %12llu %10llu %14llu %10llu %8llu %8llu %8llu\n",
                 p.name.c_str(),
                 static_cast<unsigned long long>(p.delta.store_ops),
                 static_cast<unsigned long long>(p.delta.flush_ops),
@@ -132,5 +275,8 @@ int main() {
                 static_cast<unsigned long long>(p.delta.duplicate_flushes),
                 static_cast<unsigned long long>(p.delta.empty_fences));
   }
+
+  if (json_path != nullptr && !write_json(json_path)) return 1;
+  if (baseline_path != nullptr && !check_baseline(baseline_path)) return 1;
   return 0;
 }

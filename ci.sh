@@ -25,6 +25,11 @@ run_config() {
   echo "==== [${name}] test ===="
   # CTEST_ENV: extra KEY=VAL pairs exported into the test processes.
   env ${CTEST_ENV:-} ctest --test-dir "${dir}" --output-on-failure -j"$(nproc)"
+  echo "==== [${name}] flush audit ===="
+  # Deterministic flush/fence counts; fails if any phase's CLWB or SFENCE
+  # traffic regressed past the checked-in baseline (see bench/flush_audit.cpp).
+  "${dir}/bench/flush_audit" --json "${dir}/BENCH_flush_audit.json" \
+    --baseline bench/flush_audit_baseline.json
 }
 
 run_checker_config() {

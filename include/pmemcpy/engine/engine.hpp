@@ -1,0 +1,158 @@
+// The storage-engine contract: everything above this layer (PMEM, the C API,
+// benchmarks) speaks one key-value interface; everything below it (the flat
+// hashtable pool, the DAX-filesystem tree, the sharded composition) is an
+// interchangeable implementation.
+//
+// The contract:
+//   * Entries are (key, blob, 64-bit meta word).  Keys are flat strings;
+//     prefix iteration is the only enumeration primitive.
+//   * put() is two-phase: the returned PutHandle exposes a Sink over the
+//     reserved blob, and commit(crc) stamps the checksum and publishes.  An
+//     entry is either fully visible or absent — never torn.  A PutHandle
+//     destroyed without commit() leaves no trace.
+//   * Durability ordering: an entry's bytes (blob + metadata) are flushed
+//     and fenced *before* the store that makes them reachable, so a crash at
+//     any point exposes only complete entries (the PR-2 persistency checker
+//     enforces this on every engine).
+//   * Batches stage several puts and publish them together.  Staged entries
+//     are invisible to find()/for_each_prefix() — including the stager's own
+//     reads — until Batch::commit(); a Batch destroyed without commit
+//     discards every staged entry.  Batching is a fence optimisation, not a
+//     multi-entry atomicity guarantee: a crash during commit may publish a
+//     prefix of the batch, but each published entry is individually intact.
+//   * keep_existing=true makes the first writer win (concurrent ranks
+//     storing identical metadata); the loser's reservation is discarded.
+//
+// Engines are DRAM objects bound to persistent state; they hold no
+// persistent state of their own, so re-opening after a crash just
+// constructs a fresh engine over the recovered pool/filesystem.
+#pragma once
+
+#include <pmemcpy/serial/sink.hpp>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pmemcpy {
+class PmemNode;
+namespace obj {
+class Pool;
+class HashTable;
+}  // namespace obj
+namespace fs {
+class FileSystem;
+}  // namespace fs
+namespace par {
+class Comm;
+}  // namespace par
+}  // namespace pmemcpy
+
+namespace pmemcpy::engine {
+
+/// Size + caller-defined meta word of a stored entry.
+struct EntryInfo {
+  std::uint64_t size = 0;
+  std::uint64_t meta = 0;
+};
+
+class Engine {
+ public:
+  /// In-flight reservation of one entry (see contract above).
+  class PutHandle {
+   public:
+    virtual ~PutHandle() = default;
+    /// Sink over the reserved blob; write exactly the reserved size.
+    virtual serial::Sink& sink() = 0;
+    /// Stamp the payload CRC into the meta word's high 32 bits and publish
+    /// (or, inside a Batch, stage for the group publish).
+    virtual void commit(std::uint32_t payload_crc) = 0;
+  };
+
+  /// Read handle for one entry.
+  class Entry {
+   public:
+    virtual ~Entry() = default;
+    [[nodiscard]] virtual EntryInfo info() const = 0;
+    /// Charged copy of blob bytes [off, off+len); throws SerialError when
+    /// out of range.
+    virtual void read(std::uint64_t off, void* dst, std::size_t len) = 0;
+    /// Zero-copy pointer to the whole blob, charging @p charge_bytes of
+    /// DAX read traffic (callers often consume only a slice).
+    virtual const std::byte* direct(std::size_t charge_bytes) = 0;
+  };
+
+  /// Group-commit scope (see contract above for visibility semantics).
+  class Batch {
+   public:
+    virtual ~Batch() = default;
+    /// Stage a reservation; handle semantics match Engine::put except that
+    /// commit(crc) stages instead of publishing.
+    virtual std::unique_ptr<PutHandle> put(const std::string& key,
+                                           std::size_t size,
+                                           std::uint64_t meta,
+                                           bool keep_existing) = 0;
+    /// Publish every staged entry (engine-specific; the table engine pays
+    /// two fences total regardless of the batch size).
+    virtual void commit() = 0;
+    /// Entries staged and awaiting commit.
+    [[nodiscard]] virtual std::size_t staged() const = 0;
+  };
+
+  virtual ~Engine() = default;
+
+  virtual std::unique_ptr<PutHandle> put(const std::string& key,
+                                         std::size_t size, std::uint64_t meta,
+                                         bool keep_existing) = 0;
+  /// nullptr when absent.
+  virtual std::unique_ptr<Entry> find(const std::string& key) = 0;
+  /// false when absent.
+  virtual bool erase(const std::string& key) = 0;
+  virtual void for_each_prefix(
+      const std::string& prefix,
+      const std::function<void(const std::string&, const EntryInfo&)>& fn) = 0;
+  virtual std::unique_ptr<Batch> begin_batch() = 0;
+};
+
+// --- factories ---------------------------------------------------------------
+
+/// Flat layout: one hashtable in one pool.
+std::unique_ptr<Engine> make_table_engine(std::shared_ptr<obj::Pool> pool,
+                                          std::shared_ptr<obj::HashTable> table);
+
+/// Hierarchical layout: one file per entry under @p root on the DAX fs.
+std::unique_ptr<Engine> make_tree_engine(fs::FileSystem& fs, std::string root,
+                                         bool map_sync);
+
+/// Hash-partition keys across @p shards (routing is engine-agnostic, so any
+/// engine mix shards).  Batches fan out into per-shard sub-batches.
+std::unique_ptr<Engine> make_sharded_engine(
+    std::vector<std::unique_ptr<Engine>> shards);
+
+/// Options for the standard pool-backed open path.
+struct PoolEngineOptions {
+  std::string name;            ///< pool name (shards append ".s<k>")
+  std::size_t pool_size = 0;   ///< bytes per shard; 0 = split what's left
+  std::size_t nbuckets = 8192; ///< total buckets (divided across shards)
+  bool auto_grow = true;
+  bool map_sync = false;
+  std::size_t shards = 1;
+};
+
+/// Open (creating if needed) the table engine(s) for @p opts.  Collective
+/// when @p comm is non-null: rank 0 creates every shard pool + table, then
+/// all ranks open the shared instances.  Each pool's expected-contender
+/// count is set to ceil(nranks / shards) — the simulated-clock serialization
+/// sharding exists to relieve.
+std::unique_ptr<Engine> open_pool_engine(PmemNode& node,
+                                         const PoolEngineOptions& opts,
+                                         par::Comm* comm);
+
+/// Open the tree engine rooted at @p root, creating the directory on rank 0
+/// first (collective when @p comm is non-null).
+std::unique_ptr<Engine> open_tree_engine(PmemNode& node, const std::string& root,
+                                         bool map_sync, par::Comm* comm);
+
+}  // namespace pmemcpy::engine

@@ -28,6 +28,7 @@
 #include <array>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string_view>
 
 namespace pmemcpy::obj {
@@ -78,6 +79,16 @@ class HashTable {
     /// entry was linked.
     bool publish(bool keep_existing = false);
 
+    /// Close this reservation's persistency-checker scope early, for group
+    /// staging.  The checker's scope stack is strictly LIFO per thread, but
+    /// a batch stager interleaves reservations (across buckets, tables and
+    /// shards) and publishes them in a different order — so each staged
+    /// scope must be popped while it is still the innermost one, i.e. right
+    /// after the value is serialized and before the next reservation.  The
+    /// staged lines stay deliberately dirty; publish_group()'s coalesced
+    /// flush pass cleans them and its check_publish() verifies that.
+    void close_checker_scope();
+
    private:
     friend class HashTable;
     Inserter(HashTable& t, std::string_view key, std::uint64_t node_off,
@@ -88,11 +99,44 @@ class HashTable {
     std::uint64_t val_off_;
     std::uint64_t val_size_;
     bool published_ = false;
+    bool scope_open_ = true;
   };
 
   /// Reserve an entry with a @p val_size-byte value blob.
   [[nodiscard]] Inserter reserve(std::string_view key, std::size_t val_size,
                                  std::uint64_t meta = 0);
+
+  /// One member of a group publish: a staged reservation plus its
+  /// keep-existing flag.  publish_group() sets @p linked to whether the
+  /// entry went in (false = discarded: a duplicate within the batch, or
+  /// keep_existing lost to an existing entry).
+  struct GroupPut {
+    Inserter* ins = nullptr;
+    bool keep_existing = false;
+    bool linked = false;
+  };
+
+  /// Group commit: make every staged reservation in @p puts durable and
+  /// visible with two fences total, instead of one-plus per put.
+  ///
+  /// Protocol (see DESIGN.md §8):
+  ///   1. resolve within-batch duplicate keys (replace: last wins;
+  ///      keep_existing: first wins) and, under the stripe locks, look up
+  ///      existing chain entries;
+  ///   2. wire the winners into per-bucket shadow chains with plain stores
+  ///      of their next pointers;
+  ///   3. fence #1 — one reservation-only Transaction flushing every blob +
+  ///      node (including the next pointers) with a single coalesced CLWB
+  ///      pass + drain;
+  ///   4. fence #2 — plain 8-byte stores of the new bucket heads and the
+  ///      count, one coalesced flush pass + drain.  Only now is anything
+  ///      reachable, so a crash before this point publishes nothing.
+  ///   5. unlink + free superseded/discarded entries (the benign-shadowed-
+  ///      duplicate discipline of single publish()).
+  ///
+  /// All Inserters must belong to this table and be unpublished; they are
+  /// marked published regardless of outcome.
+  void publish_group(std::span<GroupPut> puts);
   /// One-shot insert/replace copying @p len bytes.
   void put(std::string_view key, const void* data, std::size_t len,
            std::uint64_t meta = 0);

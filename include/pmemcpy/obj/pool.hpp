@@ -116,6 +116,15 @@ class Pool {
   std::uint64_t alloc(std::size_t bytes);
   /// Return an allocation to the pool.  Crash-atomic like alloc().
   void free(std::uint64_t off);
+
+  /// Expected number of ranks/threads concurrently hammering this pool's
+  /// serialized metadata path (allocator lock, undo logs).  A pure
+  /// simulation knob: every alloc()/free() charges a queueing delay of
+  /// (n-1) * PmemModel::pool_op_queue_cost.  Engines set it to
+  /// ceil(nranks/shards) at open; the default of 1 charges nothing, so
+  /// serial code is unaffected.
+  void set_expected_contenders(int n) noexcept { contenders_ = n < 1 ? 1 : n; }
+  [[nodiscard]] int expected_contenders() const noexcept { return contenders_; }
   /// Usable payload size of an allocation.
   [[nodiscard]] std::size_t usable_size(std::uint64_t off) const;
   /// Bytes currently handed out (payload, excluding headers).
@@ -231,11 +240,14 @@ class Pool {
   void rollback_log(std::uint64_t header_off, std::uint64_t payload_off,
                     std::uint64_t capacity);
 
+  void charge_queue_delay() const;
+
   pmem::Device* dev_;
   std::size_t base_;
   std::size_t size_;
   PoolOptions opts_;
   TestFaults test_faults_;
+  int contenders_ = 1;
 
   std::unique_ptr<std::mutex> alloc_mu_ = std::make_unique<std::mutex>();
   std::unique_ptr<std::mutex> lane_mu_ = std::make_unique<std::mutex>();
@@ -247,6 +259,14 @@ class Pool {
 /// RAII undo-log transaction.  snapshot() ranges you are about to mutate;
 /// commit() makes the mutations durable atomically; destruction without
 /// commit rolls every snapshotted range back (as does crash recovery).
+///
+/// For group commit, reserve() enrolls a range in the commit-time flush
+/// sweep *without* logging a pre-image: the caller promises the range is
+/// not yet reachable from any persistent root (a freshly allocated node or
+/// blob), so a crash needs no rollback — the orphan allocation is
+/// reconciled by the allocator undo log / leak semantics instead.  A
+/// reservation-only commit is therefore one coalesced CLWB pass plus a
+/// single fence, with no lane traffic at all.
 class Transaction {
  public:
   explicit Transaction(Pool& pool);
@@ -256,7 +276,11 @@ class Transaction {
 
   /// Save the pre-image of [off, off+len); call before mutating it.
   void snapshot(std::uint64_t off, std::size_t len);
-  /// Persist all snapshotted ranges' new contents and retire the log.
+  /// Enroll [off, off+len) in the commit-time flush without a pre-image.
+  /// Only for ranges unreachable until after commit (see class comment).
+  void reserve(std::uint64_t off, std::size_t len);
+  /// Persist all enrolled ranges' contents and retire the log (the lane is
+  /// only touched when something was snapshotted).
   void commit();
 
  private:
@@ -265,7 +289,8 @@ class Transaction {
   Pool* pool_;
   int lane_;
   bool committed_ = false;
-  /// Ranges snapshotted, for the commit-time persist sweep.
+  bool snapshotted_ = false;
+  /// Ranges snapshotted or reserved, for the commit-time persist sweep.
   std::vector<std::pair<std::uint64_t, std::size_t>> ranges_;
 };
 

@@ -26,15 +26,16 @@
 //     (ids containing '/' become directories on the PMEM filesystem).
 #pragma once
 
-#include <pmemcpy/core/backend.hpp>
 #include <pmemcpy/core/hyperslab.hpp>
 #include <pmemcpy/core/node.hpp>
 #include <pmemcpy/crc32c.hpp>
+#include <pmemcpy/engine/engine.hpp>
 #include <pmemcpy/par/comm.hpp>
 #include <pmemcpy/serial/binary.hpp>
 #include <pmemcpy/serial/bp4.hpp>
 #include <pmemcpy/serial/filter.hpp>
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -71,6 +72,12 @@ struct Config {
   /// Verify the per-entry CRC32C on every load and throw IntegrityError on
   /// mismatch instead of deserializing torn or rotted bytes.
   bool verify_checksums = true;
+  /// Hash-partition the flat layout's keys across this many pools (each
+  /// with its own allocator and metadata table), so concurrent ranks stop
+  /// serializing on one pool's metadata path.  1 = the classic single-pool
+  /// layout.  The shard count is part of the persistent layout: reopen a
+  /// region with the same value it was created with.
+  std::size_t shards = 1;
 };
 
 struct KeyError : std::runtime_error {
@@ -146,11 +153,59 @@ class PMEM {
   void mmap(const std::string& filename, par::Comm& comm) {
     do_mmap(filename, &comm);
   }
-  /// Collective close.
+  /// Collective close.  Discards any still-open Batch.
   void munmap();
 
-  [[nodiscard]] bool mapped() const noexcept { return store_ != nullptr; }
+  [[nodiscard]] bool mapped() const noexcept { return engine_ != nullptr; }
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  // --- group commit ---------------------------------------------------------
+
+  /// A group-commit scope (DESIGN.md §8).  Stores issued while a Batch is
+  /// open are staged and published together by commit(): the flat layout
+  /// pays one coalesced flush pass and two fences per touched shard instead
+  /// of per entry.  Staged entries are invisible to loads — including this
+  /// process's own, so loading an id stored earlier in the same open batch
+  /// throws KeyError.  Destroying the Batch without commit() discards every
+  /// staged entry; a crash during commit() may publish a prefix of the
+  /// batch, but each published entry is individually complete.
+  class Batch {
+   public:
+    Batch(Batch&& o) noexcept : owner_(o.owner_) { o.owner_ = nullptr; }
+    Batch(const Batch&) = delete;
+    Batch& operator=(const Batch&) = delete;
+    Batch& operator=(Batch&&) = delete;
+    ~Batch() {
+      if (owner_ != nullptr) owner_->open_batch_.reset();
+    }
+
+    /// Publish everything staged and close the scope.
+    void commit() {
+      if (owner_ == nullptr) return;
+      if (owner_->open_batch_) owner_->open_batch_->commit();
+      owner_->open_batch_.reset();
+      owner_ = nullptr;
+    }
+    /// Entries staged and awaiting commit.
+    [[nodiscard]] std::size_t staged() const {
+      return owner_ != nullptr && owner_->open_batch_
+                 ? owner_->open_batch_->staged()
+                 : 0;
+    }
+
+   private:
+    friend class PMEM;
+    explicit Batch(PMEM* owner) : owner_(owner) {}
+    PMEM* owner_;
+  };
+
+  /// Open a group-commit scope.  At most one may be open per PMEM handle
+  /// (nested calls throw StateError); the scope must not outlive munmap().
+  [[nodiscard]] Batch batch() {
+    if (open_batch_) throw StateError("pmemcpy: batch already open");
+    open_batch_ = engine_ref().begin_batch();
+    return Batch(this);
+  }
 
   // --- scalars and structs -----------------------------------------------
 
@@ -158,23 +213,31 @@ class PMEM {
   /// std::vector of those, or a struct with a `serialize(Ar&)` member.
   template <typename T>
   void store(const std::string& id, const T& data) {
-    auto& st = store_ref();
-    serial::CountingSink counter;
+    // One-pass sizing: the archive payload is serialized into a stack
+    // buffer; small entries (the common case) are then copied out of it
+    // instead of being serialized a second time.  An overflow still yields
+    // the exact size, so the fallback reserializes without a counting pass.
+    std::array<std::byte, kStageBytes> stage_buf;
+    serial::StagingSink stage(stage_buf);
     {
-      serial::BinaryWriter w(counter);
+      serial::BinaryWriter w(stage);
       w(data);
     }
-    const std::size_t payload = counter.tell();
+    const std::size_t payload = stage.tell();
     const auto ser = cfg_.serializer;
     const std::size_t hdr = detail::blob_header_size(ser, 0);
     const auto dtype = serial::dtype_of_v<T>;
-    auto put = st.put(
+    auto put = start_put(
         id, hdr + payload,
         detail::pack_meta(detail::EntryKind::kScalar, dtype, ser));
     const auto emit = [&](serial::Sink& sink) {
       detail::write_blob_header(sink, ser, dtype, payload, {}, {});
-      serial::BinaryWriter w(sink);
-      w(data);
+      if (stage.captured()) {
+        sink.write(stage.bytes().data(), stage.bytes().size());
+      } else {
+        serial::BinaryWriter w(sink);
+        w(data);
+      }
     };
     std::uint32_t crc = 0;
     if (cfg_.force_dram_staging) {
@@ -192,7 +255,7 @@ class PMEM {
 
   template <typename T>
   void load(const std::string& id, T& data) {
-    auto entry = store_ref().find(id);
+    auto entry = engine_ref().find(id);
     if (!entry) throw KeyError(id);
     const auto info = entry->info();
     detail::EntryKind kind;
@@ -256,6 +319,12 @@ class PMEM {
     const auto ser = cfg_.serializer;
     const auto dtype = serial::dtype_of_v<T>;
 
+    // Group commit: the piece and the implicit "#dims" entry (when this is
+    // the array's first store) publish under one batch — one coalesced
+    // flush pass + fence pair instead of one per entry.  A user-opened
+    // Batch subsumes the internal one.
+    AutoBatch group(*this);
+
     Dimensions global;
     serial::DType declared;
     if (get_dims(id, &declared, &global)) {
@@ -281,7 +350,7 @@ class PMEM {
       const auto enc = serial::filter_encode(
           cfg_.filter,
           {reinterpret_cast<const std::byte*>(data), payload});
-      auto put = store_ref().put(
+      auto put = start_put(
           detail::piece_key(id, box), hdr + 8 + enc.size(),
           detail::pack_meta(detail::EntryKind::kPiece, dtype, ser,
                             cfg_.filter));
@@ -291,11 +360,12 @@ class PMEM {
       cs.write(&enc_size, sizeof(enc_size));
       cs.write(enc.data(), enc.size());
       put->commit(cs.crc());
+      group.commit();
       invalidate_piece_cache(id);
       return;
     }
 
-    auto put = store_ref().put(
+    auto put = start_put(
         detail::piece_key(id, box), hdr + payload,
         detail::pack_meta(detail::EntryKind::kPiece, dtype, ser));
     const auto emit = [&](serial::Sink& sink) {
@@ -314,6 +384,7 @@ class PMEM {
       crc = cs.crc();
     }
     put->commit(crc);
+    group.commit();
     invalidate_piece_cache(id);
   }
 
@@ -326,7 +397,7 @@ class PMEM {
     const auto nd = static_cast<std::size_t>(ndims);
     Box want(Dimensions(offsets, offsets + nd),
              Dimensions(dimspp, dimspp + nd));
-    auto& st = store_ref();
+    auto& st = engine_ref();
 
     if (auto entry = st.find(detail::piece_key(id, want))) {
       const auto info = entry->info();
@@ -466,11 +537,40 @@ class PMEM {
                   std::uint64_t meta);
 
  private:
+  /// Stack-staging capacity for one-pass small-entry serialization.
+  static constexpr std::size_t kStageBytes = 4096;
+
   void do_mmap(const std::string& filename, par::Comm* comm);
-  [[nodiscard]] detail::Store& store_ref() {
-    if (!store_) throw StateError("pmemcpy: not mapped (call mmap first)");
-    return *store_;
+  [[nodiscard]] engine::Engine& engine_ref() {
+    if (!engine_) throw StateError("pmemcpy: not mapped (call mmap first)");
+    return *engine_;
   }
+  /// Route a put through the open Batch when one exists.
+  [[nodiscard]] std::unique_ptr<engine::Engine::PutHandle> start_put(
+      const std::string& key, std::size_t size, std::uint64_t meta,
+      bool keep_existing = false) {
+    if (open_batch_) return open_batch_->put(key, size, meta, keep_existing);
+    return engine_ref().put(key, size, meta, keep_existing);
+  }
+  /// Opens an internal group-commit scope when the user has none, so
+  /// multi-entry operations batch automatically; discards on exception.
+  struct AutoBatch {
+    explicit AutoBatch(PMEM& pm) {
+      if (!pm.open_batch_) {
+        pm.open_batch_ = pm.engine_ref().begin_batch();
+        p = &pm;
+      }
+    }
+    ~AutoBatch() {
+      if (p != nullptr) p->open_batch_.reset();
+    }
+    void commit() {
+      if (p != nullptr) p->open_batch_->commit();
+    }
+    AutoBatch(const AutoBatch&) = delete;
+    AutoBatch& operator=(const AutoBatch&) = delete;
+    PMEM* p = nullptr;
+  };
   /// Compare a full blob against the checksum in its meta word.
   void verify_blob(const std::string& key, const std::byte* blob,
                    std::size_t size, std::uint64_t meta) const {
@@ -482,7 +582,7 @@ class PMEM {
   /// Fast-path piece verification without a second payload pass: the blob
   /// header is re-read and chained with the payload already in the caller's
   /// buffer (CRC32C(header || payload) == stored checksum).
-  void verify_piece(const std::string& key, detail::Store::Entry& entry,
+  void verify_piece(const std::string& key, engine::Engine::Entry& entry,
                     std::size_t hdr, const void* payload,
                     std::size_t payload_len, std::uint64_t meta) const {
     if (!cfg_.verify_checksums) return;
@@ -511,9 +611,8 @@ class PMEM {
   std::map<std::string, std::vector<std::string>> piece_cache_;
   PmemNode* node_ = nullptr;
   par::Comm* comm_ = nullptr;
-  std::shared_ptr<obj::Pool> pool_;
-  std::shared_ptr<obj::HashTable> table_;
-  std::unique_ptr<detail::Store> store_;
+  std::unique_ptr<engine::Engine> engine_;
+  std::unique_ptr<engine::Engine::Batch> open_batch_;
 };
 
 }  // namespace pmemcpy

@@ -179,6 +179,42 @@ class ChecksumSink final : public Sink {
   std::uint32_t crc_ = 0;
 };
 
+/// One-pass sizing for small entries: counts like CountingSink while also
+/// capturing the bytes into a caller-supplied buffer as long as they fit.
+/// Small metadata blobs (dimensions, scalars) used to be serialized twice —
+/// once through a CountingSink to size the reservation, then again into the
+/// reserved blob.  Staging the first pass here lets the caller reserve and
+/// memcpy the captured bytes instead.  On overflow the capture is abandoned
+/// but the count stays exact, so the fallback already has pass one of the
+/// classic count-then-serialize scheme for free.
+class StagingSink final : public Sink {
+ public:
+  explicit StagingSink(std::span<std::byte> buf) : buf_(buf) {}
+
+  void write(const void* data, std::size_t len) override {
+    if (fits_ && pos_ + len <= buf_.size()) {
+      std::memcpy(buf_.data() + pos_, data, len);
+      sim::ctx().charge_cpu_copy(len);
+    } else {
+      fits_ = false;
+    }
+    pos_ += len;
+  }
+  [[nodiscard]] std::size_t tell() const override { return pos_; }
+
+  /// True while every byte written so far landed in the buffer.
+  [[nodiscard]] bool captured() const noexcept { return fits_; }
+  /// The captured payload (empty after an overflow).
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return fits_ ? buf_.first(pos_) : std::span<const std::byte>{};
+  }
+
+ private:
+  std::span<std::byte> buf_;
+  std::size_t pos_ = 0;
+  bool fits_ = true;
+};
+
 /// Measures serialized size without moving bytes (for blob reservation).
 class CountingSink final : public Sink {
  public:

@@ -60,6 +60,17 @@ struct PmemModel {
   /// MAP_SYNC: read-side derating on such mappings (reads fault through the
   /// synchronous path too, losing the zero-copy benefit).
   double map_sync_read_bw_factor = 0.5;
+  /// Queueing delay at a pool's serialized metadata path.  The allocator,
+  /// free lists and undo logs sit behind one lock, so concurrent ranks
+  /// serialize on every alloc/free — the µs-scale small-allocation critical
+  /// section van Renen et al. and Marathe et al. measure for pmemobj-style
+  /// heaps.  Charged per metadata op and per expected contender beyond the
+  /// first (Pool::set_expected_contenders); sharded engines divide the
+  /// contenders across pools, which is exactly the effect they exist to model.
+  /// 0.1 µs keeps the single-pool charge at 48 ranks within the figure
+  /// benches' millisecond print resolution while still separating the
+  /// shard counts (EXPERIMENTS.md §shards).
+  double pool_op_queue_cost = 0.1e-6;
 };
 
 /// Intra-node transport the MPI-like runtime charges (shared-memory BTL).

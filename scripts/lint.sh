@@ -12,6 +12,14 @@
 # Rule 2 — every test is registered.
 #   A tests/*_test.cpp that is not listed in tests/CMakeLists.txt silently
 #   never runs in CI.
+#
+# Rule 3 — the core data path talks to storage through the engine layer.
+#   obj::HashTable and fs::FileSystem are engine implementation details;
+#   naming them in src/core/ or include/pmemcpy/core/pmemcpy.hpp would
+#   reintroduce the container-specific branching the engine refactor removed.
+#   The engine, the storage layers themselves, node wiring, the baselines
+#   (engine-free comparison stacks), and tests/benches/examples (which probe
+#   specific containers on purpose) are exempt.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +36,18 @@ while IFS= read -r file; do
 done < <(grep -rl 'note_write(\|->raw(\|\.raw(' \
            --include='*.cpp' --include='*.hpp' \
            src include bench examples 2>/dev/null || true)
+
+# --- Rule 3: core reaches containers only through the engine -----------------
+container_ok='^(src/engine/|src/pmemobj/|src/pmemfs/|src/baselines/|include/pmemcpy/engine/|include/pmemcpy/obj/|include/pmemcpy/fs/|include/pmemcpy/core/node\.hpp)'
+while IFS= read -r file; do
+  if ! [[ "$file" =~ $container_ok ]]; then
+    echo "lint: container type named outside engine/storage layers: $file" >&2
+    grep -n 'obj::HashTable\|fs::FileSystem' "$file" | head -5 >&2
+    fail=1
+  fi
+done < <(grep -rl 'obj::HashTable\|fs::FileSystem' \
+           --include='*.cpp' --include='*.hpp' \
+           src include 2>/dev/null || true)
 
 # --- Rule 2: every tests/*_test.cpp registered in tests/CMakeLists.txt -------
 for t in tests/*_test.cpp; do

@@ -3,6 +3,7 @@
 #include <pmemcpy/serial/capnp.hpp>
 
 #include <algorithm>
+#include <set>
 
 namespace pmemcpy {
 
@@ -122,7 +123,7 @@ std::string fs_root_for(const std::string& filename) {
 }  // namespace
 
 void PMEM::do_mmap(const std::string& filename, par::Comm* comm) {
-  if (store_) throw StateError("pmemcpy: already mapped");
+  if (engine_) throw StateError("pmemcpy: already mapped");
   node_ = cfg_.node != nullptr ? cfg_.node : PmemNode::default_node();
   if (node_ == nullptr) {
     throw StateError(
@@ -130,42 +131,29 @@ void PMEM::do_mmap(const std::string& filename, par::Comm* comm) {
         "set Config::node)");
   }
   comm_ = comm;
-  const bool leader = comm == nullptr || comm->rank() == 0;
 
   if (cfg_.layout == Layout::kHashTable) {
-    const std::string pname = sanitize_pool_name(filename);
-    obj::PoolOptions popts{cfg_.map_sync};
-    std::shared_ptr<obj::Pool> pool;
-    if (leader) {
-      pool = node_->open_or_create_pool(pname, cfg_.pool_size, popts);
-      pool->set_map_sync(cfg_.map_sync);
-      if (pool->root() == 0) {
-        auto table = obj::HashTable::create(*pool, cfg_.nbuckets);
-        pool->set_root(table.header_off());
-      }
-    }
-    if (comm != nullptr) comm->barrier();
-    if (!leader) pool = node_->open_pool(pname, popts);
-    pool_ = pool;
-    table_ = node_->table_for(pool_, pool_->root());
-    table_->set_auto_grow(cfg_.auto_grow_table);
-    store_ = detail::make_table_store(pool_, table_);
+    engine::PoolEngineOptions eopts;
+    eopts.name = sanitize_pool_name(filename);
+    eopts.pool_size = cfg_.pool_size;
+    eopts.nbuckets = cfg_.nbuckets;
+    eopts.auto_grow = cfg_.auto_grow_table;
+    eopts.map_sync = cfg_.map_sync;
+    eopts.shards = cfg_.shards;
+    engine_ = engine::open_pool_engine(*node_, eopts, comm);
   } else {
-    const std::string root = fs_root_for(filename);
-    if (leader && !node_->fs().exists(root)) node_->fs().mkdirs(root);
-    if (comm != nullptr) comm->barrier();
-    store_ = detail::make_tree_store(node_->fs(), root, cfg_.map_sync);
+    engine_ = engine::open_tree_engine(*node_, fs_root_for(filename),
+                                       cfg_.map_sync, comm);
   }
   if (comm != nullptr) comm->barrier();
 }
 
 void PMEM::munmap() {
-  if (!store_) throw StateError("pmemcpy: not mapped");
+  if (!engine_) throw StateError("pmemcpy: not mapped");
   if (comm_ != nullptr) comm_->barrier();
   piece_cache_.clear();
-  store_.reset();
-  table_.reset();
-  pool_.reset();
+  open_batch_.reset();  // staged-but-uncommitted entries are discarded
+  engine_.reset();
   comm_ = nullptr;
   node_ = nullptr;
 }
@@ -183,26 +171,33 @@ void PMEM::put_dims(const std::string& id, serial::DType dtype,
       return;
     }
   }
-  serial::CountingSink counter;
+  // One serialization pass: dims records are tiny, so they land in the
+  // stack stage and are copied out of it instead of being re-serialized.
   std::vector<std::uint64_t> d64(dims.begin(), dims.end());
+  std::array<std::byte, kStageBytes> stage_buf;
+  serial::StagingSink stage(stage_buf);
   {
-    serial::BinaryWriter w(counter);
+    serial::BinaryWriter w(stage);
     w(static_cast<std::uint8_t>(dtype), d64);
   }
-  auto put = store_ref().put(
-      detail::dims_key(id), counter.tell(),
+  auto put = start_put(
+      detail::dims_key(id), stage.tell(),
       detail::pack_meta(detail::EntryKind::kDims, dtype,
                         serial::SerializerId::kBinary),
       /*keep_existing=*/true);
   serial::ChecksumSink cs(put->sink());
-  serial::BinaryWriter w(cs);
-  w(static_cast<std::uint8_t>(dtype), d64);
+  if (stage.captured()) {
+    cs.write(stage.bytes().data(), stage.bytes().size());
+  } else {
+    serial::BinaryWriter w(cs);
+    w(static_cast<std::uint8_t>(dtype), d64);
+  }
   put->commit(cs.crc());
 }
 
 bool PMEM::get_dims(const std::string& id, serial::DType* dtype,
                     Dimensions* dims) {
-  auto entry = store_ref().find(detail::dims_key(id));
+  auto entry = engine_ref().find(detail::dims_key(id));
   if (!entry) return false;
   const auto info = entry->info();
   const std::byte* blob = entry->direct(info.size);
@@ -233,15 +228,17 @@ Dimensions PMEM::load_dims(const std::string& id) {
 }
 
 bool PMEM::exists(const std::string& id) {
-  auto& st = store_ref();
+  auto& st = engine_ref();
   if (st.find(id) != nullptr) return true;
   return st.find(detail::dims_key(id)) != nullptr;
 }
 
 std::vector<std::string> PMEM::ids() {
-  std::vector<std::string> out;
-  store_ref().for_each_prefix(
-      "", [&](const std::string& key, const detail::EntryInfo&) {
+  // Dedup through an ordered set: regions hold one entry per rank per
+  // variable, so the old linear-scan dedup was quadratic in ranks×vars.
+  std::set<std::string> uniq;
+  engine_ref().for_each_prefix(
+      "", [&](const std::string& key, const engine::EntryInfo&) {
         std::string id = key;
         if (const auto p = id.find("#p:"); p != std::string::npos) {
           id.resize(p);
@@ -250,21 +247,18 @@ std::vector<std::string> PMEM::ids() {
         } else if (id.size() >= 5 && id.ends_with("#dims")) {
           id.resize(id.size() - 5);
         }
-        if (std::find(out.begin(), out.end(), id) == out.end()) {
-          out.push_back(id);
-        }
+        uniq.insert(std::move(id));
       });
-  std::sort(out.begin(), out.end());
-  return out;
+  return {uniq.begin(), uniq.end()};
 }
 
 void PMEM::for_each_raw(
     const std::function<void(const std::string&, std::span<const std::byte>,
                              std::uint64_t)>& fn) {
-  auto& st = store_ref();
+  auto& st = engine_ref();
   std::vector<std::string> keys;
   st.for_each_prefix("",
-                     [&](const std::string& key, const detail::EntryInfo&) {
+                     [&](const std::string& key, const engine::EntryInfo&) {
                        keys.push_back(key);
                      });
   for (const auto& key : keys) {
@@ -278,7 +272,7 @@ void PMEM::for_each_raw(
 
 void PMEM::import_raw(const std::string& key, std::span<const std::byte> data,
                       std::uint64_t meta) {
-  auto put = store_ref().put(key, data.size(), meta);
+  auto put = start_put(key, data.size(), meta);
   put->sink().write(data.data(), data.size());
   // Re-derive the checksum from the bytes rather than trusting the high
   // half of an exported meta word.
@@ -286,18 +280,18 @@ void PMEM::import_raw(const std::string& key, std::span<const std::byte> data,
 }
 
 void PMEM::remove(const std::string& id) {
-  auto& st = store_ref();
+  auto& st = engine_ref();
   bool any = st.erase(id);
   any |= st.erase(detail::dims_key(id));
   std::vector<std::string> pieces;
   st.for_each_prefix(detail::piece_prefix(id),
-                     [&](const std::string& key, const detail::EntryInfo&) {
+                     [&](const std::string& key, const engine::EntryInfo&) {
                        pieces.push_back(key);
                      });
   for (const auto& key : pieces) any |= st.erase(key);
   std::vector<std::string> attrs;
   st.for_each_prefix(detail::attr_prefix(id),
-                     [&](const std::string& key, const detail::EntryInfo&) {
+                     [&](const std::string& key, const engine::EntryInfo&) {
                        attrs.push_back(key);
                      });
   for (const auto& key : attrs) any |= st.erase(key);
@@ -306,11 +300,11 @@ void PMEM::remove(const std::string& id) {
 }
 
 ScrubReport PMEM::scrub() {
-  auto& st = store_ref();
+  auto& st = engine_ref();
   ScrubReport rep;
   std::vector<std::string> keys;
   st.for_each_prefix("",
-                     [&](const std::string& key, const detail::EntryInfo&) {
+                     [&](const std::string& key, const engine::EntryInfo&) {
                        keys.push_back(key);
                      });
   for (const auto& key : keys) {
@@ -335,8 +329,8 @@ ScrubReport PMEM::scrub() {
 std::vector<std::string> PMEM::attributes(const std::string& id) {
   const std::string prefix = detail::attr_prefix(id);
   std::vector<std::string> names;
-  store_ref().for_each_prefix(
-      prefix, [&](const std::string& key, const detail::EntryInfo&) {
+  engine_ref().for_each_prefix(
+      prefix, [&](const std::string& key, const engine::EntryInfo&) {
         names.push_back(key.substr(prefix.size()));
       });
   std::sort(names.begin(), names.end());
@@ -347,9 +341,9 @@ const std::vector<std::string>& PMEM::piece_keys(const std::string& id) {
   auto it = piece_cache_.find(id);
   if (it != piece_cache_.end()) return it->second;
   std::vector<std::string> keys;
-  store_ref().for_each_prefix(
+  engine_ref().for_each_prefix(
       detail::piece_prefix(id),
-      [&](const std::string& key, const detail::EntryInfo&) {
+      [&](const std::string& key, const engine::EntryInfo&) {
         keys.push_back(key);
       });
   return piece_cache_.emplace(id, std::move(keys)).first->second;

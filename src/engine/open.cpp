@@ -1,0 +1,80 @@
+// Collective engine-open paths: rank 0 creates the persistent containers
+// (shard pools + tables, or the tree root directory), a barrier makes them
+// visible, then every rank binds to the shared process-local instances.
+#include <pmemcpy/core/node.hpp>
+#include <pmemcpy/engine/engine.hpp>
+#include <pmemcpy/par/comm.hpp>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pmemcpy::engine {
+
+namespace {
+
+std::string shard_pool_name(const PoolEngineOptions& opts, std::size_t k,
+                            std::size_t nshards) {
+  if (nshards == 1) return opts.name;
+  return opts.name + ".s" + std::to_string(k);
+}
+
+}  // namespace
+
+std::unique_ptr<Engine> open_pool_engine(PmemNode& node,
+                                         const PoolEngineOptions& opts,
+                                         par::Comm* comm) {
+  const std::size_t nshards = opts.shards == 0 ? 1 : opts.shards;
+  const int nranks = comm ? comm->size() : 1;
+  const bool leader = comm == nullptr || comm->rank() == 0;
+  const int contenders = static_cast<int>(
+      (static_cast<std::size_t>(nranks) + nshards - 1) / nshards);
+  const std::size_t shard_buckets =
+      std::max<std::size_t>(64, opts.nbuckets / nshards);
+  obj::PoolOptions popts;
+  popts.map_sync = opts.map_sync;
+
+  if (leader) {
+    // "The rest of the pool area" must be split up front: create_pool
+    // interprets size 0 as everything remaining, which would starve shards
+    // 1..S-1.
+    std::size_t per_shard = opts.pool_size;
+    if (per_shard == 0 && nshards > 1) {
+      per_shard = node.pool_area_available() / nshards / 4096 * 4096;
+    }
+    for (std::size_t k = 0; k < nshards; ++k) {
+      auto pool = node.open_or_create_pool(shard_pool_name(opts, k, nshards),
+                                           per_shard, popts);
+      pool->set_map_sync(opts.map_sync);
+      if (pool->root() == 0) {
+        auto table = obj::HashTable::create(*pool, shard_buckets);
+        pool->set_root(table.header_off());
+      }
+    }
+  }
+  if (comm) comm->barrier();
+
+  std::vector<std::unique_ptr<Engine>> shards;
+  shards.reserve(nshards);
+  for (std::size_t k = 0; k < nshards; ++k) {
+    auto pool = node.open_pool(shard_pool_name(opts, k, nshards), popts);
+    pool->set_expected_contenders(contenders);
+    auto table = node.table_for(pool, pool->root());
+    table->set_auto_grow(opts.auto_grow);
+    shards.push_back(make_table_engine(std::move(pool), std::move(table)));
+  }
+  return make_sharded_engine(std::move(shards));
+}
+
+std::unique_ptr<Engine> open_tree_engine(PmemNode& node,
+                                         const std::string& root,
+                                         bool map_sync, par::Comm* comm) {
+  const bool leader = comm == nullptr || comm->rank() == 0;
+  if (leader && !node.fs().exists(root)) {
+    node.fs().mkdirs(root);
+  }
+  if (comm) comm->barrier();
+  return make_tree_engine(node.fs(), root, map_sync);
+}
+
+}  // namespace pmemcpy::engine

@@ -1,7 +1,10 @@
 #include <pmemcpy/obj/hashtable.hpp>
 
+#include <algorithm>
 #include <cstring>
+#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace pmemcpy::obj {
@@ -43,6 +46,30 @@ std::uint64_t fnv1a(std::string_view s) {
     h *= 1099511628211ull;
   }
   return h;
+}
+
+/// Flush the distinct cachelines covering a set of small ranges as
+/// contiguous runs (the same coalescing Transaction::commit does), without
+/// the fence — the caller drains once for the whole set.
+void flush_coalesced(Pool& pool,
+                     const std::vector<std::pair<std::uint64_t, std::size_t>>&
+                         ranges) {
+  std::vector<std::uint64_t> lines;
+  for (const auto& [off, len] : ranges) {
+    const std::uint64_t first = off / pmem::kCacheLine;
+    const std::uint64_t last =
+        (off + len + pmem::kCacheLine - 1) / pmem::kCacheLine;
+    for (std::uint64_t l = first; l < last; ++l) lines.push_back(l);
+  }
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  for (std::size_t i = 0; i < lines.size();) {
+    std::size_t j = i + 1;
+    while (j < lines.size() && lines[j] == lines[j - 1] + 1) ++j;
+    pool.flush(lines[i] * pmem::kCacheLine,
+               (lines[j - 1] - lines[i] + 1) * pmem::kCacheLine);
+    i = j;
+  }
 }
 
 /// Zero a pool range in bounded chunks.
@@ -340,13 +367,18 @@ HashTable::Inserter::Inserter(Inserter&& o) noexcept
       node_off_(o.node_off_),
       val_off_(o.val_off_),
       val_size_(o.val_size_),
-      published_(o.published_) {
+      published_(o.published_),
+      scope_open_(o.scope_open_) {
   o.published_ = true;  // the moved-from shell owns nothing
+  o.scope_open_ = false;
   o.node_off_ = 0;
 }
 
 HashTable::Inserter::~Inserter() {
-  if (published_ || node_off_ == 0) return;
+  if (published_ || node_off_ == 0) {
+    if (scope_open_) table_->pool_->device().check_tx_abort();
+    return;
+  }
   try {
     table_->pool_->free(node_off_);
     if (val_off_ != 0) table_->pool_->free(val_off_);
@@ -355,7 +387,16 @@ HashTable::Inserter::~Inserter() {
     // publish).  Crash-point exceptions must not escape a destructor; the
     // allocator undo log reconciles interrupted frees on reopen.
   }
-  table_->pool_->device().check_tx_abort();  // abandoned reservation
+  if (scope_open_) {
+    scope_open_ = false;
+    table_->pool_->device().check_tx_abort();  // abandoned reservation
+  }
+}
+
+void HashTable::Inserter::close_checker_scope() {
+  if (!scope_open_) return;
+  scope_open_ = false;
+  table_->pool_->device().check_tx_abort();
 }
 
 void HashTable::Inserter::set_meta_high(std::uint32_t hi) {
@@ -384,7 +425,10 @@ bool HashTable::Inserter::publish(bool keep_existing) {
   table_->pool_->check_publish(node_off_, kNodeKey + key_.size());
   const bool linked = table_->link_replace(key_, node_off_, keep_existing);
   published_ = true;  // either linked or already freed by link_replace
-  table_->pool_->device().check_tx_commit();
+  if (scope_open_) {
+    scope_open_ = false;
+    table_->pool_->device().check_tx_commit();
+  }
   if (linked) table_->maybe_grow();
   return linked;
 }
@@ -393,6 +437,206 @@ void HashTable::maybe_grow() {
   if (!auto_grow_) return;
   const auto hdr = pool_->get<TableHeader>(hoff_);
   if (hdr.count > hdr.nbuckets * 4) rehash(hdr.nbuckets * 4);
+}
+
+// ---------------------------------------------------------------------------
+// Group commit
+// ---------------------------------------------------------------------------
+
+void HashTable::publish_group(std::span<GroupPut> puts) {
+  // Live = staged reservations this call actually owns (skip moved-from
+  // shells and anything already published).
+  std::vector<GroupPut*> live;
+  for (auto& p : puts) {
+    if (p.ins == nullptr || p.ins->published_ || p.ins->node_off_ == 0) {
+      continue;
+    }
+    if (p.ins->table_ != this) {
+      throw PoolError("publish_group: Inserter from another table");
+    }
+    p.linked = false;
+    live.push_back(&p);
+  }
+  if (live.empty()) return;
+
+  // A batch stager closes each reservation's checker scope at stage time
+  // (close_checker_scope()), because the scope stack is strictly LIFO and
+  // this function publishes in an order unrelated to staging.  Direct
+  // callers that skipped that get a fallback here: pop the still-open
+  // scopes innermost-first (reverse staging order) before any publishing
+  // work.  The staged lines stay dirty on purpose; check_publish() after
+  // fence #1 verifies their durability instead.
+  for (auto it = live.rbegin(); it != live.rend(); ++it) {
+    (*it)->ins->close_checker_scope();
+  }
+
+  // Resolve duplicate keys within the batch before touching any chain:
+  // replace-mode the last staged entry wins, keep_existing the first.
+  // Losers are discarded without ever being linked — linking both copies
+  // would leave which one a later erase/replace removes undefined.
+  std::unordered_map<std::string_view, std::size_t> winner;
+  std::vector<bool> discard(live.size(), false);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    auto [it, first] = winner.try_emplace(live[i]->ins->key_, i);
+    if (!first) {
+      if (live[i]->keep_existing) {
+        discard[i] = true;
+      } else {
+        discard[it->second] = true;
+        it->second = i;
+      }
+    }
+  }
+
+  // Lock the stripes of every winning key in ascending order (the order
+  // rehash/for_each use), so the persistent chains are stable below us.
+  std::vector<std::size_t> stripe_ids;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (!discard[i]) stripe_ids.push_back(fnv1a(live[i]->ins->key_) % kStripes);
+  }
+  std::sort(stripe_ids.begin(), stripe_ids.end());
+  stripe_ids.erase(std::unique(stripe_ids.begin(), stripe_ids.end()),
+                   stripe_ids.end());
+  // RAII so a crash-point exception thrown below cannot leak the locks;
+  // released explicitly before maybe_grow(), which takes every stripe.
+  struct StripeGuard {
+    std::array<std::mutex, kStripes>* stripes;
+    const std::vector<std::size_t>* ids;
+    bool held = true;
+    void release() {
+      if (!held) return;
+      held = false;
+      for (auto it = ids->rbegin(); it != ids->rend(); ++it) {
+        (*stripes)[*it].unlock();
+      }
+    }
+    ~StripeGuard() { release(); }
+  } stripe_guard{stripes_.get(), &stripe_ids};
+  for (auto id : stripe_ids) (*stripes_)[id].lock();
+
+  // Wire the winners into per-bucket shadow chains: each new node's next
+  // pointer is a plain store that rides along in the phase-A flush of the
+  // node itself.  keep_existing winners defer to an entry already in the
+  // persistent chain and are discarded instead.
+  struct Replace {
+    std::uint64_t slot;
+    std::uint64_t old_node;
+  };
+  std::map<std::uint64_t, std::uint64_t> orig_head;    // slot -> old head
+  std::map<std::uint64_t, std::uint64_t> shadow_head;  // slot -> new head
+  std::vector<Replace> replaces;
+  std::vector<std::pair<std::uint64_t, std::size_t>> durable;
+  std::int64_t fresh_links = 0;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (discard[i]) continue;
+    Inserter& ins = *live[i]->ins;
+    const std::uint64_t slot = bucket_slot(ins.key_);
+    auto oh = orig_head.find(slot);
+    if (oh == orig_head.end()) {
+      const auto head = pool_->get<std::uint64_t>(slot);
+      oh = orig_head.emplace(slot, head).first;
+      shadow_head.emplace(slot, head);
+    }
+    std::uint64_t old = oh->second;
+    while (old != 0 && read_key(old) != ins.key_) {
+      old = pool_->get<std::uint64_t>(old + kNodeNext);
+    }
+    if (old != 0 && live[i]->keep_existing) {
+      discard[i] = true;
+      continue;
+    }
+    std::uint64_t& head = shadow_head[slot];
+    pool_->write(ins.node_off_ + kNodeNext, &head, sizeof(head));
+    head = ins.node_off_;
+    live[i]->linked = true;
+    if (ins.val_size_ > 0) durable.emplace_back(ins.val_off_, ins.val_size_);
+    durable.emplace_back(ins.node_off_, kNodeKey + ins.key_.size());
+    if (old != 0) {
+      replaces.push_back({slot, old});
+    } else {
+      ++fresh_links;
+    }
+  }
+
+  if (!durable.empty()) {
+    // Fence #1 — durability: every staged blob + node (including the next
+    // pointers just written) becomes persistent under one coalesced CLWB
+    // pass and a single drain.  Nothing is reachable yet, so a crash here
+    // publishes nothing; the orphan chunks are mere leaks.
+    {
+      Transaction tx(*pool_);
+      for (const auto& [off, len] : durable) tx.reserve(off, len);
+      tx.commit();
+    }
+    for (auto* p : live) {
+      if (!p->linked) continue;
+      if (p->ins->val_size_ > 0) {
+        pool_->check_publish(p->ins->val_off_, p->ins->val_size_);
+      }
+      pool_->check_publish(p->ins->node_off_,
+                           kNodeKey + p->ins->key_.size());
+    }
+
+    // Fence #2 — visibility: one 8-byte head store per touched bucket plus
+    // the count bump, all flushed together under a second single drain.
+    std::vector<std::pair<std::uint64_t, std::size_t>> vis;
+    for (const auto& [slot, head] : shadow_head) {
+      if (head == orig_head.find(slot)->second) continue;  // all discarded
+      pool_->write(slot, &head, sizeof(head));
+      vis.emplace_back(slot, sizeof(head));
+    }
+    if (fresh_links != 0) {
+      std::lock_guard clk(*count_mu_);
+      auto hdr = pool_->get<TableHeader>(hoff_);
+      const std::uint64_t count = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(hdr.count) + fresh_links);
+      pool_->write(hoff_ + offsetof(TableHeader, count), &count,
+                   sizeof(count));
+      vis.emplace_back(hoff_ + offsetof(TableHeader, count), sizeof(count));
+    }
+    flush_coalesced(*pool_, vis);
+    pool_->drain();
+
+    // The new chains are durable and visible; unlink the superseded
+    // duplicates they shadow (same discipline as single publish(): a crash
+    // in between leaves a benign shadowed duplicate the head entry wins).
+    for (const auto& r : replaces) {
+      std::uint64_t prev = 0;
+      std::uint64_t cur = pool_->get<std::uint64_t>(r.slot);
+      while (cur != 0 && cur != r.old_node) {
+        prev = cur;
+        cur = pool_->get<std::uint64_t>(cur + kNodeNext);
+      }
+      if (cur == 0) continue;
+      const std::uint64_t old_next =
+          pool_->get<std::uint64_t>(r.old_node + kNodeNext);
+      if (prev == 0) {
+        pool_->set<std::uint64_t>(r.slot, old_next);
+      } else {
+        pool_->set<std::uint64_t>(prev + kNodeNext, old_next);
+      }
+      const auto old_val = pool_->get<std::uint64_t>(r.old_node + kNodeValOff);
+      pool_->free(r.old_node);
+      if (old_val != 0) pool_->free(old_val);
+    }
+  }
+
+  // Discarded reservations were never linked: plain frees suffice.
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (!discard[i]) continue;
+    Inserter& ins = *live[i]->ins;
+    pool_->free(ins.node_off_);
+    if (ins.val_off_ != 0) pool_->free(ins.val_off_);
+  }
+
+  stripe_guard.release();
+
+  // Checker scopes were already closed (at stage time or by the fallback
+  // above); only mark the reservations consumed so their destructors
+  // neither free nor pop anything.
+  for (auto* p : live) p->ins->published_ = true;
+
+  if (fresh_links > 0) maybe_grow();
 }
 
 }  // namespace pmemcpy::obj

@@ -234,9 +234,22 @@ void Pool::set_root(std::uint64_t off) {
 // Allocator
 // ---------------------------------------------------------------------------
 
+void Pool::charge_queue_delay() const {
+  // Deterministic stand-in for lock contention: rank clocks drift apart and
+  // resynchronise only at collectives, so modelling an actual wait on
+  // another rank's (possibly lagging) simulated clock would be unsound.
+  // Instead every metadata op is charged the expected queueing share.
+  if (contenders_ <= 1) return;
+  auto& c = sim::ctx();
+  c.advance(static_cast<double>(contenders_ - 1) *
+                c.model().pmem.pool_op_queue_cost,
+            sim::Charge::kOther);
+}
+
 std::uint64_t Pool::alloc(std::size_t bytes) {
   if (bytes == 0) bytes = 1;
   std::lock_guard lk(*alloc_mu_);
+  charge_queue_delay();
   dev_->check_tx_begin("pool.alloc");
   try {
     const std::uint64_t off = alloc_locked(bytes);
@@ -351,6 +364,7 @@ std::uint64_t Pool::alloc_locked(std::size_t bytes) {
 void Pool::free(std::uint64_t off) {
   if (off == 0) return;
   std::lock_guard lk(*alloc_mu_);
+  charge_queue_delay();
   dev_->check_tx_begin("pool.free");
   struct ScopeGuard {
     pmem::Device* dev;
@@ -734,6 +748,14 @@ void Transaction::snapshot(std::uint64_t off, std::size_t len) {
   // Only after the entry is durable does it become visible.
   pool_->set<std::uint64_t>(lo, used + entry);
   ranges_.emplace_back(off, len);
+  snapshotted_ = true;
+}
+
+void Transaction::reserve(std::uint64_t off, std::size_t len) {
+  if (committed_) throw PoolError("Transaction: reserve after commit");
+  if (len == 0) return;
+  pool_->check_off(off, len);
+  ranges_.emplace_back(off, len);
 }
 
 void Transaction::commit() {
@@ -766,11 +788,15 @@ void Transaction::commit() {
   // cache, a crash would re-expose the stale undo entries and recovery
   // would roll this committed transaction back.  (test_faults can skip the
   // persist to let the crash matrix demonstrate exactly that bug.)
-  const std::uint64_t lo = pool_->lane_off(lane_);
-  const std::uint64_t zero = 0;
-  pool_->write(lo, &zero, sizeof(zero));
-  if (!pool_->test_faults_.skip_lane_zero_persist) {
-    pool_->persist(lo, sizeof(zero));
+  // Reservation-only transactions never touched the lane, so there is no
+  // log to retire and the flush+fence above is the whole commit.
+  if (snapshotted_) {
+    const std::uint64_t lo = pool_->lane_off(lane_);
+    const std::uint64_t zero = 0;
+    pool_->write(lo, &zero, sizeof(zero));
+    if (!pool_->test_faults_.skip_lane_zero_persist) {
+      pool_->persist(lo, sizeof(zero));
+    }
   }
   pool_->dev_->check_tx_commit();
   committed_ = true;
