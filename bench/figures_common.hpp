@@ -16,10 +16,12 @@
 
 #include <miniio/miniio.hpp>
 #include <pmemcpy/pmemcpy.hpp>
+#include <pmemcpy/trace/trace.hpp>
 #include <pmemcpy/workload/domain3d.hpp>
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -120,13 +122,43 @@ inline pmemcpy::Config pmcpy_config(IoLib lib, PmemNode& node) {
   return cfg;
 }
 
+/// When tracing is on, print the per-phase decomposition of the slowest
+/// rank's "fig.rank" span recorded after @p watermark: one row per charged
+/// sim::Charge category (the phases a put decomposes into — serialize/copy,
+/// pmem write, persist barriers, ...), summing to the span's wall time.
+inline void print_phase_breakdown(const char* what, IoLib lib,
+                                  std::uint64_t watermark) {
+  namespace trace = pmemcpy::trace;
+  if (!trace::enabled()) return;
+  const auto spans = trace::snapshot();
+  const trace::SpanData* crit = nullptr;
+  for (const auto& s : spans) {
+    if (s.id <= watermark || std::strcmp(s.name, "fig.rank") != 0) continue;
+    if (crit == nullptr || s.duration_ns() > crit->duration_ns()) crit = &s;
+  }
+  if (crit == nullptr) return;
+  std::printf("phase,%s,%s,rank%d", what, name(lib), crit->rank);
+  double attributed = 0.0;
+  for (int c = 0; c < trace::kNumChargeKinds; ++c) {
+    const double sec = crit->charge_sec[c];
+    if (sec <= 0.0) continue;
+    attributed += sec;
+    std::printf(",%s=%.6f",
+                trace::charge_name(static_cast<pmemcpy::sim::Charge>(c)), sec);
+  }
+  std::printf(",attributed=%.6f,wall=%.6f\n", attributed,
+              static_cast<double>(crit->duration_ns()) * 1e-9);
+}
+
 /// One timed collective write of all variables; returns critical-path
 /// simulated seconds measured from open/mmap to close (paper §4.1).
 inline double run_write(IoLib lib, PmemNode& node,
                         const wk::Decomposition& dec, int nvars, int nranks) {
   node.device().reset_page_touches();
+  const std::uint64_t watermark = pmemcpy::trace::high_span_id();
   auto result = pmemcpy::par::Runtime::run(
       nranks, [&](pmemcpy::par::Comm& comm) {
+        pmemcpy::trace::Span rank_span("fig.rank");
         const Box& mine =
             dec.rank_boxes[static_cast<std::size_t>(comm.rank())];
         // Generate outside the measured window (sim clock only advances on
@@ -157,6 +189,7 @@ inline double run_write(IoLib lib, PmemNode& node,
           w->close();
         }
       });
+  print_phase_breakdown("write", lib, watermark);
   return result.max_time;
 }
 
@@ -164,8 +197,10 @@ inline double run_write(IoLib lib, PmemNode& node,
 inline double run_read(IoLib lib, PmemNode& node, const wk::Decomposition& dec,
                        int nvars, int nranks, bool verify) {
   node.device().reset_page_touches();
+  const std::uint64_t watermark = pmemcpy::trace::high_span_id();
   auto result = pmemcpy::par::Runtime::run(
       nranks, [&](pmemcpy::par::Comm& comm) {
+        pmemcpy::trace::Span rank_span("fig.rank");
         const Box& mine =
             dec.rank_boxes[static_cast<std::size_t>(comm.rank())];
         std::vector<double> buf(mine.elements());
@@ -195,6 +230,7 @@ inline double run_read(IoLib lib, PmemNode& node, const wk::Decomposition& dec,
                                    ": verification failed");
         }
       });
+  print_phase_breakdown("read", lib, watermark);
   return result.max_time;
 }
 

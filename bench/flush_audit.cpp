@@ -17,6 +17,7 @@
 #include <pmemcpy/fs/filesystem.hpp>
 #include <pmemcpy/obj/hashtable.hpp>
 #include <pmemcpy/obj/plist.hpp>
+#include <pmemcpy/trace/trace.hpp>
 
 #include <cstdint>
 #include <cstdio>
@@ -48,7 +49,33 @@ Report report_delta(const Report& before, Report after) {
   after.flush_ops -= before.flush_ops;
   after.lines_flushed -= before.lines_flushed;
   after.fence_ops -= before.fence_ops;
+  // The lint tallies must be deltas too: the ht-batch phases share one
+  // device, so without these a stage-phase lint would leak into the
+  // commit-phase row.
+  after.clean_flushes -= before.clean_flushes;
+  after.duplicate_flushes -= before.duplicate_flushes;
+  after.empty_fences -= before.empty_fences;
+  after.correctness_violations -= before.correctness_violations;
   return after;
+}
+
+/// One phase delta as a trace-schema counter row (the first eight trace
+/// counters mirror check::Report field-for-field).
+void delta_to_row(
+    const Report& d,
+    std::uint64_t (&row)[static_cast<int>(
+        pmemcpy::trace::Counter::kNumCounters)]) {
+  using pmemcpy::trace::Counter;
+  for (auto& v : row) v = 0;
+  row[static_cast<int>(Counter::kStoreOps)] = d.store_ops;
+  row[static_cast<int>(Counter::kFlushOps)] = d.flush_ops;
+  row[static_cast<int>(Counter::kLinesFlushed)] = d.lines_flushed;
+  row[static_cast<int>(Counter::kFenceOps)] = d.fence_ops;
+  row[static_cast<int>(Counter::kCleanFlushes)] = d.clean_flushes;
+  row[static_cast<int>(Counter::kDuplicateFlushes)] = d.duplicate_flushes;
+  row[static_cast<int>(Counter::kEmptyFences)] = d.empty_fences;
+  row[static_cast<int>(Counter::kCorrectnessViolations)] =
+      d.correctness_violations;
 }
 
 /// Runs @p fn on a fresh checked device and records the traffic delta.
@@ -69,15 +96,14 @@ bool write_json(const char* path) {
   }
   std::fprintf(f, "[\n");
   for (std::size_t i = 0; i < phases.size(); ++i) {
-    const auto& d = phases[i].delta;
-    std::fprintf(f,
-                 "{\"phase\": \"%s\", \"store_ops\": %llu, \"flush_ops\": "
-                 "%llu, \"lines_flushed\": %llu, \"fence_ops\": %llu}%s\n",
-                 phases[i].name.c_str(),
-                 static_cast<unsigned long long>(d.store_ops),
-                 static_cast<unsigned long long>(d.flush_ops),
-                 static_cast<unsigned long long>(d.lines_flushed),
-                 static_cast<unsigned long long>(d.fence_ops),
+    // Serialise through the shared trace counter schema: the first four
+    // fields stay in the exact layout check_baseline()'s sscanf expects,
+    // and lint tallies ride along as nonzero-only extras.
+    std::uint64_t row[static_cast<int>(
+        pmemcpy::trace::Counter::kNumCounters)];
+    delta_to_row(phases[i].delta, row);
+    std::fprintf(f, "{\"phase\": \"%s\", %s}%s\n", phases[i].name.c_str(),
+                 pmemcpy::trace::schema_fields(row).c_str(),
                  i + 1 < phases.size() ? "," : "");
   }
   std::fprintf(f, "]\n");

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 verification: lint, then build + full test suite in three configs —
-# plain Release, AddressSanitizer + UBSan (PMEMCPY_SANITIZE), and the
+# Tier-1 verification: lint, then build + full test suite in four configs —
+# plain Release, AddressSanitizer + UBSan (PMEMCPY_SANITIZE), the
 # persistency-order checker build (PMEMCPY_PERSIST_CHECK, with violations
-# fatal so any unconsumed finding fails the suite).
+# fatal so any unconsumed finding fails the suite), and the tracing build
+# (PMEMCPY_TRACE, every test with the observability layer recording).
 #
 #   ./ci.sh            # all configs
 #   ./ci.sh release    # release only
 #   ./ci.sh sanitize   # sanitizers only
 #   ./ci.sh checker    # persist-checker config only
+#   ./ci.sh trace      # tracing-enabled config only
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -37,6 +39,14 @@ run_checker_config() {
     run_config checker -DCMAKE_BUILD_TYPE=Release -DPMEMCPY_PERSIST_CHECK=ON
 }
 
+run_trace_config() {
+  # Spans are pure observers of the simulated clock, so this config also
+  # proves that recording changes no timing, flush or fence number: the
+  # flush-audit baseline gate inside run_config runs with tracing live.
+  CTEST_ENV="PMEMCPY_TRACE=1" \
+    run_config trace -DCMAKE_BUILD_TYPE=Release -DPMEMCPY_TRACE=ON
+}
+
 what="${1:-all}"
 
 case "${what}" in
@@ -49,13 +59,17 @@ case "${what}" in
   checker)
     run_checker_config
     ;;
+  trace)
+    run_trace_config
+    ;;
   all)
     run_config release -DCMAKE_BUILD_TYPE=Release
     run_config sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPMEMCPY_SANITIZE=ON
     run_checker_config
+    run_trace_config
     ;;
   *)
-    echo "usage: $0 [release|sanitize|checker|all]" >&2
+    echo "usage: $0 [release|sanitize|checker|trace|all]" >&2
     exit 2
     ;;
 esac

@@ -36,9 +36,10 @@ int main() {
                  mine.count.data());
       if (comm.rank() == 0) pmem.store("epoch", std::int64_t{12});
       comm.barrier();
-      const double pmem_done = pmemcpy::sim::ctx().now();
 
       // Rank 0 triggers the asynchronous drain; everyone computes on.
+      // DrainReport.started_at is rank 0's clock at the drain call (right
+      // after the barrier), i.e. when the PMEM write phase ended.
       pmemcpy::bb::DrainReport report;
       if (comm.rank() == 0) {
         pmemcpy::bb::BurstBuffer bb(pfs);
@@ -47,7 +48,7 @@ int main() {
                     "background (PMEM write phase took %.4f s)\n",
                     report.entries,
                     static_cast<double>(report.bytes) / (1 << 20),
-                    report.duration(), pmem_done);
+                    report.duration(), report.started_at);
         // Only when the data must be durable on the PFS does anyone wait.
         pmemcpy::bb::BurstBuffer::wait(report);
       }

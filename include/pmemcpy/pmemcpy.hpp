@@ -34,6 +34,7 @@
 #include <pmemcpy/serial/binary.hpp>
 #include <pmemcpy/serial/bp4.hpp>
 #include <pmemcpy/serial/filter.hpp>
+#include <pmemcpy/trace/trace.hpp>
 
 #include <array>
 #include <cstdint>
@@ -182,6 +183,7 @@ class PMEM {
     /// Publish everything staged and close the scope.
     void commit() {
       if (owner_ == nullptr) return;
+      trace::Span span("core.batch_commit");
       if (owner_->open_batch_) owner_->open_batch_->commit();
       owner_->open_batch_.reset();
       owner_ = nullptr;
@@ -213,6 +215,7 @@ class PMEM {
   /// std::vector of those, or a struct with a `serialize(Ar&)` member.
   template <typename T>
   void store(const std::string& id, const T& data) {
+    trace::Span span("core.put");
     // One-pass sizing: the archive payload is serialized into a stack
     // buffer; small entries (the common case) are then copied out of it
     // instead of being serialized a second time.  An overflow still yields
@@ -231,6 +234,7 @@ class PMEM {
         id, hdr + payload,
         detail::pack_meta(detail::EntryKind::kScalar, dtype, ser));
     const auto emit = [&](serial::Sink& sink) {
+      trace::Span serialize_span("core.serialize");
       detail::write_blob_header(sink, ser, dtype, payload, {}, {});
       if (stage.captured()) {
         sink.write(stage.bytes().data(), stage.bytes().size());
@@ -255,6 +259,7 @@ class PMEM {
 
   template <typename T>
   void load(const std::string& id, T& data) {
+    trace::Span span("core.get");
     auto entry = engine_ref().find(id);
     if (!entry) throw KeyError(id);
     const auto info = entry->info();
@@ -312,6 +317,7 @@ class PMEM {
   template <typename T>
   void store(const std::string& id, const T* data, int ndims,
              const std::size_t* offsets, const std::size_t* dimspp) {
+    trace::Span span("core.put");
     const auto nd = static_cast<std::size_t>(ndims);
     Box box(Dimensions(offsets, offsets + nd),
             Dimensions(dimspp, dimspp + nd));
@@ -355,10 +361,13 @@ class PMEM {
           detail::pack_meta(detail::EntryKind::kPiece, dtype, ser,
                             cfg_.filter));
       serial::ChecksumSink cs(put->sink());
-      detail::write_blob_header(cs, ser, dtype, payload, global, box);
-      const std::uint64_t enc_size = enc.size();
-      cs.write(&enc_size, sizeof(enc_size));
-      cs.write(enc.data(), enc.size());
+      {
+        trace::Span serialize_span("core.serialize");
+        detail::write_blob_header(cs, ser, dtype, payload, global, box);
+        const std::uint64_t enc_size = enc.size();
+        cs.write(&enc_size, sizeof(enc_size));
+        cs.write(enc.data(), enc.size());
+      }
       put->commit(cs.crc());
       group.commit();
       invalidate_piece_cache(id);
@@ -369,6 +378,7 @@ class PMEM {
         detail::piece_key(id, box), hdr + payload,
         detail::pack_meta(detail::EntryKind::kPiece, dtype, ser));
     const auto emit = [&](serial::Sink& sink) {
+      trace::Span serialize_span("core.serialize");
       detail::write_blob_header(sink, ser, dtype, payload, global, box);
       sink.write(data, payload);
     };
@@ -394,6 +404,7 @@ class PMEM {
   template <typename T>
   void load(const std::string& id, T* data, int ndims,
             const std::size_t* offsets, const std::size_t* dimspp) {
+    trace::Span span("core.get");
     const auto nd = static_cast<std::size_t>(ndims);
     Box want(Dimensions(offsets, offsets + nd),
              Dimensions(dimspp, dimspp + nd));

@@ -47,6 +47,15 @@ class Context {
   [[nodiscard]] double now() const noexcept { return now_; }
   /// Force the clock (used by collectives to synchronise to a max).
   void set_now(double t) noexcept { now_ = t; }
+  /// Jump forward to @p t, attributing the wait to @p why.  Unlike
+  /// set_now(), the skipped time stays visible in charged(), so span
+  /// charge-category deltas keep summing to wall time across collectives.
+  void sync_to(double t, Charge why) noexcept {
+    if (t > now_) {
+      charged_[static_cast<int>(why)] += t - now_;
+      now_ = t;
+    }
+  }
   void advance(double seconds, Charge why = Charge::kOther) noexcept {
     now_ += seconds;
     charged_[static_cast<int>(why)] += seconds;

@@ -6,6 +6,11 @@
 #   [pmemcpy-persist-check] store_ops=... flush_ops=... fence_ops=... ...
 # line with the flush/fence-efficiency counters for that bench, so redundant
 # CLWB/SFENCE traffic shows up next to the timing numbers it explains.
+#
+# Tracing rides along (PMEMCPY_TRACE=<bench>.trace.json): each bench writes
+# a Chrome trace_event JSON next to its binary plus a .stats.json in the
+# same counter schema as the checker line and `flush_audit --json`, and the
+# stats are echoed after the bench output.
 PMEMCPY_PERSIST_CHECK=1
 export PMEMCPY_PERSIST_CHECK
 for b in build/bench/*; do
@@ -13,6 +18,11 @@ for b in build/bench/*; do
   echo "===================================================================="
   echo "== $b"
   echo "===================================================================="
-  "$b" || echo "BENCH FAILED: $b"
+  PMEMCPY_TRACE="$b.trace.json" "$b" || echo "BENCH FAILED: $b"
+  if [ -f "$b.trace.json.stats.json" ]; then
+    echo "-- trace stats ($b.trace.json.stats.json)"
+    cat "$b.trace.json.stats.json"
+    echo
+  fi
   echo
 done

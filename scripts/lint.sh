@@ -13,6 +13,16 @@
 #   A tests/*_test.cpp that is not listed in tests/CMakeLists.txt silently
 #   never runs in CI.
 #
+# Rule 4 — raw simulated-clock reads stay in the time layers.
+#   sim::ctx().now() is the raw clock; reading it ad hoc produces timing
+#   numbers that bypass the trace layer's span attribution and drift from
+#   the exported reports.  Only the sim/trace layers themselves, the
+#   parallel runtime (collectives must compare rank clocks) and the
+#   burst-buffer drain model (its DrainReport *is* the sanctioned
+#   timestamp carrier) may read it; everything else takes timestamps from
+#   trace spans or a DrainReport.  Tests are exempt (they assert on the
+#   clock on purpose).
+#
 # Rule 3 — the core data path talks to storage through the engine layer.
 #   obj::HashTable and fs::FileSystem are engine implementation details;
 #   naming them in src/core/ or include/pmemcpy/core/pmemcpy.hpp would
@@ -48,6 +58,18 @@ while IFS= read -r file; do
 done < <(grep -rl 'obj::HashTable\|fs::FileSystem' \
            --include='*.cpp' --include='*.hpp' \
            src include 2>/dev/null || true)
+
+# --- Rule 4: raw sim clock reads confined to the time layers -----------------
+clock_ok='^(src/simtime/|src/trace/|src/par/|src/pfs/|include/pmemcpy/sim/|include/pmemcpy/trace/)'
+while IFS= read -r file; do
+  if ! [[ "$file" =~ $clock_ok ]]; then
+    echo "lint: raw sim clock read outside sim/trace layers: $file" >&2
+    grep -n '\.now()' "$file" | head -5 >&2
+    fail=1
+  fi
+done < <(grep -rl '\.now()' \
+           --include='*.cpp' --include='*.hpp' \
+           src include bench examples 2>/dev/null || true)
 
 # --- Rule 2: every tests/*_test.cpp registered in tests/CMakeLists.txt -------
 for t in tests/*_test.cpp; do

@@ -123,6 +123,7 @@ std::string fs_root_for(const std::string& filename) {
 }  // namespace
 
 void PMEM::do_mmap(const std::string& filename, par::Comm* comm) {
+  trace::Span span("core.mmap");
   if (engine_) throw StateError("pmemcpy: already mapped");
   node_ = cfg_.node != nullptr ? cfg_.node : PmemNode::default_node();
   if (node_ == nullptr) {
@@ -300,6 +301,7 @@ void PMEM::remove(const std::string& id) {
 }
 
 ScrubReport PMEM::scrub() {
+  trace::Span span("core.scrub");
   auto& st = engine_ref();
   ScrubReport rep;
   std::vector<std::string> keys;

@@ -10,6 +10,7 @@
 // leave every shard using only 1/S of its buckets.  splitmix64 over the
 // key hash gives an independent, stable second hash.
 #include <pmemcpy/engine/engine.hpp>
+#include <pmemcpy/trace/trace.hpp>
 
 #include <utility>
 #include <vector>
@@ -54,6 +55,9 @@ class ShardedBatch final : public Engine::Batch {
   }
 
   void commit() override {
+    // Counters come from the per-shard sub-batches; this span only records
+    // the fan-out so the trace shows one sharded commit nesting S children.
+    trace::Span span("engine.sharded_commit");
     for (auto& b : sub_) {
       if (b) b->commit();
     }

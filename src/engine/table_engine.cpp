@@ -5,6 +5,7 @@
 #include <pmemcpy/engine/engine.hpp>
 #include <pmemcpy/obj/hashtable.hpp>
 #include <pmemcpy/obj/pool.hpp>
+#include <pmemcpy/trace/trace.hpp>
 
 #include <utility>
 #include <vector>
@@ -111,11 +112,17 @@ class TableBatch final : public Engine::Batch {
   std::unique_ptr<Engine::PutHandle> put(const std::string& key,
                                          std::size_t size, std::uint64_t meta,
                                          bool keep_existing) override {
+    trace::Span span("engine.put");
+    trace::count(trace::Counter::kEnginePuts);
     return std::make_unique<TableBatchPut>(
         st_, st_->table->reserve(key, size, meta), keep_existing);
   }
 
   void commit() override {
+    trace::Span span("engine.batch_commit");
+    trace::count(trace::Counter::kBatchCommits);
+    trace::observe(trace::Hist::kBatchSize,
+                   static_cast<double>(st_->staged.size()));
     std::vector<obj::HashTable::GroupPut> group;
     group.reserve(st_->staged.size());
     for (auto& s : st_->staged) {
@@ -140,11 +147,15 @@ class TableEngine final : public Engine {
   std::unique_ptr<PutHandle> put(const std::string& key, std::size_t size,
                                  std::uint64_t meta,
                                  bool keep_existing) override {
+    trace::Span span("engine.put");
+    trace::count(trace::Counter::kEnginePuts);
     return std::make_unique<TablePut>(table_->reserve(key, size, meta),
                                       keep_existing);
   }
 
   std::unique_ptr<Entry> find(const std::string& key) override {
+    trace::Span span("engine.get");
+    trace::count(trace::Counter::kEngineGets);
     auto ref = table_->find(key);
     if (!ref) return nullptr;
     return std::make_unique<TableEntry>(pool_, *ref);

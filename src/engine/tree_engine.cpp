@@ -10,6 +10,7 @@
 // batching only buys the deferred-visibility semantics of the contract.
 #include <pmemcpy/engine/engine.hpp>
 #include <pmemcpy/fs/filesystem.hpp>
+#include <pmemcpy/trace/trace.hpp>
 
 #include <atomic>
 #include <utility>
@@ -189,12 +190,18 @@ class TreeBatch final : public Engine::Batch {
   std::unique_ptr<Engine::PutHandle> put(const std::string& key,
                                          std::size_t size, std::uint64_t meta,
                                          bool keep_existing) override {
+    trace::Span span("engine.put");
+    trace::count(trace::Counter::kEnginePuts);
     return std::make_unique<TreeBatchPut>(
         st_, make_pending(*st_->fs, root_, key, size, meta, keep_existing,
                           map_sync_));
   }
 
   void commit() override {
+    trace::Span span("engine.batch_commit");
+    trace::count(trace::Counter::kBatchCommits);
+    trace::observe(trace::Hist::kBatchSize,
+                   static_cast<double>(st_->staged.size()));
     for (auto& p : st_->staged) tree_finalize(*st_->fs, p);
     st_->staged.clear();
   }
@@ -217,12 +224,16 @@ class TreeEngine final : public Engine {
   std::unique_ptr<PutHandle> put(const std::string& key, std::size_t size,
                                  std::uint64_t meta,
                                  bool keep_existing) override {
+    trace::Span span("engine.put");
+    trace::count(trace::Counter::kEnginePuts);
     return std::make_unique<TreePut>(
         *fs_, make_pending(*fs_, root_, key, size, meta, keep_existing,
                            map_sync_));
   }
 
   std::unique_ptr<Entry> find(const std::string& key) override {
+    trace::Span span("engine.get");
+    trace::count(trace::Counter::kEngineGets);
     const std::string path = root_ + "/" + key;
     if (!fs_->exists(path)) return nullptr;
     auto f = fs_->open(path, fs::OpenMode::kRead);

@@ -1,5 +1,7 @@
 #include <pmemcpy/par/comm.hpp>
 
+#include <pmemcpy/trace/trace.hpp>
+
 #include <algorithm>
 #include <cmath>
 #include <condition_variable>
@@ -107,7 +109,11 @@ void barrier_sync(State& st) {
   }
   const double t = st.current_max;
   lk.unlock();
-  c.set_now(t + barrier_cost(c));
+  // The wait for slower ranks is time spent blocked in the transport:
+  // sync_to() keeps it attributed (Charge::kNetwork) instead of silently
+  // jumping the clock, so traced spans still account for every second.
+  c.sync_to(t, sim::Charge::kNetwork);
+  c.advance(barrier_cost(c), sim::Charge::kNetwork);
 }
 
 }  // namespace
@@ -116,7 +122,10 @@ void barrier_sync(State& st) {
 using detail::barrier_sync;
 using detail::charge_net;
 
-void Comm::barrier() { barrier_sync(*state_); }
+void Comm::barrier() {
+  trace::Span span("par.barrier");
+  barrier_sync(*state_);
+}
 
 void Comm::bcast(void* data, std::size_t bytes, int root) {
   auto& st = *state_;
@@ -329,7 +338,7 @@ void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
     throw std::invalid_argument("recv: size mismatch");
   }
   std::memcpy(data, msg.data.data(), bytes);
-  if (msg.sender_time > c.now()) c.set_now(msg.sender_time);
+  c.sync_to(msg.sender_time, sim::Charge::kNetwork);
   charge_net(c, bytes);
 }
 

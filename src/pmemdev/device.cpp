@@ -1,6 +1,7 @@
 #include <pmemcpy/pmem/device.hpp>
 
 #include <pmemcpy/check/persist_checker.hpp>
+#include <pmemcpy/trace/trace.hpp>
 
 #include <cstdio>
 #include <cstdlib>
@@ -69,6 +70,14 @@ Device::~Device() {
   if (!checker_) return;
   const check::Report rep = checker_->report();
   check::accumulate_global(rep);
+  // Lint tallies only exist as report fields (the traffic counters are
+  // counted live); fold them into the trace registry at the same point
+  // they reach the global checker counters.
+  trace::count(trace::Counter::kCleanFlushes, rep.clean_flushes);
+  trace::count(trace::Counter::kDuplicateFlushes, rep.duplicate_flushes);
+  trace::count(trace::Counter::kEmptyFences, rep.empty_fences);
+  trace::count(trace::Counter::kCorrectnessViolations,
+               rep.correctness_violations);
   if (!rep.ok()) {
     std::fprintf(stderr, "pmem::Device: unconsumed persistency violations:\n%s",
                  rep.to_string().c_str());
@@ -123,6 +132,7 @@ void Device::write(std::size_t off, const void* src, std::size_t len) {
                                    c.shared_bw(pm.write_stream_bw,
                                                pm.write_total_bw),
             sim::Charge::kPmemWrite);
+  trace::count(trace::Counter::kBytesWritten, len);
   std::lock_guard lk(mu_);
   bytes_written_ += len;
 }
@@ -137,6 +147,7 @@ void Device::read(std::size_t off, void* dst, std::size_t len) const {
                                   c.shared_bw(pm.read_stream_bw,
                                               pm.read_total_bw),
             sim::Charge::kPmemRead);
+  trace::count(trace::Counter::kBytesRead, len);
   std::lock_guard lk(mu_);
   bytes_read_ += len;
 }
@@ -152,6 +163,7 @@ void Device::fill(std::size_t off, std::size_t len, std::byte value) {
                                    c.shared_bw(pm.write_stream_bw,
                                                pm.write_total_bw),
             sim::Charge::kPmemWrite);
+  trace::count(trace::Counter::kBytesWritten, len);
   std::lock_guard lk(mu_);
   bytes_written_ += len;
 }
@@ -188,6 +200,10 @@ void Device::persist(std::size_t off, std::size_t len) {
     // The implicit fence also drains any earlier unfenced flush() calls.
     drain_flush_pending_locked();
   }
+  trace::count(trace::Counter::kPersistOps);
+  trace::count(trace::Counter::kFlushOps);
+  trace::count(trace::Counter::kLinesFlushed, last - first);
+  trace::count(trace::Counter::kFenceOps);
   if (checker_) {
     checker_->on_flush(off, len, op);
     checker_->on_fence(op);
@@ -224,6 +240,9 @@ void Device::flush(std::size_t off, std::size_t len) {
       std::memcpy(img.data(), data_.get() + line * kCacheLine, kCacheLine);
     }
   }
+  trace::count(trace::Counter::kPersistOps);
+  trace::count(trace::Counter::kFlushOps);
+  trace::count(trace::Counter::kLinesFlushed, last - first);
   if (checker_) checker_->on_flush(off, len, op);
 }
 
@@ -245,6 +264,8 @@ void Device::drain() {
     std::lock_guard lk(mu_);
     drain_flush_pending_locked();
   }
+  trace::count(trace::Counter::kPersistOps);
+  trace::count(trace::Counter::kFenceOps);
   if (checker_) checker_->on_fence(op);
 }
 
@@ -268,6 +289,7 @@ void Device::drain_flush_pending_locked() {
 void Device::note_write(std::size_t off, std::size_t len) {
   if (len == 0 || frozen()) return;
   check_range(off, len);
+  trace::count(trace::Counter::kStoreOps);
   if (checker_) checker_->on_store(off, len);
   if (!crash_shadow_) return;
   const std::size_t first = off / kCacheLine;
@@ -313,6 +335,7 @@ void Device::charge_dax_write(std::size_t off, std::size_t len,
   if (map_sync) bw *= m.pmem.map_sync_write_bw_factor;
   c.advance(m.pmem.write_latency + static_cast<double>(len) / bw,
             sim::Charge::kPmemWrite);
+  trace::count(trace::Counter::kBytesWritten, len);
   std::lock_guard lk(mu_);
   bytes_written_ += len;
 }
@@ -324,6 +347,7 @@ void Device::charge_dax_read(std::size_t len, bool map_sync) const {
   if (map_sync) bw *= pm.map_sync_read_bw_factor;
   c.advance(pm.read_latency + static_cast<double>(len) / bw,
             sim::Charge::kPmemRead);
+  trace::count(trace::Counter::kBytesRead, len);
   std::lock_guard lk(mu_);
   bytes_read_ += len;
 }
@@ -349,6 +373,7 @@ void Device::apply_crash_locked() {
   // already covered by the shadow revert above.
   flush_pending_.clear();
   if (checker_) checker_->on_crash();
+  trace::on_crash();
 }
 
 void Device::simulate_crash() {

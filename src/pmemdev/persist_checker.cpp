@@ -82,8 +82,9 @@ std::string Report::to_string() const {
   std::ostringstream os;
   os << "persist-check: " << (ok() ? "OK" : "VIOLATIONS") << " — "
      << correctness_violations << " correctness, " << efficiency_violations
-     << " efficiency (stores=" << store_ops << " flushes=" << flush_ops
-     << " lines=" << lines_flushed << " fences=" << fence_ops << ")\n";
+     << " efficiency (store_ops=" << store_ops << " flush_ops=" << flush_ops
+     << " lines_flushed=" << lines_flushed << " fence_ops=" << fence_ops
+     << ")\n";
   for (const auto& f : findings) {
     os << "  [" << (violation_is_correctness(f.kind) ? "BUG " : "LINT")
        << "] " << violation_name(f.kind) << " line=" << f.line << " (off="

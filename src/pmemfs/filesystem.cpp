@@ -1,5 +1,7 @@
 #include <pmemcpy/fs/filesystem.hpp>
 
+#include <pmemcpy/trace/trace.hpp>
+
 #include <algorithm>
 #include <cstring>
 
@@ -681,6 +683,7 @@ void FileSystem::truncate(File f, std::uint64_t size) {
 
 void FileSystem::fsync(File f) {
   if (!f.valid()) throw FsError("fs: invalid file");
+  trace::Span span("fs.fsync");
   std::lock_guard lk(*mu_);
   sim::ctx().charge_syscall();
   // Flush the ranges dirtied through the POSIX path since the last fsync,

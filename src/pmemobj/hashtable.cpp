@@ -1,5 +1,7 @@
 #include <pmemcpy/obj/hashtable.hpp>
 
+#include <pmemcpy/trace/trace.hpp>
+
 #include <algorithm>
 #include <cstring>
 #include <map>
@@ -296,6 +298,7 @@ void HashTable::for_each_prefix(
 }
 
 void HashTable::rehash(std::size_t new_nbuckets) {
+  trace::Span span("ht.rehash");
   if (new_nbuckets == 0) new_nbuckets = 1;
   for (auto& m : *stripes_) m.lock();
   const auto hdr = pool_->get<TableHeader>(hoff_);
@@ -416,6 +419,7 @@ std::span<std::byte> HashTable::Inserter::value() {
 
 bool HashTable::Inserter::publish(bool keep_existing) {
   if (published_) return false;
+  trace::Span span("ht.publish");
   // Make the entry durable before it becomes reachable: one CLWB pass over
   // the value blob and the node (header + key), then a single fence.
   if (val_size_ > 0) table_->pool_->flush(val_off_, val_size_);
@@ -444,6 +448,7 @@ void HashTable::maybe_grow() {
 // ---------------------------------------------------------------------------
 
 void HashTable::publish_group(std::span<GroupPut> puts) {
+  trace::Span span("ht.publish_group");
   // Live = staged reservations this call actually owns (skip moved-from
   // shells and anything already published).
   std::vector<GroupPut*> live;

@@ -1,6 +1,7 @@
 #include <pmemcpy/obj/pool.hpp>
 
 #include <pmemcpy/crc32c.hpp>
+#include <pmemcpy/trace/trace.hpp>
 
 #include <algorithm>
 #include <array>
@@ -241,13 +242,18 @@ void Pool::charge_queue_delay() const {
   // Instead every metadata op is charged the expected queueing share.
   if (contenders_ <= 1) return;
   auto& c = sim::ctx();
-  c.advance(static_cast<double>(contenders_ - 1) *
-                c.model().pmem.pool_op_queue_cost,
-            sim::Charge::kOther);
+  const double delay = static_cast<double>(contenders_ - 1) *
+                       c.model().pmem.pool_op_queue_cost;
+  c.advance(delay, sim::Charge::kOther);
+  trace::observe(trace::Hist::kShardQueueDelay, delay);
 }
 
 std::uint64_t Pool::alloc(std::size_t bytes) {
   if (bytes == 0) bytes = 1;
+  trace::Span span("pool.alloc");
+  trace::count(trace::Counter::kAllocOps);
+  trace::count(trace::Counter::kAllocBytes, bytes);
+  trace::observe(trace::Hist::kAllocSize, static_cast<double>(bytes));
   std::lock_guard lk(*alloc_mu_);
   charge_queue_delay();
   dev_->check_tx_begin("pool.alloc");
@@ -363,6 +369,8 @@ std::uint64_t Pool::alloc_locked(std::size_t bytes) {
 
 void Pool::free(std::uint64_t off) {
   if (off == 0) return;
+  trace::Span span("pool.free");
+  trace::count(trace::Counter::kFreeOps);
   std::lock_guard lk(*alloc_mu_);
   charge_queue_delay();
   dev_->check_tx_begin("pool.free");
@@ -700,6 +708,8 @@ void Pool::release_tx_lane(int lane) {
 }
 
 void Pool::recover() {
+  trace::Span span("pool.recover");
+  trace::count(trace::Counter::kRecoveries);
   // Allocator undo first: an interrupted alloc/free must be rolled back
   // before anything else trusts the heap metadata.
   rollback_log(Layout::kAllocUndoOff, Layout::kAllocUndoOff + 8,
@@ -760,6 +770,8 @@ void Transaction::reserve(std::uint64_t off, std::size_t len) {
 
 void Transaction::commit() {
   if (committed_) return;
+  trace::Span span("tx.commit");
+  trace::count(trace::Counter::kTxCommits);
   // Make the mutated ranges durable with one CLWB pass and a single fence.
   // Ranges are coalesced to distinct cachelines first: overlapping
   // snapshots (or several snapshots on one line) used to pay a full

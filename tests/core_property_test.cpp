@@ -1,12 +1,18 @@
 // Property-style sweeps of the pMEMCPY core: random decompositions round-
 // trip for every dtype and rank count, overlapping reads assemble correctly,
-// and staged/direct modes agree bit-for-bit.
+// staged/direct modes agree bit-for-bit, and the trace layer's accounting
+// invariants hold over real workloads (span nesting, charge attribution,
+// counter/checker agreement).
+#include <pmemcpy/check/persist_checker.hpp>
 #include <pmemcpy/pmemcpy.hpp>
+#include <pmemcpy/trace/trace.hpp>
 #include <pmemcpy/workload/domain3d.hpp>
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
+#include <map>
 #include <random>
 
 namespace {
@@ -199,6 +205,164 @@ TEST(CoreCrash, PublishedEntriesSurviveUnpublishedDont) {
     EXPECT_FALSE(pmem.exists("half-written"));
     pmem.munmap();
   }
+}
+
+// --- trace-layer invariants over real workloads ------------------------------
+
+namespace trace = pmemcpy::trace;
+
+/// Arms tracing around a scope and restores the prior process-wide state.
+struct ScopedTrace {
+  ScopedTrace() : was(trace::enabled()) {
+    trace::set_enabled(true);
+    trace::reset();
+  }
+  ~ScopedTrace() {
+    trace::reset();
+    trace::set_enabled(was);
+  }
+  bool was;
+};
+
+/// A mixed serial workload touching every traced layer: scalar puts, a
+/// batched group, an array piece, loads and a scrub.
+void traced_workload(PmemNode& node) {
+  Config cfg;
+  cfg.node = &node;
+  PMEM pmem{cfg};
+  pmem.mmap("/traced");
+  pmem.store("s", 41);
+  {
+    auto b = pmem.batch();
+    pmem.store("a", std::int64_t{1});
+    pmem.store("b", std::string("group"));
+    b.commit();
+  }
+  std::vector<double> v(2048);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = double(i);
+  const std::size_t dims = v.size(), off = 0;
+  pmem.alloc<double>("arr", 1, &dims);
+  pmem.store("arr", v.data(), 1, &off, &dims);
+  EXPECT_EQ(pmem.load<int>("s"), 41);
+  std::vector<double> out(v.size());
+  pmem.load("arr", out.data(), 1, &off, &dims);
+  EXPECT_EQ(out, v);
+  EXPECT_TRUE(pmem.scrub().ok());
+  pmem.munmap();
+}
+
+TEST(TraceProperty, ChildSpanDurationsSumWithinParent) {
+  ScopedTrace armed;
+  // Multi-rank run: per-rank span stacks must nest independently.
+  namespace wk = pmemcpy::wk;
+  PmemNode node(node_opts());
+  const auto dec = wk::decompose(12 * 12 * 12, 4);
+  pmemcpy::par::Runtime::run(4, [&](pmemcpy::par::Comm& comm) {
+    const Box& mine = dec.rank_boxes[static_cast<std::size_t>(comm.rank())];
+    Config cfg;
+    cfg.node = &node;
+    PMEM pmem{cfg};
+    pmem.mmap("/nest", comm);
+    std::vector<double> buf;
+    wk::fill_box(buf, 0, dec.global, mine);
+    pmem.alloc<double>("f", dec.global);
+    pmem.store("f", buf.data(), 3, mine.offset.data(), mine.count.data());
+    comm.barrier();
+    std::vector<double> out(mine.elements());
+    pmem.load("f", out.data(), 3, mine.offset.data(), mine.count.data());
+    pmem.munmap();
+  });
+
+  const auto spans = trace::snapshot();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(trace::dropped_spans(), 0u);
+  std::map<std::uint64_t, std::int64_t> child_ns;
+  std::map<std::uint64_t, std::int64_t> child_count;
+  std::map<std::uint64_t, const trace::SpanData*> index;
+  for (const auto& s : spans) {
+    index[s.id] = &s;
+    EXPECT_GE(s.end_ns, s.start_ns) << s.name;
+    if (s.parent != 0) {
+      child_ns[s.parent] += s.duration_ns();
+      ++child_count[s.parent];
+    }
+  }
+  for (const auto& [id, sum] : child_ns) {
+    ASSERT_TRUE(index.count(id));
+    const trace::SpanData& parent = *index.at(id);
+    // Children run on the parent's thread inside the parent's window, so
+    // their durations sum to at most the parent's (± 1 ns integer rounding
+    // per child).
+    EXPECT_LE(sum, parent.duration_ns() + child_count[id])
+        << parent.name << " id=" << id;
+  }
+}
+
+TEST(TraceProperty, SpanChargeAttributionSumsToDuration) {
+  ScopedTrace armed;
+  PmemNode node(node_opts());
+  trace::reset();
+  traced_workload(node);
+  const auto spans = trace::snapshot();
+  ASSERT_FALSE(spans.empty());
+  for (const auto& s : spans) {
+    double attributed = 0.0;
+    for (int c = 0; c < trace::kNumChargeKinds; ++c) {
+      EXPECT_GE(s.charge_sec[c], 0.0) << s.name;
+      attributed += s.charge_sec[c];
+    }
+    // Every Context::advance() and sync_to() is categorised, so the
+    // per-category deltas reproduce the wall time (up to ns rounding of
+    // the two endpoint timestamps and float accumulation order).
+    EXPECT_NEAR(attributed, static_cast<double>(s.duration_ns()) * 1e-9,
+                1e-8)
+        << s.name;
+  }
+}
+
+TEST(TraceProperty, DeviceChargedTimeMatchesSpanAttribution) {
+  ScopedTrace armed;
+  PmemNode node(node_opts());
+  trace::reset();
+  auto& c = pmemcpy::sim::ctx();
+  double before[trace::kNumChargeKinds];
+  for (int i = 0; i < trace::kNumChargeKinds; ++i) {
+    before[i] = c.charged(static_cast<pmemcpy::sim::Charge>(i));
+  }
+  {
+    trace::Span outer("prop.outer");
+    traced_workload(node);
+  }
+  const auto spans = trace::snapshot();
+  const trace::SpanData* outer = nullptr;
+  for (const auto& s : spans) {
+    if (std::string_view(s.name) == "prop.outer") outer = &s;
+  }
+  ASSERT_NE(outer, nullptr);
+  // The simulated time the device (and every other module) charged to the
+  // context during the workload is exactly what the enclosing span
+  // attributes — the trace adds no time of its own and loses none.
+  for (int i = 0; i < trace::kNumChargeKinds; ++i) {
+    const auto why = static_cast<pmemcpy::sim::Charge>(i);
+    EXPECT_NEAR(outer->charge_sec[i], c.charged(why) - before[i], 1e-12)
+        << "charge category " << i;
+  }
+}
+
+TEST(TraceProperty, CounterTotalsMatchCheckerReport) {
+  ScopedTrace armed;
+  PmemNode node(node_opts());
+  node.device().enable_checker();
+  trace::reset();  // both tallies now start from the same instant
+  traced_workload(node);
+  const auto rep = node.device().checker()->report();
+  // The trace counters are incremented at exactly the device points that
+  // drive the persistency checker, so the two accountings must agree
+  // op-for-op.
+  EXPECT_EQ(trace::counter(trace::Counter::kStoreOps), rep.store_ops);
+  EXPECT_EQ(trace::counter(trace::Counter::kFlushOps), rep.flush_ops);
+  EXPECT_EQ(trace::counter(trace::Counter::kLinesFlushed), rep.lines_flushed);
+  EXPECT_EQ(trace::counter(trace::Counter::kFenceOps), rep.fence_ops);
 }
 
 TEST(CoreCrash, OverwriteTornByCrashKeepsOldValue) {

@@ -543,4 +543,75 @@ TEST(ScrubTest, DetectsBitrotAndMediaErrors) {
   EXPECT_EQ(p.load<std::string>("gamma"), "the quick brown fox");
 }
 
+// ---------------------------------------------------------------------------
+// Trace layer across power loss: spans open at the crash close carrying the
+// crashed flag, the registry resets to a clean epoch, and the recovery sweep
+// after revive/remount is itself traced.
+// ---------------------------------------------------------------------------
+
+TEST(CrashMatrixTrace, OpenSpansCrashMarkedAndRecoveryTraced) {
+  namespace trace = pmemcpy::trace;
+  const bool was_enabled = trace::enabled();
+  trace::set_enabled(true);
+  trace::reset();
+
+  pmemcpy::PmemNode node(node_opts());
+  auto& dev = node.device();
+  {
+    pmemcpy::PMEM p(make_cfg(node));
+    p.mmap(kPoolFile);
+    FaultPlan fp;
+    fp.crash_at_persist = dev.persist_ops() + 1;  // first persist of the put
+    dev.set_fault_plan(fp);
+    try {
+      p.store("alpha", 42);
+      ADD_FAILURE() << "store completed despite scheduled crash";
+    } catch (const CrashError&) {
+    }
+    ASSERT_TRUE(dev.frozen());
+  }
+
+  EXPECT_EQ(trace::counter(pmemcpy::trace::Counter::kCrashes), 1u);
+  bool put_crashed = false;
+  for (const auto& s : trace::snapshot()) {
+    // Spans that closed before the power loss keep crashed=false; the
+    // put that the crash cut through is flagged (and still closed
+    // normally as the CrashError unwound the stack).
+    if (std::string_view(s.name) == "core.put") {
+      EXPECT_TRUE(s.crashed);
+      EXPECT_GE(s.end_ns, s.start_ns);
+      put_crashed = true;
+    }
+    if (std::string_view(s.name) == "core.mmap") EXPECT_FALSE(s.crashed);
+  }
+  EXPECT_TRUE(put_crashed) << "no core.put span recorded at the crash";
+
+  // The registry survives the crash and resets to a clean epoch.
+  trace::reset();
+  EXPECT_TRUE(trace::snapshot().empty());
+  EXPECT_EQ(trace::counter(pmemcpy::trace::Counter::kCrashes), 0u);
+
+  // Recovery after revive/remount is traced like any other work.
+  dev.revive();
+  node.remount();
+  pmemcpy::PMEM p2(make_cfg(node));
+  p2.mmap(kPoolFile);
+  EXPECT_GE(trace::counter(pmemcpy::trace::Counter::kRecoveries), 1u);
+  bool recover_span = false;
+  for (const auto& s : trace::snapshot()) {
+    if (std::string_view(s.name) == "pool.recover") {
+      recover_span = true;
+      EXPECT_FALSE(s.crashed);
+      EXPECT_GE(s.end_ns, s.start_ns);
+    }
+  }
+  EXPECT_TRUE(recover_span) << "recovery sweep left no pool.recover span";
+  // The un-crashed put never published: the key must be absent, cleanly.
+  EXPECT_FALSE(p2.exists("alpha"));
+  p2.munmap();
+
+  trace::reset();
+  trace::set_enabled(was_enabled);
+}
+
 }  // namespace

@@ -1,0 +1,352 @@
+// Golden-trace coverage of pmemcpy::trace (DESIGN.md §9): a fixed serial
+// put/get/batch workload must produce the same span tree and counter values
+// on every run, both JSON exporters must emit structurally valid JSON in
+// the documented schema, and the disabled path must record nothing.
+//
+// Every test arms tracing explicitly (set_enabled + reset) and restores the
+// process-wide state afterwards, so the suite behaves identically under the
+// plain Release config and under ci.sh's trace config (PMEMCPY_TRACE=1,
+// where tracing is already on when main() starts).
+#include <pmemcpy/pmemcpy.hpp>
+#include <pmemcpy/trace/trace.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace trace = pmemcpy::trace;
+using pmemcpy::Config;
+using pmemcpy::PMEM;
+using pmemcpy::PmemNode;
+using trace::Counter;
+using trace::Hist;
+using trace::SpanData;
+
+/// Arms tracing for one test and restores the prior state on exit.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = trace::enabled();
+    trace::set_enabled(true);
+    trace::reset();
+  }
+  void TearDown() override {
+    trace::reset();
+    trace::set_enabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+PmemNode::Options node_opts() {
+  PmemNode::Options o;
+  o.capacity = 64ull << 20;
+  return o;
+}
+
+Config make_cfg(PmemNode& node) {
+  Config cfg;
+  cfg.node = &node;
+  cfg.auto_grow_table = false;  // keep the op sequence deterministic
+  return cfg;
+}
+
+/// The fixed golden workload: one direct put, one get, one 2-entry batch.
+void run_golden_workload(PmemNode& node) {
+  PMEM p{make_cfg(node)};
+  p.mmap("/trace.pool");
+  p.store("x", 7);
+  EXPECT_EQ(p.load<int>("x"), 7);
+  {
+    auto b = p.batch();
+    p.store("y", std::int64_t{1});
+    p.store("z", std::int64_t{2});
+    b.commit();
+  }
+  p.munmap();
+}
+
+std::map<std::uint64_t, SpanData> by_id(const std::vector<SpanData>& spans) {
+  std::map<std::uint64_t, SpanData> m;
+  for (const auto& s : spans) m[s.id] = s;
+  return m;
+}
+
+const SpanData* first_named(const std::vector<SpanData>& spans,
+                            const std::string& name) {
+  for (const auto& s : spans) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+std::size_t count_named(const std::vector<SpanData>& spans,
+                        const std::string& name) {
+  std::size_t n = 0;
+  for (const auto& s : spans) n += name == s.name ? 1 : 0;
+  return n;
+}
+
+/// Minimal structural JSON check: non-empty, balanced braces/brackets
+/// outside strings, no trailing garbage.  Not a full parser — enough to
+/// catch unquoted names, unterminated strings and comma slips.
+void expect_balanced_json(const std::string& js) {
+  ASSERT_FALSE(js.empty());
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : js) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      ASSERT_GE(depth, 0) << "unbalanced close in: " << js.substr(0, 120);
+    }
+  }
+  EXPECT_FALSE(in_string) << "unterminated string";
+  EXPECT_EQ(depth, 0) << "unbalanced JSON";
+}
+
+// --- golden span tree -------------------------------------------------------
+
+TEST_F(TraceTest, GoldenWorkloadSpanTree) {
+  PmemNode node(node_opts());
+  trace::reset();  // node construction (device format) is not part of the gold
+  run_golden_workload(node);
+
+  const auto spans = trace::snapshot();
+  const auto index = by_id(spans);
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(trace::dropped_spans(), 0u);
+
+  // Every span closed cleanly; ids are unique and parents exist.
+  for (const auto& s : spans) {
+    EXPECT_GE(s.end_ns, s.start_ns) << s.name;
+    EXPECT_FALSE(s.crashed) << s.name;
+    if (s.parent != 0) {
+      ASSERT_TRUE(index.count(s.parent)) << s.name << " orphaned";
+    }
+  }
+
+  // mmap is a root span (nothing encloses the public API call).
+  const SpanData* mmap_span = first_named(spans, "core.mmap");
+  ASSERT_NE(mmap_span, nullptr);
+  EXPECT_EQ(mmap_span->parent, 0u);
+
+  // The direct put nests engine.put and core.serialize under core.put.
+  const SpanData* put = first_named(spans, "core.put");
+  ASSERT_NE(put, nullptr);
+  EXPECT_EQ(put->parent, 0u);
+  const SpanData* eput = first_named(spans, "engine.put");
+  ASSERT_NE(eput, nullptr);
+  EXPECT_EQ(eput->parent, put->id);
+  const SpanData* ser = first_named(spans, "core.serialize");
+  ASSERT_NE(ser, nullptr);
+  EXPECT_EQ(ser->parent, put->id);
+
+  // The get nests engine.get under core.get.
+  const SpanData* get = first_named(spans, "core.get");
+  ASSERT_NE(get, nullptr);
+  const SpanData* eget = first_named(spans, "engine.get");
+  ASSERT_NE(eget, nullptr);
+  EXPECT_EQ(eget->parent, get->id);
+
+  // The batch: 3 puts total (1 direct + 2 staged), one commit chain
+  // core.batch_commit -> engine.batch_commit -> ht.publish_group.
+  EXPECT_EQ(count_named(spans, "core.put"), 3u);
+  EXPECT_EQ(count_named(spans, "engine.put"), 3u);
+  EXPECT_EQ(count_named(spans, "core.batch_commit"), 1u);
+  EXPECT_EQ(count_named(spans, "engine.batch_commit"), 1u);
+  const SpanData* cbc = first_named(spans, "core.batch_commit");
+  const SpanData* ebc = first_named(spans, "engine.batch_commit");
+  ASSERT_NE(cbc, nullptr);
+  ASSERT_NE(ebc, nullptr);
+  EXPECT_EQ(ebc->parent, cbc->id);
+  const SpanData* pg = first_named(spans, "ht.publish_group");
+  ASSERT_NE(pg, nullptr);
+  EXPECT_EQ(pg->parent, ebc->id);
+
+  // Child windows sit inside their parent's window.
+  for (const auto& s : spans) {
+    if (s.parent == 0) continue;
+    const SpanData& par = index.at(s.parent);
+    EXPECT_GE(s.start_ns, par.start_ns) << s.name;
+    EXPECT_LE(s.end_ns, par.end_ns) << s.name;
+  }
+}
+
+TEST_F(TraceTest, GoldenWorkloadCounters) {
+  PmemNode node(node_opts());
+  trace::reset();
+  run_golden_workload(node);
+
+  EXPECT_EQ(trace::counter(Counter::kEnginePuts), 3u);
+  EXPECT_EQ(trace::counter(Counter::kEngineGets), 1u);
+  EXPECT_EQ(trace::counter(Counter::kBatchCommits), 1u);
+  EXPECT_EQ(trace::counter(Counter::kCrashes), 0u);
+  EXPECT_EQ(trace::counter(Counter::kRecoveries), 0u);
+  EXPECT_GT(trace::counter(Counter::kStoreOps), 0u);
+  EXPECT_GT(trace::counter(Counter::kFlushOps), 0u);
+  EXPECT_GT(trace::counter(Counter::kFenceOps), 0u);
+  EXPECT_GT(trace::counter(Counter::kBytesWritten), 0u);
+  EXPECT_GT(trace::counter(Counter::kAllocOps), 0u);
+
+  const trace::HistData batch = trace::histogram(Hist::kBatchSize);
+  EXPECT_EQ(batch.count, 1u);
+  EXPECT_EQ(batch.min, 2.0);
+  EXPECT_EQ(batch.max, 2.0);
+  EXPECT_EQ(batch.sum, 2.0);
+
+  // Determinism: a second identical run on a fresh node doubles nothing —
+  // after a reset it reproduces the same counter values exactly.
+  const std::uint64_t stores = trace::counter(Counter::kStoreOps);
+  const std::uint64_t flushes = trace::counter(Counter::kFlushOps);
+  const std::uint64_t fences = trace::counter(Counter::kFenceOps);
+  PmemNode node2(node_opts());
+  trace::reset();
+  run_golden_workload(node2);
+  EXPECT_EQ(trace::counter(Counter::kStoreOps), stores);
+  EXPECT_EQ(trace::counter(Counter::kFlushOps), flushes);
+  EXPECT_EQ(trace::counter(Counter::kFenceOps), fences);
+}
+
+// --- exporter schemas -------------------------------------------------------
+
+TEST_F(TraceTest, ChromeJsonSchema) {
+  PmemNode node(node_opts());
+  trace::reset();
+  run_golden_workload(node);
+
+  const std::string js = trace::chrome_json();
+  expect_balanced_json(js);
+  EXPECT_EQ(js.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(js.substr(js.size() - 2), "]}");
+  // Complete events with the mandatory trace_event fields.
+  EXPECT_NE(js.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(js.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(js.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(js.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(js.find("\"dur\":"), std::string::npos);
+  // Span identity rides in args.
+  EXPECT_NE(js.find("\"args\":{\"id\":"), std::string::npos);
+  EXPECT_NE(js.find("\"name\":\"core.put\""), std::string::npos);
+
+  // Byte-stable: exporting twice yields identical bytes.
+  EXPECT_EQ(js, trace::chrome_json());
+}
+
+TEST_F(TraceTest, StatsJsonSchema) {
+  PmemNode node(node_opts());
+  trace::reset();
+  run_golden_workload(node);
+
+  const std::string js = trace::stats_json();
+  expect_balanced_json(js);
+  EXPECT_EQ(js.rfind("{\"counters\":{", 0), 0u);
+  EXPECT_NE(js.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(js.find("\"spans\":["), std::string::npos);
+
+  // The counter object uses the shared schema names, in schema order, and
+  // carries the same values counter() reports.
+  for (int i = 0; i < static_cast<int>(Counter::kNumCounters); ++i) {
+    const auto c = static_cast<Counter>(i);
+    const std::string field = std::string("\"") + trace::counter_name(c) +
+                              "\": " + std::to_string(trace::counter(c));
+    EXPECT_NE(js.find(field), std::string::npos) << field;
+  }
+  EXPECT_NE(js.find("\"batch_size\":{\"count\":1"), std::string::npos);
+  // Aggregated spans expose count plus total/self time.
+  EXPECT_NE(js.find("\"name\":\"core.put\",\"count\":3"), std::string::npos);
+  EXPECT_NE(js.find("\"total_ns\":"), std::string::npos);
+  EXPECT_NE(js.find("\"self_ns\":"), std::string::npos);
+}
+
+TEST_F(TraceTest, ExportToPathWritesBothFiles) {
+  PmemNode node(node_opts());
+  trace::reset();
+  run_golden_workload(node);
+
+  const std::string path =
+      ::testing::TempDir() + "/pmemcpy_trace_test_export.json";
+  const std::string stats_path = path + ".stats.json";
+  std::remove(path.c_str());
+  std::remove(stats_path.c_str());
+  trace::set_export_path(path);
+  EXPECT_EQ(trace::export_path(), path);
+  ASSERT_TRUE(trace::export_to_path());
+  trace::set_export_path("");
+
+  for (const std::string& f : {path, stats_path}) {
+    std::FILE* fp = std::fopen(f.c_str(), "r");
+    ASSERT_NE(fp, nullptr) << f;
+    char head[2] = {};
+    ASSERT_EQ(std::fread(head, 1, 1, fp), 1u) << f;
+    EXPECT_EQ(head[0], '{') << f;
+    std::fclose(fp);
+    std::remove(f.c_str());
+  }
+}
+
+// --- disabled path and epoch safety -----------------------------------------
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  trace::set_enabled(false);
+  trace::reset();
+  PmemNode node(node_opts());
+  run_golden_workload(node);
+  EXPECT_TRUE(trace::snapshot().empty());
+  for (int i = 0; i < static_cast<int>(Counter::kNumCounters); ++i) {
+    EXPECT_EQ(trace::counter(static_cast<Counter>(i)), 0u);
+  }
+  EXPECT_EQ(trace::histogram(Hist::kBatchSize).count, 0u);
+}
+
+TEST_F(TraceTest, SpanClosingAfterResetIsIgnored) {
+  {
+    trace::Span outer("outer");
+    trace::reset();  // new epoch: outer's record is gone
+  }                  // outer closes here — must be a no-op
+  EXPECT_TRUE(trace::snapshot().empty());
+  {
+    trace::Span fresh("fresh");
+  }
+  const auto spans = trace::snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "fresh");
+}
+
+TEST_F(TraceTest, CountersAccumulateAndResetClears) {
+  trace::count(Counter::kEnginePuts, 3);
+  trace::count(Counter::kEnginePuts);
+  EXPECT_EQ(trace::counter(Counter::kEnginePuts), 4u);
+  trace::observe(Hist::kAllocSize, 10.0);
+  trace::observe(Hist::kAllocSize, 30.0);
+  const auto h = trace::histogram(Hist::kAllocSize);
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.sum, 40.0);
+  EXPECT_EQ(h.min, 10.0);
+  EXPECT_EQ(h.max, 30.0);
+  trace::reset();
+  EXPECT_EQ(trace::counter(Counter::kEnginePuts), 0u);
+  EXPECT_EQ(trace::histogram(Hist::kAllocSize).count, 0u);
+}
+
+}  // namespace
