@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 verification: lint, then build + full test suite in four configs —
+# Tier-1 verification: lint, then build + full test suite in five configs —
 # plain Release, AddressSanitizer + UBSan (PMEMCPY_SANITIZE), the
 # persistency-order checker build (PMEMCPY_PERSIST_CHECK, with violations
-# fatal so any unconsumed finding fails the suite), and the tracing build
-# (PMEMCPY_TRACE, every test with the observability layer recording).
+# fatal so any unconsumed finding fails the suite), the tracing build
+# (PMEMCPY_TRACE, every test with the observability layer recording), and
+# the fault config (the self-healing sweeps under all three instrumentation
+# layers at once, DESIGN.md §10).
 #
 #   ./ci.sh            # all configs
 #   ./ci.sh release    # release only
 #   ./ci.sh sanitize   # sanitizers only
 #   ./ci.sh checker    # persist-checker config only
 #   ./ci.sh trace      # tracing-enabled config only
+#   ./ci.sh fault      # fault-injection sweep config only
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -47,6 +50,35 @@ run_trace_config() {
     run_config trace -DCMAKE_BUILD_TYPE=Release -DPMEMCPY_TRACE=ON
 }
 
+run_fault_config() {
+  # Self-healing data path (DESIGN.md §10): the fault-matrix + scrub-corpus
+  # sweeps under every instrumentation layer at once — ASan/UBSan catch any
+  # unwinding bug in the retry/rollback paths, the persistency-order checker
+  # proves zero violations while faults fire, tracing records the ft.*
+  # counters the tests assert on.  The suites arm their own seeded fault
+  # plans; the env-armed smoke then exercises the PMEMCPY_FAULT_* path with
+  # transient-only faults that the default retry budget must heal invisibly
+  # under an unmodified example.
+  local dir="build-ci-fault"
+  echo "==== [fault] configure ===="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPMEMCPY_SANITIZE=ON -DPMEMCPY_PERSIST_CHECK=ON -DPMEMCPY_TRACE=ON
+  echo "==== [fault] build ===="
+  cmake --build "${dir}" -j"$(nproc)"
+  echo "==== [fault] fault-matrix + scrub-corpus sweep ===="
+  env PMEMCPY_PERSIST_CHECK=1 PMEMCPY_TRACE=1 \
+    ctest --test-dir "${dir}" --output-on-failure -j"$(nproc)" \
+    -R 'fault_matrix|scrub_corpus'
+  echo "==== [fault] env-armed smoke ===="
+  env PMEMCPY_FAULT_RATE=0.001 PMEMCPY_FAULT_SEED=7 \
+    "${dir}/examples/quickstart" >/dev/null
+  echo "==== [fault] flush audit (injection disabled) ===="
+  # The baseline gate stays env-free: with injection disabled the build must
+  # be flush-for-flush identical to an uninstrumented one.
+  "${dir}/bench/flush_audit" --json "${dir}/BENCH_flush_audit.json" \
+    --baseline bench/flush_audit_baseline.json
+}
+
 what="${1:-all}"
 
 case "${what}" in
@@ -62,14 +94,18 @@ case "${what}" in
   trace)
     run_trace_config
     ;;
+  fault)
+    run_fault_config
+    ;;
   all)
     run_config release -DCMAKE_BUILD_TYPE=Release
     run_config sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPMEMCPY_SANITIZE=ON
     run_checker_config
     run_trace_config
+    run_fault_config
     ;;
   *)
-    echo "usage: $0 [release|sanitize|checker|trace|all]" >&2
+    echo "usage: $0 [release|sanitize|checker|trace|fault|all]" >&2
     exit 2
     ;;
 esac

@@ -52,7 +52,7 @@ int main(void) {
 
   int ok = ndims == 1 && dims[0] == 100 && out[99] == 24.75 && dt == 1e-6 &&
            pmemcpy_exists(pmem, "A") == 1;
-  pmemcpy_munmap(pmem);
+  ok = ok && pmemcpy_munmap(pmem) == PMEMCPY_OK;
   pmemcpy_destroy(pmem);
   pmemcpy_node_destroy(node);
   printf("c_quickstart: %s\n", ok ? "OK" : "FAILED");

@@ -58,6 +58,14 @@ struct EntryInfo {
   std::uint64_t meta = 0;
 };
 
+/// Physical placement of an entry, for repair/scrub diagnostics: which shard
+/// holds it and where its blob starts on the device.  Engines without a
+/// meaningful physical address (the tree engine) report the defaults.
+struct Provenance {
+  int shard = 0;              ///< index within a sharded composition
+  std::uint64_t dev_off = 0;  ///< device-absolute blob offset; 0 = unknown
+};
+
 class Engine {
  public:
   /// In-flight reservation of one entry (see contract above).
@@ -82,6 +90,8 @@ class Engine {
     /// Zero-copy pointer to the whole blob, charging @p charge_bytes of
     /// DAX read traffic (callers often consume only a slice).
     virtual const std::byte* direct(std::size_t charge_bytes) = 0;
+    /// Physical placement (shard + device offset) for diagnostics.
+    [[nodiscard]] virtual Provenance provenance() const { return {}; }
   };
 
   /// Group-commit scope (see contract above for visibility semantics).
@@ -114,6 +124,17 @@ class Engine {
       const std::string& prefix,
       const std::function<void(const std::string&, const EntryInfo&)>& fn) = 0;
   virtual std::unique_ptr<Batch> begin_batch() = 0;
+
+  /// Record the device-absolute range [dev_off, dev_off+len) in the owning
+  /// shard's persistent quarantine table so its space is never allocated
+  /// again (the self-healing put path calls this with DeviceError
+  /// coordinates before retrying).  Returns false when no shard owns the
+  /// range or the engine has no quarantine support (the tree engine).
+  virtual bool quarantine(std::size_t dev_off, std::size_t len) {
+    (void)dev_off;
+    (void)len;
+    return false;
+  }
 };
 
 // --- factories ---------------------------------------------------------------

@@ -20,6 +20,7 @@
 // synchronous page-fault penalty the paper evaluates as "PMCPY-B".
 #pragma once
 
+#include <pmemcpy/ft/ft.hpp>
 #include <pmemcpy/pmem/device.hpp>
 
 #include <condition_variable>
@@ -135,9 +136,30 @@ class Pool {
   /// Offline integrity verifier: validates the pool-header checksum, walks
   /// the arena chunk by chunk (header checksums, overlap), the size-class
   /// and large free lists (cycles, class mismatches, double-listing), the
-  /// transaction lanes and the allocator undo log (structural validity),
-  /// and recomputes bytes_in_use.  Read-only; safe on a just-opened pool.
+  /// transaction lanes, the allocator undo log (structural validity) and
+  /// the quarantine table, and recomputes bytes_in_use.  Read-only; safe on
+  /// a just-opened pool.
   [[nodiscard]] CheckReport check() const;
+
+  // --- quarantine (self-healing data path, DESIGN.md §10) --------------------
+
+  /// Slots in the persistent quarantine table (it lives in the metadata gap
+  /// between the pool header and the allocator state).
+  static constexpr std::size_t kQuarantineCapacity = 128;
+
+  /// Record [off, off+len) — pool-relative, rounded out to cachelines — in
+  /// the persistent quarantine table: the allocator never hands any part of
+  /// it out again, and free() leaks chunks that landed on it instead of
+  /// linking through failing media.  Crash-atomic (the new entry is durable
+  /// before the single-store count/crc header swing makes it visible) and
+  /// idempotent for already-covered ranges.  Returns kQuarantineFull when
+  /// the table is out of slots.
+  ft::Status quarantine(std::uint64_t off, std::size_t len);
+  /// True when [off, off+len) intersects a quarantined range.
+  [[nodiscard]] bool is_quarantined(std::uint64_t off, std::size_t len) const;
+  /// Snapshot of the quarantine table as (off, len) pairs, in table order.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  quarantined() const;
 
   /// Throw pmem::DeviceError if [off, off+len) intersects injected bad
   /// media, without reading it (for zero-copy consumers of direct()).
@@ -226,6 +248,11 @@ class Pool {
   void recover();
   void check_off(std::uint64_t off, std::size_t len) const;
 
+  /// Rebuild the DRAM quarantine cache from the persistent table (open()).
+  void load_quarantine();
+  /// Intersection test against the cache; callers hold alloc_mu_.
+  [[nodiscard]] bool quar_hit(std::uint64_t off, std::size_t len) const;
+
   std::uint64_t alloc_locked(std::size_t bytes);
   int acquire_tx_lane();
   void release_tx_lane(int lane);
@@ -248,6 +275,10 @@ class Pool {
   PoolOptions opts_;
   TestFaults test_faults_;
   int contenders_ = 1;
+
+  /// DRAM cache of the persistent quarantine table, in table order.
+  /// Guarded by alloc_mu_ (the allocator consults it on every path).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> quar_;
 
   std::unique_ptr<std::mutex> alloc_mu_ = std::make_unique<std::mutex>();
   std::unique_ptr<std::mutex> lane_mu_ = std::make_unique<std::mutex>();

@@ -14,6 +14,7 @@
 // All counts and displacements are in BYTES.
 #pragma once
 
+#include <pmemcpy/ft/ft.hpp>
 #include <pmemcpy/sim/context.hpp>
 
 #include <cstddef>
@@ -116,6 +117,15 @@ class Comm {
   /// Per-handle split sequence so repeated splits rendezvous correctly.
   std::uint64_t split_seq_ = 0;
 };
+
+/// Collective health agreement: every rank contributes its local state and
+/// all observe the worst across the communicator (ft::Health is ordered with
+/// kDegraded greatest), so one rank hitting exhausted media degrades every
+/// rank's view at the same point in the program instead of ranks silently
+/// diverging.
+[[nodiscard]] inline ft::Health agree_health(Comm& comm, ft::Health local) {
+  return static_cast<ft::Health>(comm.allreduce_max(static_cast<int>(local)));
+}
 
 /// Spawns rank threads and runs a function on each.
 class Runtime {

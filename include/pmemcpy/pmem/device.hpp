@@ -32,6 +32,7 @@
 // include/pmemcpy/check/persist_checker.hpp and DESIGN.md §7.
 #pragma once
 
+#include <pmemcpy/ft/ft.hpp>
 #include <pmemcpy/sim/context.hpp>
 
 #include <array>
@@ -58,7 +59,12 @@ inline constexpr std::size_t kCacheLine = 64;
 /// Typed device-level failure (media errors).  Callers can degrade
 /// gracefully — report the bad range — instead of consuming garbage.
 struct DeviceError : std::runtime_error {
-  enum class Kind { kMediaRead };
+  enum class Kind {
+    kMediaRead,   ///< uncorrectable: reads of the range are lost for good
+    kTransient,   ///< a transient fault persisted past the retry budget
+    kMediaWrite,  ///< sticky-bad media: stores/persists keep failing, reads
+                  ///< still succeed (the range is relocatable)
+  };
 
   DeviceError(Kind k, std::size_t off_, std::size_t len_,
               const std::string& what)
@@ -91,6 +97,31 @@ struct FaultPlan {
   bool torn_writes = false;
   /// Seed selecting the torn subset (same seed → same subset).
   std::uint64_t torn_seed = 0x9E3779B97F4A7C15ull;
+
+  // --- transient faults (self-healing data path, DESIGN.md §10) ------------
+  // Each checked access flips one seed-deterministic coin per attempt: a
+  // faulted attempt throws (or is retried under the device retry policy);
+  // the retry is a fresh attempt with a fresh coin, so transient faults
+  // succeed on retry with probability 1 - rate.  The same knobs are armed
+  // from the PMEMCPY_FAULT_RATE/_SEED/_STICKY env at construction.
+
+  /// Per-attempt fault probability for checked reads.
+  double transient_read_rate = 0.0;
+  /// Per-attempt fault probability for stores (note_write boundary).
+  double transient_write_rate = 0.0;
+  /// Per-attempt fault probability for flush/persist ops.
+  double transient_persist_rate = 0.0;
+  /// Probability that a faulted store/persist escalates: the op's cacheline
+  /// range becomes sticky-bad media (writes keep failing, reads survive).
+  double sticky_rate = 0.0;
+  /// Seed for the per-attempt fault coins (same seed → same fault schedule
+  /// for a deterministic workload).
+  std::uint64_t fault_seed = 0x5EEDF00DD00Full;
+
+  [[nodiscard]] bool transient_armed() const noexcept {
+    return transient_read_rate > 0.0 || transient_write_rate > 0.0 ||
+           transient_persist_rate > 0.0;
+  }
 };
 
 class Device {
@@ -198,6 +229,24 @@ class Device {
   /// raw() view.
   void check_media(std::size_t off, std::size_t len) const;
 
+  // --- transient faults, sticky media and retries -----------------------------
+
+  /// Retry/backoff schedule for transient faults (also armed from the
+  /// PMEMCPY_FAULT_RETRIES env).  Backoff is charged to the simulated clock.
+  void set_retry_policy(const ft::RetryPolicy& policy) noexcept;
+  [[nodiscard]] ft::RetryPolicy retry_policy() const noexcept;
+
+  /// Mark the cachelines covering [off, off+len) as sticky-bad media:
+  /// stores and persists touching them throw DeviceError{kMediaWrite};
+  /// reads still succeed (the data is recoverable, so callers can
+  /// quarantine + relocate).  Survives revive(), like real media damage.
+  void inject_sticky_range(std::size_t off, std::size_t len);
+  void clear_sticky_ranges();
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+  sticky_ranges() const;
+  /// True when [off, off+len) intersects a sticky-bad range (no throw).
+  [[nodiscard]] bool media_failing(std::size_t off, std::size_t len) const;
+
   // --- persistency-order checker ---------------------------------------------
 
   /// Attach the PersistChecker (idempotent).  Also attached at construction
@@ -245,8 +294,28 @@ class Device {
   /// Resolve flushed-but-unfenced lines at a fence: the flush-time image is
   /// now durable, so drop (or retarget) their shadow pre-images.
   void drain_flush_pending_locked();
+  /// A flush/persist of [off, off+len) failed for good: the writeback never
+  /// reached media, so in-flight stores to those lines are lost exactly as
+  /// on a crash.  Restore their last durable images from the shadow (no-op
+  /// without crash_shadow).
+  void revert_unpersisted(std::size_t off, std::size_t len);
   /// Deterministically decide whether a torn crash reverts @p line.
   [[nodiscard]] bool torn_reverts(std::size_t line) const noexcept;
+
+  // Transient-fault plumbing (all const: the fault state is mutable so the
+  // checked-read path can fault too).
+  enum class FaultOp { kRead, kWrite, kPersist };
+  enum class Attempt { kOk, kTransient, kSticky };
+  /// One seed-deterministic coin flip for an attempt of @p op; may escalate
+  /// a faulted store/persist to a sticky-bad range (out param).
+  Attempt fault_attempt(FaultOp op, std::size_t off, std::size_t len,
+                        std::pair<std::size_t, std::size_t>* sticky) const;
+  /// Throw DeviceError{kMediaWrite} when the range hits sticky-bad media.
+  void check_sticky(std::size_t off, std::size_t len) const;
+  /// Run the per-attempt fault coin under the retry policy, charging each
+  /// backoff to the sim clock; throws kTransient when the budget runs out
+  /// and kMediaWrite when an attempt escalates to a sticky range.
+  void run_retries(FaultOp op, std::size_t off, std::size_t len) const;
 
   std::size_t capacity_;
   std::unique_ptr<std::byte[]> data_;
@@ -259,6 +328,21 @@ class Device {
   std::atomic<bool> frozen_{false};
   bool torn_writes_ = false;
   std::uint64_t torn_seed_ = 0;
+
+  // Transient-fault state.  The armed flag is the disabled fast path: one
+  // relaxed load per access, no rate math, no lock — the ft layer is free
+  // when off.
+  std::atomic<bool> transient_armed_{false};
+  double t_read_rate_ = 0.0;
+  double t_write_rate_ = 0.0;
+  double t_persist_rate_ = 0.0;
+  double sticky_rate_ = 0.0;
+  std::uint64_t fault_seed_ = 0;
+  mutable std::uint64_t fault_seq_ = 0;  // per-attempt coin index, under mu_
+  ft::RetryPolicy retry_;
+  /// Sticky-bad ranges (off, len).  Mutable: a faulted attempt on the const
+  /// read path can escalate a range just like a store can.
+  mutable std::vector<std::pair<std::size_t, std::size_t>> sticky_bad_;
 
   mutable std::mutex mu_;  // protects shadow_, touched_, counters, bad media
   std::unordered_map<std::size_t, std::array<std::byte, kCacheLine>> shadow_;

@@ -30,6 +30,8 @@
 #include <pmemcpy/core/node.hpp>
 #include <pmemcpy/crc32c.hpp>
 #include <pmemcpy/engine/engine.hpp>
+#include <pmemcpy/ft/ft.hpp>
+#include <pmemcpy/pmem/device.hpp>
 #include <pmemcpy/par/comm.hpp>
 #include <pmemcpy/serial/binary.hpp>
 #include <pmemcpy/serial/bp4.hpp>
@@ -40,6 +42,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 namespace pmemcpy {
@@ -100,15 +103,30 @@ struct IntegrityError : std::runtime_error {
 };
 
 /// Result of PMEM::scrub(): every stored key whose payload failed its
-/// checksum or could not be read back.
+/// checksum or could not be read back.  Keys are deduplicated across
+/// sharded pools; each item carries its physical provenance.
 struct ScrubReport {
   struct Item {
     std::string key;
     std::string issue;
+    int shard = 0;              ///< shard that held the entry
+    std::uint64_t dev_off = 0;  ///< device-absolute blob offset; 0 = unknown
   };
-  std::size_t entries = 0;  ///< keys examined
+  std::size_t entries = 0;  ///< distinct keys examined
   std::vector<Item> corrupt;
   [[nodiscard]] bool ok() const noexcept { return corrupt.empty(); }
+};
+
+/// Result of PMEM::repair(): scrub upgraded from report-only to
+/// report-and-heal — entries sitting on failing-but-readable media are
+/// quarantined and transactionally rewritten elsewhere; unrecoverable
+/// entries are reported (and their keys load as typed DegradedError from
+/// then on, never as garbage).
+struct RepairReport {
+  std::size_t entries = 0;    ///< distinct keys examined
+  std::size_t relocated = 0;  ///< entries rewritten off failing media
+  std::vector<ScrubReport::Item> damaged;  ///< unrecoverable entries
+  [[nodiscard]] bool ok() const noexcept { return damaged.empty(); }
 };
 
 namespace detail {
@@ -230,36 +248,39 @@ class PMEM {
     const auto ser = cfg_.serializer;
     const std::size_t hdr = detail::blob_header_size(ser, 0);
     const auto dtype = serial::dtype_of_v<T>;
-    auto put = start_put(
-        id, hdr + payload,
-        detail::pack_meta(detail::EntryKind::kScalar, dtype, ser));
-    const auto emit = [&](serial::Sink& sink) {
-      trace::Span serialize_span("core.serialize");
-      detail::write_blob_header(sink, ser, dtype, payload, {}, {});
-      if (stage.captured()) {
-        sink.write(stage.bytes().data(), stage.bytes().size());
+    with_healing(id, [&] {
+      auto put = start_put(
+          id, hdr + payload,
+          detail::pack_meta(detail::EntryKind::kScalar, dtype, ser));
+      const auto emit = [&](serial::Sink& sink) {
+        trace::Span serialize_span("core.serialize");
+        detail::write_blob_header(sink, ser, dtype, payload, {}, {});
+        if (stage.captured()) {
+          sink.write(stage.bytes().data(), stage.bytes().size());
+        } else {
+          serial::BinaryWriter w(sink);
+          w(data);
+        }
+      };
+      std::uint32_t crc = 0;
+      if (cfg_.force_dram_staging) {
+        serial::BufferSink staged(hdr + payload);
+        emit(staged);
+        crc = crc32c(staged.bytes().data(), staged.bytes().size());
+        put->sink().write(staged.bytes().data(), staged.bytes().size());
       } else {
-        serial::BinaryWriter w(sink);
-        w(data);
+        serial::ChecksumSink cs(put->sink());
+        emit(cs);
+        crc = cs.crc();
       }
-    };
-    std::uint32_t crc = 0;
-    if (cfg_.force_dram_staging) {
-      serial::BufferSink staged(hdr + payload);
-      emit(staged);
-      crc = crc32c(staged.bytes().data(), staged.bytes().size());
-      put->sink().write(staged.bytes().data(), staged.bytes().size());
-    } else {
-      serial::ChecksumSink cs(put->sink());
-      emit(cs);
-      crc = cs.crc();
-    }
-    put->commit(crc);
+      put->commit(crc);
+    });
   }
 
   template <typename T>
   void load(const std::string& id, T& data) {
     trace::Span span("core.get");
+    throw_if_damaged(id);
     auto entry = engine_ref().find(id);
     if (!entry) throw KeyError(id);
     const auto info = entry->info();
@@ -324,78 +345,79 @@ class PMEM {
     const std::size_t payload = box.elements() * sizeof(T);
     const auto ser = cfg_.serializer;
     const auto dtype = serial::dtype_of_v<T>;
+    with_healing(id, [&] {
+      // Group commit: the piece and the implicit "#dims" entry (when this is
+      // the array's first store) publish under one batch — one coalesced
+      // flush pass + fence pair instead of one per entry.  A user-opened
+      // Batch subsumes the internal one.
+      AutoBatch group(*this);
 
-    // Group commit: the piece and the implicit "#dims" entry (when this is
-    // the array's first store) publish under one batch — one coalesced
-    // flush pass + fence pair instead of one per entry.  A user-opened
-    // Batch subsumes the internal one.
-    AutoBatch group(*this);
-
-    Dimensions global;
-    serial::DType declared;
-    if (get_dims(id, &declared, &global)) {
-      if (declared != dtype) {
-        throw TypeError("pmemcpy: dtype mismatch storing " + id);
+      Dimensions global;
+      serial::DType declared;
+      if (get_dims(id, &declared, &global)) {
+        if (declared != dtype) {
+          throw TypeError("pmemcpy: dtype mismatch storing " + id);
+        }
+      } else {
+        // "pMEMCPY automatically stores the dimensions of the array" — when
+        // alloc() was skipped, derive an extent from this piece.
+        global.resize(nd);
+        for (std::size_t d = 0; d < nd; ++d) {
+          global[d] = box.offset[d] + box.count[d];
+        }
+        put_dims(id, dtype, global);
       }
-    } else {
-      // "pMEMCPY automatically stores the dimensions of the array" — when
-      // alloc() was skipped, derive an extent from this piece.
-      global.resize(nd);
-      for (std::size_t d = 0; d < nd; ++d) {
-        global[d] = box.offset[d] + box.count[d];
+
+      const std::size_t hdr =
+          detail::blob_header_size(ser, static_cast<std::uint32_t>(nd));
+
+      if (cfg_.filter != serial::FilterId::kNone) {
+        // Filtered path: encode in DRAM (the size must be known to reserve
+        // the blob), then blob = header | u64 encoded size | encoded bytes.
+        const auto enc = serial::filter_encode(
+            cfg_.filter,
+            {reinterpret_cast<const std::byte*>(data), payload});
+        auto put = start_put(
+            detail::piece_key(id, box), hdr + 8 + enc.size(),
+            detail::pack_meta(detail::EntryKind::kPiece, dtype, ser,
+                              cfg_.filter));
+        serial::ChecksumSink cs(put->sink());
+        {
+          trace::Span serialize_span("core.serialize");
+          detail::write_blob_header(cs, ser, dtype, payload, global, box);
+          const std::uint64_t enc_size = enc.size();
+          cs.write(&enc_size, sizeof(enc_size));
+          cs.write(enc.data(), enc.size());
+        }
+        put->commit(cs.crc());
+        group.commit();
+        invalidate_piece_cache(id);
+        return;
       }
-      put_dims(id, dtype, global);
-    }
 
-    const std::size_t hdr =
-        detail::blob_header_size(ser, static_cast<std::uint32_t>(nd));
-
-    if (cfg_.filter != serial::FilterId::kNone) {
-      // Filtered path: encode in DRAM (the size must be known to reserve
-      // the blob), then blob = header | u64 encoded size | encoded bytes.
-      const auto enc = serial::filter_encode(
-          cfg_.filter,
-          {reinterpret_cast<const std::byte*>(data), payload});
       auto put = start_put(
-          detail::piece_key(id, box), hdr + 8 + enc.size(),
-          detail::pack_meta(detail::EntryKind::kPiece, dtype, ser,
-                            cfg_.filter));
-      serial::ChecksumSink cs(put->sink());
-      {
+          detail::piece_key(id, box), hdr + payload,
+          detail::pack_meta(detail::EntryKind::kPiece, dtype, ser));
+      const auto emit = [&](serial::Sink& sink) {
         trace::Span serialize_span("core.serialize");
-        detail::write_blob_header(cs, ser, dtype, payload, global, box);
-        const std::uint64_t enc_size = enc.size();
-        cs.write(&enc_size, sizeof(enc_size));
-        cs.write(enc.data(), enc.size());
+        detail::write_blob_header(sink, ser, dtype, payload, global, box);
+        sink.write(data, payload);
+      };
+      std::uint32_t crc = 0;
+      if (cfg_.force_dram_staging) {
+        serial::BufferSink staged(hdr + payload);
+        emit(staged);
+        crc = crc32c(staged.bytes().data(), staged.bytes().size());
+        put->sink().write(staged.bytes().data(), staged.bytes().size());
+      } else {
+        serial::ChecksumSink cs(put->sink());
+        emit(cs);
+        crc = cs.crc();
       }
-      put->commit(cs.crc());
+      put->commit(crc);
       group.commit();
       invalidate_piece_cache(id);
-      return;
-    }
-
-    auto put = start_put(
-        detail::piece_key(id, box), hdr + payload,
-        detail::pack_meta(detail::EntryKind::kPiece, dtype, ser));
-    const auto emit = [&](serial::Sink& sink) {
-      trace::Span serialize_span("core.serialize");
-      detail::write_blob_header(sink, ser, dtype, payload, global, box);
-      sink.write(data, payload);
-    };
-    std::uint32_t crc = 0;
-    if (cfg_.force_dram_staging) {
-      serial::BufferSink staged(hdr + payload);
-      emit(staged);
-      crc = crc32c(staged.bytes().data(), staged.bytes().size());
-      put->sink().write(staged.bytes().data(), staged.bytes().size());
-    } else {
-      serial::ChecksumSink cs(put->sink());
-      emit(cs);
-      crc = cs.crc();
-    }
-    put->commit(crc);
-    group.commit();
-    invalidate_piece_cache(id);
+    });
   }
 
   /// Load a subarray.  The fast path hits the piece written with identical
@@ -410,6 +432,7 @@ class PMEM {
              Dimensions(dimspp, dimspp + nd));
     auto& st = engine_ref();
 
+    throw_if_damaged(detail::piece_key(id, want));
     if (auto entry = st.find(detail::piece_key(id, want))) {
       const auto info = entry->info();
       detail::EntryKind kind;
@@ -463,6 +486,7 @@ class PMEM {
       if (pbox.ndims() != nd) continue;
       const Box region = intersect(want, pbox);
       if (region.empty()) continue;
+      throw_if_damaged(key);
       auto entry = st.find(key);
       if (!entry) continue;
       const auto info = entry->info();
@@ -515,6 +539,42 @@ class PMEM {
   /// errors surface) and re-verify its checksum.  Returns all corruption
   /// found; never throws for corrupt data.
   [[nodiscard]] ScrubReport scrub();
+
+  // --- self-healing (DESIGN.md §10) -----------------------------------------
+
+  /// Online repair: scrub every entry, quarantine failing-but-readable
+  /// media, and transactionally relocate the entries sitting on it.  An
+  /// entry that cannot be read back intact is recorded in the report and its
+  /// key is marked damaged (loads throw ft::DegradedError rather than
+  /// returning garbage).  Crash-safe: relocation republished under the same
+  /// key, so a crash mid-repair leaves either the old or the new binding.
+  [[nodiscard]] RepairReport repair();
+
+  /// Local health.  kDegraded means a put exhausted healing (retries +
+  /// quarantine): the handle turns read-only — healthy keys still load,
+  /// stores throw ft::DegradedError.
+  [[nodiscard]] ft::Health health() const noexcept { return health_; }
+
+  /// Collective health agreement over @p comm: every rank adopts the worst
+  /// health across the communicator, so degradation is observed coherently.
+  ft::Health check_health(par::Comm& comm) {
+    const ft::Health agreed = par::agree_health(comm, health_);
+    if (agreed == ft::Health::kDegraded) {
+      enter_degraded(ft::Status(ft::ErrorCode::kDegraded,
+                                "peer rank reported degraded media"));
+    }
+    return agreed;
+  }
+
+  /// Why the handle degraded (ok() while healthy).
+  [[nodiscard]] const ft::Status& health_status() const noexcept {
+    return health_status_;
+  }
+
+  /// Keys repair() declared unrecoverable (sorted).
+  [[nodiscard]] std::vector<std::string> damaged_keys() const {
+    return {damaged_.begin(), damaged_.end()};
+  }
 
   // --- attributes -----------------------------------------------------------
 
@@ -608,6 +668,53 @@ class PMEM {
       throw IntegrityError("checksum mismatch in " + key);
     }
   }
+  // --- self-healing machinery (DESIGN.md §10) -------------------------------
+
+  /// Attempts with_healing gives a put before declaring the handle degraded
+  /// (each attempt already carries the device's own transient-retry budget).
+  static constexpr int kMaxPutAttempts = 4;
+
+  /// Run @p fn (a complete put body: reserve, serialize, publish) under the
+  /// self-healing loop.  A DeviceError unwinds the attempt cleanly (handles
+  /// roll back their reservations), heal_put_fault quarantines sticky media
+  /// and the body re-runs, re-reserving on good space.  Healing that cannot
+  /// make progress throws ft::DegradedError and turns the handle read-only.
+  template <typename Fn>
+  void with_healing(const std::string& id, Fn&& fn) {
+    require_writable(id);
+    for (int attempt = 1;; ++attempt) {
+      try {
+        fn();
+        return;
+      } catch (const pmem::DeviceError& e) {
+        heal_put_fault(id, e, attempt);
+      }
+    }
+  }
+  /// Degraded handles are read-only: refuse the mutation up front.
+  void require_writable(const std::string& id) const {
+    if (health_ == ft::Health::kDegraded) {
+      throw ft::DegradedError(
+          ft::Status(ft::ErrorCode::kDegraded,
+                     "handle is degraded (read-only); writing '" + id +
+                         "' refused"));
+    }
+  }
+  /// Keys repair() declared unrecoverable load as typed errors, not garbage.
+  void throw_if_damaged(const std::string& key) const {
+    if (!damaged_.empty() && damaged_.count(key) != 0) {
+      trace::count(trace::Counter::kFtDamagedKeys);
+      throw ft::DegradedError(
+          ft::Status(ft::ErrorCode::kDamagedKey,
+                     "key '" + key + "' was lost to media failure"));
+    }
+  }
+  /// Decide what a put's DeviceError means: quarantine + retry, or degrade.
+  void heal_put_fault(const std::string& id, const pmem::DeviceError& e,
+                      int attempt);
+  void enter_degraded(const ft::Status& why);
+  [[noreturn]] void fail_degraded(const std::string& id, ft::Status why);
+
   void put_dims(const std::string& id, serial::DType dtype,
                 const Dimensions& dims);
   bool get_dims(const std::string& id, serial::DType* dtype, Dimensions* dims);
@@ -619,6 +726,10 @@ class PMEM {
   }
 
   Config cfg_;
+  ft::Health health_ = ft::Health::kHealthy;
+  ft::Status health_status_ = ft::Status::ok();
+  /// Keys repair() could not recover; guarded reads throw DegradedError.
+  std::set<std::string> damaged_;
   std::map<std::string, std::vector<std::string>> piece_cache_;
   PmemNode* node_ = nullptr;
   par::Comm* comm_ = nullptr;

@@ -25,6 +25,7 @@ enum class Charge : int {
   kPageFault,       ///< mapping faults (incl. MAP_SYNC sync faults)
   kPfs,             ///< parallel-filesystem transfers (burst-buffer drain)
   kOther,
+  kRetryBackoff,    ///< waits between device fault-retry attempts
   kNumCharges,
 };
 

@@ -70,6 +70,17 @@ enum class Counter : int {
   kBatchCommits,            ///< engine group commits
   kCrashes,                 ///< simulated power losses observed
   kRecoveries,              ///< Pool::recover sweeps
+  // ft.* — self-healing data path (DESIGN.md §10).  Appended last so the
+  // flush-audit schema (which omits zero counters past the always-first
+  // four) stays byte-identical when fault injection is off.
+  kFtTransientFaults,       ///< injected transient device faults
+  kFtRetries,               ///< device-level retry attempts after a fault
+  kFtStickyRanges,          ///< ranges escalated to sticky-bad media
+  kFtQuarantines,           ///< ranges recorded in pool quarantine tables
+  kFtRelocations,           ///< entries rewritten off failing media
+  kFtPutRetries,            ///< whole-put retries after quarantining
+  kFtDegradedTransitions,   ///< pools entering degraded read-only mode
+  kFtDamagedKeys,           ///< entries found unrecoverable by repair()
   kNumCounters,
 };
 

@@ -23,6 +23,15 @@
 #   trace spans or a DrainReport.  Tests are exempt (they assert on the
 #   clock on purpose).
 #
+# Rule 5 — health results are never silently dropped.
+#   scrub()/repair()/check()/check_health()/quarantine()/publish() exist to
+#   report whether data survived; a bare statement-call discards that verdict
+#   and turns a health probe into a no-op ritual.  ft::Status itself is
+#   [[nodiscard]], but several probes return plain reports/bools the compiler
+#   will not flag.  Applies everywhere (src, bench, examples, tests): tests
+#   that really want to ignore a result must bind it (e.g. `(void)p.scrub()`
+#   reads as intent; `p.scrub();` reads as a forgotten assertion).
+#
 # Rule 3 — the core data path talks to storage through the engine layer.
 #   obj::HashTable and fs::FileSystem are engine implementation details;
 #   naming them in src/core/ or include/pmemcpy/core/pmemcpy.hpp would
@@ -70,6 +79,17 @@ while IFS= read -r file; do
 done < <(grep -rl '\.now()' \
            --include='*.cpp' --include='*.hpp' \
            src include bench examples 2>/dev/null || true)
+
+# --- Rule 5: health-probe results must be consumed ---------------------------
+# A statement that *begins* with a call to a health probe discards its result
+# (bound results start with a type / auto / assignment / assertion macro).
+probe='(scrub|repair|check|check_health|quarantine|publish)'
+while IFS= read -r hit; do
+  echo "lint: discarded health-probe result: $hit" >&2
+  fail=1
+done < <(grep -rnE "^\s*[A-Za-z_][A-Za-z0-9_]*(\.|->)${probe}\(" \
+           --include='*.cpp' --include='*.hpp' --include='*.c' \
+           src include bench examples tests 2>/dev/null || true)
 
 # --- Rule 2: every tests/*_test.cpp registered in tests/CMakeLists.txt -------
 for t in tests/*_test.cpp; do

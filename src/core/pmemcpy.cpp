@@ -157,6 +157,10 @@ void PMEM::munmap() {
   engine_.reset();
   comm_ = nullptr;
   node_ = nullptr;
+  // Health is a property of the mapped region; a fresh mmap starts clean.
+  health_ = ft::Health::kHealthy;
+  health_status_ = ft::Status::ok();
+  damaged_.clear();
 }
 
 void PMEM::put_dims(const std::string& id, serial::DType dtype,
@@ -181,23 +185,26 @@ void PMEM::put_dims(const std::string& id, serial::DType dtype,
     serial::BinaryWriter w(stage);
     w(static_cast<std::uint8_t>(dtype), d64);
   }
-  auto put = start_put(
-      detail::dims_key(id), stage.tell(),
-      detail::pack_meta(detail::EntryKind::kDims, dtype,
-                        serial::SerializerId::kBinary),
-      /*keep_existing=*/true);
-  serial::ChecksumSink cs(put->sink());
-  if (stage.captured()) {
-    cs.write(stage.bytes().data(), stage.bytes().size());
-  } else {
-    serial::BinaryWriter w(cs);
-    w(static_cast<std::uint8_t>(dtype), d64);
-  }
-  put->commit(cs.crc());
+  with_healing(detail::dims_key(id), [&] {
+    auto put = start_put(
+        detail::dims_key(id), stage.tell(),
+        detail::pack_meta(detail::EntryKind::kDims, dtype,
+                          serial::SerializerId::kBinary),
+        /*keep_existing=*/true);
+    serial::ChecksumSink cs(put->sink());
+    if (stage.captured()) {
+      cs.write(stage.bytes().data(), stage.bytes().size());
+    } else {
+      serial::BinaryWriter w(cs);
+      w(static_cast<std::uint8_t>(dtype), d64);
+    }
+    put->commit(cs.crc());
+  });
 }
 
 bool PMEM::get_dims(const std::string& id, serial::DType* dtype,
                     Dimensions* dims) {
+  throw_if_damaged(detail::dims_key(id));
   auto entry = engine_ref().find(detail::dims_key(id));
   if (!entry) return false;
   const auto info = entry->info();
@@ -273,14 +280,17 @@ void PMEM::for_each_raw(
 
 void PMEM::import_raw(const std::string& key, std::span<const std::byte> data,
                       std::uint64_t meta) {
-  auto put = start_put(key, data.size(), meta);
-  put->sink().write(data.data(), data.size());
-  // Re-derive the checksum from the bytes rather than trusting the high
-  // half of an exported meta word.
-  put->commit(crc32c(data.data(), data.size()));
+  with_healing(key, [&] {
+    auto put = start_put(key, data.size(), meta);
+    put->sink().write(data.data(), data.size());
+    // Re-derive the checksum from the bytes rather than trusting the high
+    // half of an exported meta word.
+    put->commit(crc32c(data.data(), data.size()));
+  });
 }
 
 void PMEM::remove(const std::string& id) {
+  require_writable(id);
   auto& st = engine_ref();
   bool any = st.erase(id);
   any |= st.erase(detail::dims_key(id));
@@ -304,25 +314,143 @@ ScrubReport PMEM::scrub() {
   trace::Span span("core.scrub");
   auto& st = engine_ref();
   ScrubReport rep;
-  std::vector<std::string> keys;
+  // Ordered-set dedupe: a key can surface from more than one shard pool
+  // (e.g. a region resharded after its shard-0 pool already held keys that
+  // now route elsewhere), and find() only ever returns the routed copy —
+  // examine and report each distinct key once.
+  std::set<std::string> keys;
   st.for_each_prefix("",
                      [&](const std::string& key, const engine::EntryInfo&) {
-                       keys.push_back(key);
+                       keys.insert(key);
                      });
   for (const auto& key : keys) {
     auto entry = st.find(key);
-    if (!entry) continue;  // concurrently removed
+    if (!entry) continue;  // concurrently removed (or unrouted stale copy)
     ++rep.entries;
     const auto info = entry->info();
+    const auto prov = entry->provenance();
     std::vector<std::byte> blob(info.size);
     try {
       entry->read(0, blob.data(), blob.size());
     } catch (const pmem::DeviceError& e) {
-      rep.corrupt.push_back({key, std::string("media error: ") + e.what()});
+      rep.corrupt.push_back({key, std::string("media error: ") + e.what(),
+                             prov.shard, prov.dev_off});
       continue;
     }
     if (crc32c(blob.data(), blob.size()) != detail::meta_crc(info.meta)) {
-      rep.corrupt.push_back({key, "checksum mismatch"});
+      rep.corrupt.push_back(
+          {key, "checksum mismatch", prov.shard, prov.dev_off});
+    }
+  }
+  return rep;
+}
+
+// --- self-healing (DESIGN.md §10) -------------------------------------------
+
+void PMEM::enter_degraded(const ft::Status& why) {
+  if (health_ == ft::Health::kDegraded) return;
+  health_ = ft::Health::kDegraded;
+  health_status_ = why;
+  trace::count(trace::Counter::kFtDegradedTransitions);
+}
+
+void PMEM::fail_degraded(const std::string& id, ft::Status why) {
+  (void)id;  // already woven into the status detail by the callers
+  enter_degraded(why);
+  throw ft::DegradedError(std::move(why));
+}
+
+void PMEM::heal_put_fault(const std::string& id, const pmem::DeviceError& e,
+                          int attempt) {
+  if (e.kind == pmem::DeviceError::Kind::kMediaRead) {
+    // An uncorrectable read inside a put (metadata probe) is not healable by
+    // relocation — the bytes to move are already gone.  Surface it.
+    throw;
+  }
+  if (e.kind == pmem::DeviceError::Kind::kMediaWrite) {
+    // e carries the sticky bad-range coordinates (device-absolute).  Fence
+    // the range off so the retry reserves on healthy space; the failed
+    // attempt's reservation already rolled back during unwinding.
+    if (!engine_ref().quarantine(e.off, e.len)) {
+      fail_degraded(
+          id, ft::Status(ft::ErrorCode::kQuarantineFull,
+                         "cannot quarantine bad media range while writing '" +
+                             id + "': " + e.what()));
+    }
+  }
+  if (attempt >= kMaxPutAttempts) {
+    fail_degraded(
+        id, ft::Status(ft::ErrorCode::kRetryExhausted,
+                       "healing write of '" + id + "' still failing after " +
+                           std::to_string(attempt) + " attempts: " + e.what()));
+  }
+  trace::count(trace::Counter::kFtPutRetries);
+}
+
+RepairReport PMEM::repair() {
+  trace::Span span("core.repair");
+  auto& st = engine_ref();
+  auto& dev = node_->device();
+  RepairReport rep;
+  std::set<std::string> keys;
+  st.for_each_prefix("",
+                     [&](const std::string& key, const engine::EntryInfo&) {
+                       keys.insert(key);
+                     });
+  const auto mark_damaged = [&](const std::string& key, std::string issue,
+                                const engine::Provenance& prov) {
+    rep.damaged.push_back({key, std::move(issue), prov.shard, prov.dev_off});
+    damaged_.insert(key);
+    trace::count(trace::Counter::kFtDamagedKeys);
+  };
+  for (const auto& key : keys) {
+    auto entry = st.find(key);
+    if (!entry) continue;  // concurrently removed (or unrouted stale copy)
+    ++rep.entries;
+    const auto info = entry->info();
+    const auto prov = entry->provenance();
+    std::vector<std::byte> blob(info.size);
+    try {
+      entry->read(0, blob.data(), blob.size());
+    } catch (const pmem::DeviceError& e) {
+      // Unreadable: there is nothing to relocate from.
+      mark_damaged(key, std::string("media error: ") + e.what(), prov);
+      continue;
+    }
+    if (crc32c(blob.data(), blob.size()) != detail::meta_crc(info.meta)) {
+      mark_damaged(key, "checksum mismatch", prov);
+      continue;
+    }
+    if (prov.dev_off == 0 || !dev.media_failing(prov.dev_off, info.size)) {
+      continue;  // intact and on healthy media
+    }
+    // Intact bytes on failing media (sticky writes still read back): fence
+    // off every bad range under the blob, then republish under the same key.
+    // Crash-safe ordering — the quarantine entries append first, and
+    // import_raw replaces the binding atomically, so a crash at any point
+    // leaves either the old (still readable) or the new entry.
+    bool fenced = true;
+    for (const auto& [soff, slen] : dev.sticky_ranges()) {
+      if (soff < prov.dev_off + info.size && prov.dev_off < soff + slen) {
+        fenced = st.quarantine(soff, slen) && fenced;
+      }
+    }
+    // A full quarantine table cannot fence the range; the republish below
+    // may then be allocated right back onto failing media, in which case the
+    // write faults and the entry is reported damaged rather than silently
+    // left in place.
+    entry.reset();  // release the read handle before rewriting
+    try {
+      import_raw(key, blob, info.meta);
+      ++rep.relocated;
+      trace::count(trace::Counter::kFtRelocations);
+    } catch (const ft::DegradedError& e) {
+      mark_damaged(key,
+                   std::string(fenced ? "relocation failed: "
+                                      : "relocation failed (unfenced: "
+                                        "quarantine table full): ") +
+                       e.what(),
+                   prov);
     }
   }
   return rep;

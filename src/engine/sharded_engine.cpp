@@ -37,6 +37,31 @@ std::uint64_t splitmix64(std::uint64_t x) {
 
 class ShardedEngine;
 
+/// Forwards to a shard's entry, stamping the shard index into the
+/// provenance so repair/scrub diagnostics survive the composition.
+class ShardedEntry final : public Engine::Entry {
+ public:
+  ShardedEntry(std::unique_ptr<Engine::Entry> inner, int shard)
+      : inner_(std::move(inner)), shard_(shard) {}
+
+  EntryInfo info() const override { return inner_->info(); }
+  void read(std::uint64_t off, void* dst, std::size_t len) override {
+    inner_->read(off, dst, len);
+  }
+  const std::byte* direct(std::size_t charge_bytes) override {
+    return inner_->direct(charge_bytes);
+  }
+  Provenance provenance() const override {
+    auto p = inner_->provenance();
+    p.shard = shard_;
+    return p;
+  }
+
+ private:
+  std::unique_ptr<Engine::Entry> inner_;
+  int shard_;
+};
+
 /// Fans staged puts out into lazily-created per-shard sub-batches; commit
 /// commits them shard by shard (each shard pays its own two-fence group
 /// commit, so the total is 2 * touched_shards fences — still independent of
@@ -88,7 +113,11 @@ class ShardedEngine final : public Engine {
   }
 
   std::unique_ptr<Entry> find(const std::string& key) override {
-    return shard(key).find(key);
+    const std::size_t s = splitmix64(fnv1a(key)) % shards_.size();
+    auto entry = shards_[s]->find(key);
+    if (!entry) return nullptr;
+    return std::make_unique<ShardedEntry>(std::move(entry),
+                                          static_cast<int>(s));
   }
 
   bool erase(const std::string& key) override { return shard(key).erase(key); }
@@ -104,6 +133,14 @@ class ShardedEngine final : public Engine {
 
   std::unique_ptr<Batch> begin_batch() override {
     return std::make_unique<ShardedBatch>(&shards_);
+  }
+
+  bool quarantine(std::size_t dev_off, std::size_t len) override {
+    // Device ranges are disjoint across shard pools; the owner accepts.
+    for (auto& s : shards_) {
+      if (s->quarantine(dev_off, len)) return true;
+    }
+    return false;
   }
 
  private:

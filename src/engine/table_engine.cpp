@@ -24,7 +24,9 @@ class TablePut final : public Engine::PutHandle {
   serial::Sink& sink() override { return sink_; }
   void commit(std::uint32_t payload_crc) override {
     ins_.set_meta_high(payload_crc);
-    ins_.publish(keep_existing_);
+    // In keep mode `false` means an existing entry won the race and was
+    // kept — exactly what the caller asked for, so not an error.
+    (void)ins_.publish(keep_existing_);
   }
 
  private:
@@ -53,6 +55,10 @@ class TableEntry final : public Engine::Entry {
     pool_->verify_media(ref_.val_off, ref_.val_size);
     pool_->charge_read(charge_bytes);
     return pool_->direct(ref_.val_off);
+  }
+
+  Provenance provenance() const override {
+    return {0, pool_->base() + ref_.val_off};
   }
 
  private:
@@ -175,6 +181,18 @@ class TableEngine final : public Engine {
 
   std::unique_ptr<Batch> begin_batch() override {
     return std::make_unique<TableBatch>(table_);
+  }
+
+  bool quarantine(std::size_t dev_off, std::size_t len) override {
+    // Translate the device-absolute range into this shard's pool; ranges
+    // outside the pool belong to another shard.
+    if (len == 0) return false;
+    const std::size_t base = pool_->base();
+    if (dev_off < base || dev_off - base >= pool_->size() ||
+        len > pool_->size() - (dev_off - base)) {
+      return false;
+    }
+    return pool_->quarantine(dev_off - base, len).is_ok();
   }
 
  private:

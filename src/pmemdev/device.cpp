@@ -44,12 +44,27 @@ bool checker_fatal_on() {
   return e != nullptr && env_truthy(e);
 }
 
-/// splitmix64 finalizer — a cheap, well-mixed hash for torn-line selection.
+/// splitmix64 finalizer — a cheap, well-mixed hash for torn-line selection
+/// and the transient-fault coins.
 std::uint64_t mix64(std::uint64_t x) {
   x += 0x9E3779B97F4A7C15ull;
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
   return x ^ (x >> 31);
+}
+
+/// Map a mixed 64-bit coin onto [0, 1).
+double unit_interval(std::uint64_t coin) {
+  return static_cast<double>(coin >> 11) * 0x1.0p-53;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* e = std::getenv(name);
+  return e != nullptr ? std::atof(e) : fallback;
+}
+
+std::string range_str(std::size_t off, std::size_t len) {
+  return "[" + std::to_string(off) + ", +" + std::to_string(len) + ")";
 }
 }  // namespace
 
@@ -63,6 +78,24 @@ Device::Device(std::size_t capacity, bool crash_shadow)
     // Env-driven runs (benches, checker CI config) get the process-exit
     // counter summary; explicitly enabled test checkers stay quiet.
     check::register_atexit_counter_dump();
+  }
+  // Env-driven transient-fault arming (the fault-matrix CI config).  A
+  // programmatic set_fault_plan() later overrides these.
+  const double rate = env_double("PMEMCPY_FAULT_RATE", 0.0);
+  if (rate > 0.0) {
+    t_read_rate_ = t_write_rate_ = t_persist_rate_ = rate;
+    sticky_rate_ = env_double("PMEMCPY_FAULT_STICKY", 0.0);
+    fault_seed_ = FaultPlan{}.fault_seed;
+    if (const char* e = std::getenv("PMEMCPY_FAULT_SEED")) {
+      fault_seed_ = std::strtoull(e, nullptr, 0);
+    }
+    if (const char* e = std::getenv("PMEMCPY_FAULT_RETRIES")) {
+      const int n = std::atoi(e);
+      if (n > 0) retry_.max_attempts = n;
+    }
+    transient_armed_.store(true, std::memory_order_relaxed);
+  } else {
+    fault_seed_ = FaultPlan{}.fault_seed;
   }
 }
 
@@ -140,6 +173,9 @@ void Device::write(std::size_t off, const void* src, std::size_t len) {
 void Device::read(std::size_t off, void* dst, std::size_t len) const {
   check_range(off, len);
   check_media(off, len);
+  if (transient_armed_.load(std::memory_order_relaxed)) {
+    run_retries(FaultOp::kRead, off, len);
+  }
   std::memcpy(dst, data_.get() + off, len);
   auto& c = sim::ctx();
   const auto& pm = c.model().pmem;
@@ -171,6 +207,19 @@ void Device::fill(std::size_t off, std::size_t len, std::byte value) {
 void Device::persist(std::size_t off, std::size_t len) {
   check_range(off, len);
   if (frozen()) return;  // powered off: nothing to make durable
+  if (transient_armed_.load(std::memory_order_relaxed)) {
+    try {
+      check_sticky(off, len);
+      run_retries(FaultOp::kPersist, off, len);
+    } catch (const DeviceError&) {
+      // The writeback never reached media: in-flight stores to these lines
+      // are lost, exactly as on a crash.  Revert them to their last durable
+      // image so the media state the caller recovers against matches what
+      // the hardware would actually hold.
+      revert_unpersisted(off, len);
+      throw;
+    }
+  }
   const std::size_t first = off / kCacheLine;
   const std::size_t last = (off + len + kCacheLine - 1) / kCacheLine;
   auto& c = sim::ctx();
@@ -213,6 +262,15 @@ void Device::persist(std::size_t off, std::size_t len) {
 void Device::flush(std::size_t off, std::size_t len) {
   check_range(off, len);
   if (frozen()) return;  // powered off: nothing writes back
+  if (transient_armed_.load(std::memory_order_relaxed)) {
+    try {
+      check_sticky(off, len);
+      run_retries(FaultOp::kPersist, off, len);
+    } catch (const DeviceError&) {
+      revert_unpersisted(off, len);  // the writeback never happened
+      throw;
+    }
+  }
   const std::size_t first = off / kCacheLine;
   const std::size_t last = (off + len + kCacheLine - 1) / kCacheLine;
   auto& c = sim::ctx();
@@ -269,6 +327,21 @@ void Device::drain() {
   if (checker_) checker_->on_fence(op);
 }
 
+void Device::revert_unpersisted(std::size_t off, std::size_t len) {
+  if (!crash_shadow_) return;
+  const std::size_t first = off / kCacheLine;
+  const std::size_t last = (off + len + kCacheLine - 1) / kCacheLine;
+  std::lock_guard lk(mu_);
+  for (std::size_t line = first; line < last; ++line) {
+    const auto it = shadow_.find(line);
+    if (it == shadow_.end()) continue;  // line already durable
+    std::memcpy(data_.get() + line * kCacheLine, it->second.data(),
+                kCacheLine);
+    shadow_.erase(it);
+    flush_pending_.erase(line);
+  }
+}
+
 void Device::drain_flush_pending_locked() {
   for (const auto& [line, img] : flush_pending_) {
     // The fence made the flush-time image durable.  If the line was stored
@@ -289,6 +362,13 @@ void Device::drain_flush_pending_locked() {
 void Device::note_write(std::size_t off, std::size_t len) {
   if (len == 0 || frozen()) return;
   check_range(off, len);
+  // Every store path (checked writes, DAX spans, pool metadata) announces
+  // itself here before mutating, so this is the one store-side fault point:
+  // a throw below means the store never happened.
+  if (transient_armed_.load(std::memory_order_relaxed)) {
+    check_sticky(off, len);
+    run_retries(FaultOp::kWrite, off, len);
+  }
   trace::count(trace::Counter::kStoreOps);
   if (checker_) checker_->on_store(off, len);
   if (!crash_shadow_) return;
@@ -399,6 +479,16 @@ void Device::set_fault_plan(const FaultPlan& plan) {
   torn_writes_ = plan.torn_writes;
   torn_seed_ = plan.torn_seed;
   crash_at_.store(plan.crash_at_persist, std::memory_order_relaxed);
+  // Programmatic transient plans override the env arming (a plan with all
+  // rates zero disables injection).  The coin sequence restarts so the same
+  // plan replays the same fault schedule.
+  t_read_rate_ = plan.transient_read_rate;
+  t_write_rate_ = plan.transient_write_rate;
+  t_persist_rate_ = plan.transient_persist_rate;
+  sticky_rate_ = plan.sticky_rate;
+  fault_seed_ = plan.fault_seed;
+  fault_seq_ = 0;
+  transient_armed_.store(plan.transient_armed(), std::memory_order_relaxed);
 }
 
 void Device::revive() {
@@ -427,10 +517,131 @@ void Device::check_media(std::size_t off, std::size_t len) const {
   for (const auto& [boff, blen] : bad_media_) {
     if (off < boff + blen && boff < off + len) {
       throw DeviceError(DeviceError::Kind::kMediaRead, off, len,
-                        "pmem::Device: media read error in [" +
-                            std::to_string(boff) + ", +" +
-                            std::to_string(blen) + ")");
+                        "pmem::Device: media read error in " +
+                            range_str(boff, blen));
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transient faults, sticky media and retries
+// ---------------------------------------------------------------------------
+
+void Device::set_retry_policy(const ft::RetryPolicy& policy) noexcept {
+  std::lock_guard lk(mu_);
+  retry_ = policy;
+}
+
+ft::RetryPolicy Device::retry_policy() const noexcept {
+  std::lock_guard lk(mu_);
+  return retry_;
+}
+
+void Device::inject_sticky_range(std::size_t off, std::size_t len) {
+  check_range(off, len);
+  const std::size_t first = off / kCacheLine * kCacheLine;
+  const std::size_t last =
+      (off + len + kCacheLine - 1) / kCacheLine * kCacheLine;
+  {
+    std::lock_guard lk(mu_);
+    sticky_bad_.emplace_back(first, last - first);
+  }
+  trace::count(trace::Counter::kFtStickyRanges);
+  // Sticky checks only run while injection is armed; an explicit injection
+  // must bite even without a transient plan.
+  transient_armed_.store(true, std::memory_order_relaxed);
+}
+
+void Device::clear_sticky_ranges() {
+  std::lock_guard lk(mu_);
+  sticky_bad_.clear();
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Device::sticky_ranges()
+    const {
+  std::lock_guard lk(mu_);
+  return sticky_bad_;
+}
+
+bool Device::media_failing(std::size_t off, std::size_t len) const {
+  std::lock_guard lk(mu_);
+  for (const auto& [soff, slen] : sticky_bad_) {
+    if (off < soff + slen && soff < off + len) return true;
+  }
+  return false;
+}
+
+void Device::check_sticky(std::size_t off, std::size_t len) const {
+  std::lock_guard lk(mu_);
+  if (sticky_bad_.empty()) return;
+  for (const auto& [soff, slen] : sticky_bad_) {
+    if (off < soff + slen && soff < off + len) {
+      // Report the *bad range*, not the op range: that is what a caller
+      // should quarantine before relocating.
+      throw DeviceError(DeviceError::Kind::kMediaWrite, soff, slen,
+                        "pmem::Device: store to sticky-bad media " +
+                            range_str(soff, slen));
+    }
+  }
+}
+
+Device::Attempt Device::fault_attempt(
+    FaultOp op, std::size_t off, std::size_t len,
+    std::pair<std::size_t, std::size_t>* sticky) const {
+  std::lock_guard lk(mu_);
+  double rate = 0.0;
+  switch (op) {
+    case FaultOp::kRead: rate = t_read_rate_; break;
+    case FaultOp::kWrite: rate = t_write_rate_; break;
+    case FaultOp::kPersist: rate = t_persist_rate_; break;
+  }
+  if (rate <= 0.0) return Attempt::kOk;
+  if (unit_interval(mix64(fault_seed_ ^ ++fault_seq_)) >= rate) {
+    return Attempt::kOk;
+  }
+  if (op != FaultOp::kRead && sticky_rate_ > 0.0 &&
+      unit_interval(mix64(fault_seed_ ^ ++fault_seq_)) < sticky_rate_) {
+    // Escalation: the media under this op is now failing for good.  Mark
+    // whole cachelines so relocation and allocator avoidance reason in the
+    // same units as flushes.
+    const std::size_t first = off / kCacheLine * kCacheLine;
+    const std::size_t last =
+        (off + len + kCacheLine - 1) / kCacheLine * kCacheLine;
+    *sticky = sticky_bad_.emplace_back(first, last - first);
+    return Attempt::kSticky;
+  }
+  return Attempt::kTransient;
+}
+
+void Device::run_retries(FaultOp op, std::size_t off, std::size_t len) const {
+  int attempt = 1;
+  double backoff_spent = 0.0;
+  for (;;) {
+    std::pair<std::size_t, std::size_t> sticky{0, 0};
+    const Attempt a = fault_attempt(op, off, len, &sticky);
+    if (a == Attempt::kOk) return;
+    trace::count(trace::Counter::kFtTransientFaults);
+    if (a == Attempt::kSticky) {
+      trace::count(trace::Counter::kFtStickyRanges);
+      throw DeviceError(DeviceError::Kind::kMediaWrite, sticky.first,
+                        sticky.second,
+                        "pmem::Device: media failed (sticky) at " +
+                            range_str(sticky.first, sticky.second));
+    }
+    const double wait = retry_.backoff_for(attempt);
+    if (attempt >= retry_.max_attempts ||
+        (retry_.deadline > 0.0 && backoff_spent + wait > retry_.deadline)) {
+      throw DeviceError(DeviceError::Kind::kTransient, off, len,
+                        "pmem::Device: transient fault at " +
+                            range_str(off, len) + " persisted past " +
+                            std::to_string(attempt) + " attempts");
+    }
+    // The wait between attempts is simulated time like any other cost, so
+    // retries show up in span charge breakdowns and bench numbers.
+    sim::ctx().advance(wait, sim::Charge::kRetryBackoff);
+    backoff_spent += wait;
+    trace::count(trace::Counter::kFtRetries);
+    ++attempt;
   }
 }
 

@@ -164,7 +164,7 @@ void HashTable::put(std::string_view key, const void* data, std::size_t len,
     auto span = ins.value();
     std::memcpy(span.data(), data, len);
   }
-  ins.publish();
+  (void)ins.publish();  // replace mode: always links
 }
 
 bool HashTable::link_replace(std::string_view key, std::uint64_t node_off,

@@ -80,10 +80,38 @@ struct LogEntryHeader {
   std::uint64_t len;
 };
 
+// Persistent quarantine table (DESIGN.md §10): a header whose count/crc pair
+// fits one atomic 8-byte store, followed by (off, len) entries.  All-zero is
+// the valid empty table, so a freshly formatted pool needs no extra stores.
+struct QuarHeader {
+  std::uint32_t count;
+  std::uint32_t crc;  ///< CRC32C over the first `count` entries; 0 when empty
+};
+static_assert(sizeof(QuarHeader) == 8);
+
+struct QuarEntry {
+  std::uint64_t off;
+  std::uint64_t len;
+};
+static_assert(sizeof(QuarEntry) == 16);
+
+std::uint32_t quar_table_crc(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& q) {
+  std::vector<QuarEntry> ents;
+  ents.reserve(q.size());
+  for (const auto& [off, len] : q) ents.push_back({off, len});
+  return ents.empty() ? 0u
+                      : crc32c(ents.data(), ents.size() * sizeof(QuarEntry));
+}
+
 }  // namespace
 
 struct Pool::Layout {
   static constexpr std::uint64_t kHeaderOff = 64;
+  /// Quarantine table: header at kQuarOff, entries right behind it, all in
+  /// the metadata gap between the pool header and the allocator state.
+  static constexpr std::uint64_t kQuarOff = 128;
+  static constexpr std::uint64_t kQuarEntries = kQuarOff + sizeof(QuarHeader);
   static constexpr std::uint64_t kAllocOff = 4096;
   /// Allocator undo log: [u64 used][pre-image entries].  Gives the
   /// multi-store free-list/arena mutations in alloc()/free() the same
@@ -101,6 +129,11 @@ struct Pool::Layout {
   }
   static_assert(kAllocOff + sizeof(AllocState) <= 4608,
                 "alloc state must not overlap the allocator undo log");
+  static_assert(kHeaderOff + sizeof(PoolHeader) <= kQuarOff,
+                "pool header must not overlap the quarantine table");
+  static_assert(kQuarEntries + Pool::kQuarantineCapacity * sizeof(QuarEntry) <=
+                    kAllocOff,
+                "quarantine table must not overlap the allocator state");
 };
 
 Pool::Pool(pmem::Device& dev, std::size_t base, std::size_t size,
@@ -136,10 +169,21 @@ Pool Pool::open(pmem::Device& dev, std::size_t base, PoolOptions opts) {
   }
   p.size_ = hdr.size;
   p.recover();
+  p.load_quarantine();
   return p;
 }
 
 void Pool::format() {
+  // A re-created pool must not inherit a previous life's quarantine table.
+  // Peeked uncharged and only cleared when stale state is actually present,
+  // so formatting fresh media issues exactly the same store/flush sequence
+  // as before the table existed (the flush-audit baseline).
+  QuarHeader stale;
+  std::memcpy(&stale, dev_->raw(base_ + Layout::kQuarOff), sizeof(stale));
+  if (stale.count != 0 || stale.crc != 0) {
+    set(Layout::kQuarOff, QuarHeader{0, 0});
+  }
+
   AllocState as{};
   as.arena_cursor = Layout::heap_start();
   as.arena_end = size_;
@@ -262,6 +306,17 @@ std::uint64_t Pool::alloc(std::size_t bytes) {
     dev_->check_tx_commit();
     return off;
   } catch (...) {
+    // A fault mid-mutation (e.g. sticky media surfacing under a store) exits
+    // through here with the heap half-changed; the undo log the mutation
+    // phase pre-images through is designed for crash recovery but rolls the
+    // live image back just as well.  Best effort: an unrestorable line means
+    // the media under the allocator state itself died, and the caller's
+    // healing/degradation path owns that case.
+    try {
+      rollback_log(Layout::kAllocUndoOff, Layout::kAllocUndoOff + 8,
+                   Layout::kAllocUndoBytes);
+    } catch (...) {
+    }
     dev_->check_tx_abort();
     throw;
   }
@@ -286,17 +341,35 @@ std::uint64_t Pool::alloc_locked(std::size_t bytes) {
 
   std::uint64_t chunk = 0;
   std::uint64_t lnext = 0;  // successor of the chosen free-list chunk
-  std::uint64_t prev = 0;   // large-list predecessor (0 = head)
+  std::uint64_t prev = 0;   // free-list predecessor of the choice (0 = head)
   std::uint64_t rest = 0;   // split remainder, if any
   std::uint64_t rest_payload = 0;
   bool from_class_list = false;
   bool from_large_list = false;
 
-  if (cls != kLargeClass && as.free_head[cls] != 0) {
-    chunk = as.free_head[cls];
-    lnext = get<std::uint64_t>(chunk + kChunkHeader);
-    from_class_list = true;
-  } else if (cls == kLargeClass) {
+  // A free chunk is eligible only when it avoids quarantined media and its
+  // unlink store (the predecessor's next pointer) lands on healthy media —
+  // quarantined neighbours stay linked in place and are skipped forever.
+  const auto linkable = [&](std::uint64_t p) {
+    return p == 0 || !dev_->media_failing(base_ + p + kChunkHeader, 8);
+  };
+
+  if (cls != kLargeClass) {
+    std::uint64_t cur = as.free_head[cls];
+    std::uint64_t p = 0;
+    while (cur != 0) {
+      const auto next = get<std::uint64_t>(cur + kChunkHeader);
+      if ((quar_.empty() || !quar_hit(cur, chunk_size)) && linkable(p)) {
+        chunk = cur;
+        lnext = next;
+        prev = p;
+        from_class_list = true;
+        break;
+      }
+      p = cur;
+      cur = next;
+    }
+  } else {
     chunk_size = need;
     // First fit on the large free list.
     std::uint64_t cur = as.large_free_head;
@@ -304,7 +377,8 @@ std::uint64_t Pool::alloc_locked(std::size_t bytes) {
       const auto hdr = get<ChunkHeader>(cur);
       const std::size_t total = hdr.payload_size + kChunkHeader;
       const auto next = get<std::uint64_t>(cur + kChunkHeader);
-      if (total >= need) {
+      if (total >= need && (quar_.empty() || !quar_hit(cur, total)) &&
+          linkable(prev)) {
         chunk = cur;
         lnext = next;
         from_large_list = true;
@@ -322,9 +396,38 @@ std::uint64_t Pool::alloc_locked(std::size_t bytes) {
     }
   }
 
+  // Arena gaps hopped over quarantined media.  When the header spot is on
+  // healthy media the gap is tiled with a checksummed filler chunk (kept
+  // permanently in use); when the quarantined range covers the header spot
+  // itself, nothing is written and check()'s heap walk skips the stretch via
+  // the quarantine table.
+  struct GapChunk {
+    std::uint64_t at;
+    std::uint64_t payload;
+  };
+  std::vector<GapChunk> gaps;
+
   if (chunk == 0) {
     // Bump arena.
-    const std::uint64_t at = round_up(as.arena_cursor, kChunkAlign);
+    std::uint64_t at = round_up(as.arena_cursor, kChunkAlign);
+    if (!quar_.empty()) {
+      for (;;) {
+        const std::pair<std::uint64_t, std::uint64_t>* hit = nullptr;
+        for (const auto& q : quar_) {
+          if (q.first < at + chunk_size && at < q.first + q.second &&
+              (hit == nullptr || q.first < hit->first)) {
+            hit = &q;
+          }
+        }
+        if (hit == nullptr) break;
+        const std::uint64_t skip_to =
+            round_up(hit->first + hit->second, kChunkAlign);
+        if (hit->first > at) {
+          gaps.push_back({at, skip_to - at - kChunkHeader});
+        }
+        at = skip_to;
+      }
+    }
     if (at + chunk_size > as.arena_end) throw std::bad_alloc{};
     chunk = at;
   }
@@ -337,11 +440,21 @@ std::uint64_t Pool::alloc_locked(std::size_t bytes) {
   // The split remainder's header + next pointer are carved out of the chosen
   // chunk's old payload; logging those bytes restores the unsplit chunk.
   if (rest != 0) aundo_log(rest, kChunkHeader + 8);
+  for (const auto& g : gaps) aundo_log(g.at, kChunkHeader);
 
   // Phase 3 — mutate (each store individually persisted; any prefix of the
   // sequence is undone by the log above).
+  std::uint64_t filler_payload = 0;
+  for (const auto& g : gaps) {
+    set(g.at, make_chunk(g.payload, kLargeClass));
+    filler_payload += g.payload;
+  }
   if (from_class_list) {
-    set(as_off + offsetof(AllocState, free_head) + cls * 8, lnext);
+    if (prev == 0) {
+      set(as_off + offsetof(AllocState, free_head) + cls * 8, lnext);
+    } else {
+      set(prev + kChunkHeader, lnext);
+    }
   } else if (from_large_list) {
     std::uint64_t new_head = as.large_free_head;
     if (prev == 0) {
@@ -360,7 +473,7 @@ std::uint64_t Pool::alloc_locked(std::size_t bytes) {
   }
   set(chunk, make_chunk(chunk_size - kChunkHeader, cls));
   set(as_off + offsetof(AllocState, bytes_in_use),
-      as.bytes_in_use + (chunk_size - kChunkHeader));
+      as.bytes_in_use + filler_payload + (chunk_size - kChunkHeader));
 
   // Phase 4 — commit: retire the undo log; the allocation now stands.
   aundo_commit();
@@ -373,14 +486,6 @@ void Pool::free(std::uint64_t off) {
   trace::count(trace::Counter::kFreeOps);
   std::lock_guard lk(*alloc_mu_);
   charge_queue_delay();
-  dev_->check_tx_begin("pool.free");
-  struct ScopeGuard {
-    pmem::Device* dev;
-    bool committed = false;
-    ~ScopeGuard() {
-      if (!committed) dev->check_tx_abort();
-    }
-  } guard{dev_};
   const std::uint64_t chunk = off - kChunkHeader;
   const auto hdr = get<ChunkHeader>(chunk);
   if (!chunk_ok(hdr)) {
@@ -389,6 +494,22 @@ void Pool::free(std::uint64_t off) {
   if (hdr.cls != kLargeClass && hdr.cls >= kClassSizes.size()) {
     throw PoolError("Pool::free: corrupt chunk class");
   }
+  // Chunks on quarantined media are leaked in place: pushing one onto a
+  // free list would store the next pointer into failing media, and the
+  // allocator refuses to hand the space out again anyway.  The heap walk
+  // keeps counting them as allocated, so bytes_in_use stays consistent.
+  if (!quar_.empty() && quar_hit(chunk, hdr.payload_size + kChunkHeader)) {
+    return;
+  }
+  if (dev_->media_failing(base_ + off, 8)) return;  // next-pointer word bad
+  dev_->check_tx_begin("pool.free");
+  struct ScopeGuard {
+    pmem::Device* dev;
+    bool committed = false;
+    ~ScopeGuard() {
+      if (!committed) dev->check_tx_abort();
+    }
+  } guard{dev_};
   const std::uint64_t as_off = Layout::kAllocOff;
   const auto as = get<AllocState>(as_off);
 
@@ -403,16 +524,26 @@ void Pool::free(std::uint64_t off) {
   }
 
   // Pre-images: allocator state + the payload word that becomes the free-
-  // list next pointer.  A crash mid-free leaves the chunk allocated.
-  aundo_log(as_off, sizeof(AllocState));
-  aundo_log(off, 8);
+  // list next pointer.  A crash mid-free leaves the chunk allocated; a live
+  // fault mid-free rolls back the same way (see alloc()).
+  try {
+    aundo_log(as_off, sizeof(AllocState));
+    aundo_log(off, 8);
 
-  // Push: write the next pointer into the payload, then swing the head.
-  set(off, old_head);
-  set(head_field, chunk);
-  set(as_off + offsetof(AllocState, bytes_in_use),
-      as.bytes_in_use - hdr.payload_size);
-  aundo_commit();
+    // Push: write the next pointer into the payload, then swing the head.
+    set(off, old_head);
+    set(head_field, chunk);
+    set(as_off + offsetof(AllocState, bytes_in_use),
+        as.bytes_in_use - hdr.payload_size);
+    aundo_commit();
+  } catch (...) {
+    try {
+      rollback_log(Layout::kAllocUndoOff, Layout::kAllocUndoOff + 8,
+                   Layout::kAllocUndoBytes);
+    } catch (...) {
+    }
+    throw;
+  }
   dev_->check_tx_commit();
   guard.committed = true;
 }
@@ -486,12 +617,99 @@ void Pool::rollback_log(std::uint64_t header_off, std::uint64_t payload_off,
     const auto eh = get<LogEntryHeader>(*it);
     std::vector<std::byte> image(eh.len);
     read(*it + sizeof(LogEntryHeader), image.data(), eh.len);
+    // Skip already-clean targets: a store that faulted before mutating needs
+    // no restore, and writing to its (possibly now sticky-bad) line would
+    // fault the rollback itself.
+    std::vector<std::byte> current(eh.len);
+    read(eh.off, current.data(), eh.len);
+    if (std::memcmp(current.data(), image.data(), eh.len) == 0) continue;
     write(eh.off, image.data(), eh.len);
     persist(eh.off, eh.len);
   }
   // Retire the log durably: if this zero stayed in cache across a crash, a
   // second recovery would replay stale pre-images over committed state.
   set<std::uint64_t>(header_off, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Quarantine table
+// ---------------------------------------------------------------------------
+
+void Pool::load_quarantine() {
+  // Uncharged peeks: recovery metadata, not workload I/O.
+  QuarHeader qh;
+  std::memcpy(&qh, dev_->raw(base_ + Layout::kQuarOff), sizeof(qh));
+  quar_.clear();
+  if (qh.count == 0) {
+    if (qh.crc != 0) {
+      throw PoolError("Pool: quarantine header corrupt (crc without entries)");
+    }
+    return;
+  }
+  if (qh.count > kQuarantineCapacity) {
+    throw PoolError("Pool: quarantine count exceeds table capacity");
+  }
+  std::vector<QuarEntry> ents(qh.count);
+  std::memcpy(ents.data(), dev_->raw(base_ + Layout::kQuarEntries),
+              ents.size() * sizeof(QuarEntry));
+  if (crc32c(ents.data(), ents.size() * sizeof(QuarEntry)) != qh.crc) {
+    throw PoolError("Pool: quarantine table checksum mismatch");
+  }
+  for (const auto& e : ents) {
+    if (e.len == 0 || e.off % pmem::kCacheLine != 0 ||
+        e.len % pmem::kCacheLine != 0 || e.off > size_ ||
+        e.len > size_ - e.off) {
+      throw PoolError("Pool: quarantine entry corrupt");
+    }
+    quar_.emplace_back(e.off, e.len);
+  }
+}
+
+bool Pool::quar_hit(std::uint64_t off, std::size_t len) const {
+  for (const auto& [qo, ql] : quar_) {
+    if (off < qo + ql && qo < off + len) return true;
+  }
+  return false;
+}
+
+ft::Status Pool::quarantine(std::uint64_t off, std::size_t len) {
+  if (len == 0) return ft::Status::ok();
+  check_off(off, len);
+  const std::uint64_t first = off / pmem::kCacheLine * pmem::kCacheLine;
+  const std::uint64_t last = round_up(off + len, pmem::kCacheLine);
+  std::lock_guard lk(*alloc_mu_);
+  for (const auto& [qo, ql] : quar_) {
+    if (first >= qo && last <= qo + ql) return ft::Status::ok();  // covered
+  }
+  if (quar_.size() >= kQuarantineCapacity) {
+    return ft::Status(ft::ErrorCode::kQuarantineFull,
+                      "pool quarantine table full");
+  }
+  // The entry becomes durable first; only then does the single-store (one
+  // cacheline, hence crash-atomic) count/crc header swing publish it.
+  const QuarEntry e{first, last - first};
+  const std::uint64_t pos =
+      Layout::kQuarEntries + quar_.size() * sizeof(QuarEntry);
+  write(pos, &e, sizeof(e));
+  persist(pos, sizeof(e));
+  quar_.emplace_back(e.off, e.len);
+  QuarHeader qh{};
+  qh.count = static_cast<std::uint32_t>(quar_.size());
+  qh.crc = quar_table_crc(quar_);
+  set(Layout::kQuarOff, qh);
+  trace::count(trace::Counter::kFtQuarantines);
+  return ft::Status::ok();
+}
+
+bool Pool::is_quarantined(std::uint64_t off, std::size_t len) const {
+  std::lock_guard lk(*alloc_mu_);
+  return quar_hit(off, len);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Pool::quarantined()
+    const {
+  std::lock_guard lk(*alloc_mu_);
+  return quar_;
 }
 
 // ---------------------------------------------------------------------------
@@ -537,6 +755,59 @@ CheckReport Pool::check() const {
     return rep;  // heap walk bounds are meaningless
   }
 
+  // --- quarantine table -----------------------------------------------------
+  // Validated from media (not the DRAM cache): the heap walk below needs it
+  // to skip arena stretches the allocator hopped over without a filler.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> quar;
+  {
+    QuarHeader qh{};
+    bool qh_ok = true;
+    try {
+      qh = get<QuarHeader>(Layout::kQuarOff);
+    } catch (const pmem::DeviceError& e) {
+      issue(std::string("quarantine table: ") + e.what());
+      qh_ok = false;
+    }
+    if (qh_ok && qh.count > kQuarantineCapacity) {
+      issue("quarantine table: count " + std::to_string(qh.count) +
+            " exceeds capacity");
+      qh_ok = false;
+    }
+    if (qh_ok && qh.count == 0 && qh.crc != 0) {
+      issue("quarantine table: checksum without entries");
+      qh_ok = false;
+    }
+    if (qh_ok && qh.count > 0) {
+      std::vector<QuarEntry> ents(qh.count);
+      try {
+        read(Layout::kQuarEntries, ents.data(),
+             ents.size() * sizeof(QuarEntry));
+      } catch (const pmem::DeviceError& e) {
+        issue(std::string("quarantine table: ") + e.what());
+        qh_ok = false;
+      }
+      if (qh_ok &&
+          crc32c(ents.data(), ents.size() * sizeof(QuarEntry)) != qh.crc) {
+        issue("quarantine table: checksum mismatch");
+        qh_ok = false;
+      }
+      if (qh_ok) {
+        for (const auto& e : ents) {
+          if (e.len == 0 || e.off % pmem::kCacheLine != 0 ||
+              e.len % pmem::kCacheLine != 0 || e.off > size_ ||
+              e.len > size_ - e.off) {
+            issue("quarantine table: entry (" + std::to_string(e.off) + ", " +
+                  std::to_string(e.len) + ") corrupt");
+            qh_ok = false;
+            break;
+          }
+          quar.emplace_back(e.off, e.len);
+        }
+        if (!qh_ok) quar.clear();
+      }
+    }
+  }
+
   // --- heap walk ------------------------------------------------------------
   // Every byte of [heap_start, arena_cursor) must be tiled by chunks with
   // valid checksums; a chunk overrunning the cursor means overlap.
@@ -553,6 +824,20 @@ CheckReport Pool::check() const {
       break;
     }
     if (!chunk_ok(ch)) {
+      // The allocator hops over quarantined media without writing a filler
+      // header when the quarantined range covers the header spot itself;
+      // mirror that skip rule before calling the stretch corrupt.
+      const std::pair<std::uint64_t, std::uint64_t>* hit = nullptr;
+      for (const auto& q : quar) {
+        if (q.first < pos + kChunkHeader && pos < q.first + q.second &&
+            (hit == nullptr || q.first < hit->first)) {
+          hit = &q;
+        }
+      }
+      if (hit != nullptr) {
+        pos = round_up(hit->first + hit->second, kChunkAlign);
+        continue;
+      }
       issue("heap walk: corrupt chunk header at " + std::to_string(pos));
       walk_ok = false;
       break;
@@ -628,7 +913,19 @@ CheckReport Pool::check() const {
   // --- accounting -----------------------------------------------------------
   if (walk_ok) {
     rep.bytes_in_use = payload_total - free_payload;
-    if (rep.bytes_in_use != as.bytes_in_use) {
+    // Quarantined allocator state is permanently unwritable media: the
+    // stored counter can no longer track the heap (the pool is dead for
+    // writes and headed for degraded read-only mode), so a mismatch there
+    // is the expected scar of the media failure, not a structural bug.
+    bool alloc_state_dead = false;
+    for (const auto& q : quar) {
+      if (q.first < Layout::kAllocOff + sizeof(AllocState) &&
+          Layout::kAllocOff < q.first + q.second) {
+        alloc_state_dead = true;
+        break;
+      }
+    }
+    if (!alloc_state_dead && rep.bytes_in_use != as.bytes_in_use) {
       issue("bytes_in_use mismatch: stored " +
             std::to_string(as.bytes_in_use) + ", recomputed " +
             std::to_string(rep.bytes_in_use));

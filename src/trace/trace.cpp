@@ -153,6 +153,14 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kBatchCommits: return "batch_commits";
     case Counter::kCrashes: return "crashes";
     case Counter::kRecoveries: return "recoveries";
+    case Counter::kFtTransientFaults: return "ft_transient_faults";
+    case Counter::kFtRetries: return "ft_retries";
+    case Counter::kFtStickyRanges: return "ft_sticky_ranges";
+    case Counter::kFtQuarantines: return "ft_quarantines";
+    case Counter::kFtRelocations: return "ft_relocations";
+    case Counter::kFtPutRetries: return "ft_put_retries";
+    case Counter::kFtDegradedTransitions: return "ft_degraded_transitions";
+    case Counter::kFtDamagedKeys: return "ft_damaged_keys";
     case Counter::kNumCounters: break;
   }
   return "unknown";
@@ -179,6 +187,7 @@ const char* charge_name(sim::Charge c) noexcept {
     case sim::Charge::kPageFault: return "page_fault";
     case sim::Charge::kPfs: return "pfs";
     case sim::Charge::kOther: return "other";
+    case sim::Charge::kRetryBackoff: return "retry_backoff";
     case sim::Charge::kNumCharges: break;
   }
   return "unknown";

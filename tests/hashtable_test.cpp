@@ -173,7 +173,7 @@ TEST_F(HashTableTest, ReservePublishDirectWrite) {
   auto span = ins.value();
   const std::uint64_t v = 0x1234567890ABCDEFull;
   std::memcpy(span.data(), &v, 8);
-  ins.publish();
+  EXPECT_TRUE(ins.publish());
   auto ref = table.find("blob");
   ASSERT_TRUE(ref.has_value());
   const std::byte* p = table.value_direct(*ref);
