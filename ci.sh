@@ -16,13 +16,15 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==== lint ===="
-scripts/lint.sh
-
 run_config() {
   local name="$1"
   shift
   local dir="build-ci-${name}"
+  echo "==== [${name}] lint ===="
+  # pmemlint gates every config before the build; the JSON report is the
+  # config's lint artifact.  Any non-baselined finding fails the run.
+  mkdir -p "${dir}"
+  LINT_JSON="${dir}/pmemlint_report.json" scripts/lint.sh
   echo "==== [${name}] configure ===="
   cmake -B "${dir}" -S . "$@"
   echo "==== [${name}] build ===="
@@ -60,6 +62,9 @@ run_fault_config() {
   # transient-only faults that the default retry budget must heal invisibly
   # under an unmodified example.
   local dir="build-ci-fault"
+  echo "==== [fault] lint ===="
+  mkdir -p "${dir}"
+  LINT_JSON="${dir}/pmemlint_report.json" scripts/lint.sh
   echo "==== [fault] configure ===="
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DPMEMCPY_SANITIZE=ON -DPMEMCPY_PERSIST_CHECK=ON -DPMEMCPY_TRACE=ON

@@ -131,7 +131,7 @@ class PersistChecker {
   void tx_begin(std::string_view name);
   void tx_commit(std::uint64_t persist_op);
   void tx_abort();
-  void publish(std::size_t off, std::size_t len, std::uint64_t persist_op);
+  void on_publish(std::size_t off, std::size_t len, std::uint64_t persist_op);
 
   // --- reporting ------------------------------------------------------------
   [[nodiscard]] Report report() const;

@@ -75,7 +75,7 @@ class Mapping {
   /// Persistency-checker annotation: declare the file range as becoming
   /// reachable/visible (must be flushed + fenced by now).  No-op without an
   /// attached checker.
-  void publish(std::uint64_t off, std::size_t len);
+  void check_publish(std::uint64_t off, std::size_t len);
   /// Zero-copy span when [off, off+len) is physically contiguous; throws
   /// FsError otherwise (callers fall back to store()/load()).  Uncharged —
   /// account access through charge_load()/store().

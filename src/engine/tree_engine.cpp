@@ -44,7 +44,7 @@ void tree_finalize(fs::FileSystem& fs, TreePending& p) {
       (p.meta & 0xFFFFFFFFull) | (static_cast<std::uint64_t>(p.crc) << 32);
   p.mapping.store(0, &meta, sizeof(meta));
   p.mapping.persist(0, kTreeHeader + p.size);
-  p.mapping.publish(0, kTreeHeader + p.size);
+  p.mapping.check_publish(0, kTreeHeader + p.size);
   fs.rename(p.tmp_path, p.final_path, /*replace=*/!p.keep_existing);
 }
 

@@ -143,7 +143,7 @@ void Device::check_tx_abort() {
 }
 
 void Device::check_publish(std::size_t off, std::size_t len) {
-  if (checker_ && !frozen()) checker_->publish(off, len, persist_ops());
+  if (checker_ && !frozen()) checker_->on_publish(off, len, persist_ops());
 }
 
 void Device::check_range(std::size_t off, std::size_t len) const {

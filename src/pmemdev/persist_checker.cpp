@@ -290,8 +290,8 @@ void PersistChecker::tx_abort() {
   if (!ts.scopes.empty()) ts.scopes.pop_back();
 }
 
-void PersistChecker::publish(std::size_t off, std::size_t len,
-                             std::uint64_t persist_op) {
+void PersistChecker::on_publish(std::size_t off, std::size_t len,
+                                std::uint64_t persist_op) {
   if (len == 0) return;
   const auto [first, last] = line_span(off, len);
   std::lock_guard lk(mu_);

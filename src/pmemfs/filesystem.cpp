@@ -810,7 +810,7 @@ void Mapping::persist(std::uint64_t off, std::size_t len) {
   if (flushed) dev->drain();
 }
 
-void Mapping::publish(std::uint64_t off, std::size_t len) {
+void Mapping::check_publish(std::uint64_t off, std::size_t len) {
   auto* dev = fs_->dev_;
   for_runs(off, len, [&](std::uint64_t dev_off, std::uint64_t, std::uint64_t n) {
     dev->check_publish(dev_off, n);

@@ -1,0 +1,118 @@
+// Baseline parsing/matching and report emission (human + JSON).
+#include "pmemlint.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace pmemlint {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<BaselineEntry> parse_baseline(const std::string& content) {
+  std::vector<BaselineEntry> out;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    BaselineEntry e;
+    if (fields >> e.rule >> e.file >> e.context) out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::size_t apply_baseline(std::vector<Finding>& findings,
+                           std::vector<BaselineEntry>& baseline) {
+  std::size_t live = 0;
+  for (Finding& f : findings) {
+    for (BaselineEntry& e : baseline) {
+      const std::string ctx = f.context.empty() ? "-" : f.context;
+      if (e.rule == f.rule && e.file == f.file && e.context == ctx) {
+        f.baselined = true;
+        e.used = true;
+        break;
+      }
+    }
+    if (!f.baselined) ++live;
+  }
+  return live;
+}
+
+std::string to_json(const std::vector<Finding>& findings,
+                    const std::vector<BaselineEntry>& baseline) {
+  std::ostringstream out;
+  std::size_t live = 0, suppressed = 0;
+  for (const Finding& f : findings) (f.baselined ? suppressed : live)++;
+  out << "{\n  \"tool\": \"pmemlint\",\n  \"version\": 1,\n";
+  out << "  \"summary\": {\"findings\": " << live
+      << ", \"baselined\": " << suppressed << "},\n";
+  out << "  \"rules\": [\n";
+  const auto& rs = rules();
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    out << "    {\"id\": \"" << rs[i].id << "\", \"summary\": \""
+        << json_escape(rs[i].summary) << "\"}"
+        << (i + 1 < rs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"findings\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "    {\"rule\": \"" << json_escape(f.rule) << "\", \"file\": \""
+        << json_escape(f.file) << "\", \"line\": " << f.line
+        << ", \"context\": \"" << json_escape(f.context)
+        << "\", \"baselined\": " << (f.baselined ? "true" : "false")
+        << ", \"message\": \"" << json_escape(f.message) << "\"}"
+        << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"stale_baseline\": [\n";
+  std::vector<const BaselineEntry*> stale;
+  for (const BaselineEntry& e : baseline)
+    if (!e.used) stale.push_back(&e);
+  for (std::size_t i = 0; i < stale.size(); ++i) {
+    out << "    {\"rule\": \"" << json_escape(stale[i]->rule)
+        << "\", \"file\": \"" << json_escape(stale[i]->file)
+        << "\", \"context\": \"" << json_escape(stale[i]->context) << "\"}"
+        << (i + 1 < stale.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+std::string to_human(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+    if (f.context != "-" && !f.context.empty())
+      out << " (in " << f.context << ")";
+    if (f.baselined) out << " [baselined]";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pmemlint

@@ -1,0 +1,4 @@
+// pmemlint fixture: a sim-layer header reaching up into the engine layer.
+#pragma once
+
+#include <pmemcpy/engine/engine.hpp>

@@ -1,0 +1,7 @@
+// pmemlint fixture: raw simulated-clock read outside the sim/trace layers.
+// In comments ctx.now() never flags.
+
+template <typename Ctx>
+double bad_stamp(Ctx& ctx) {
+  return ctx.now();
+}

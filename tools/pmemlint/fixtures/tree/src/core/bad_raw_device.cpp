@@ -1,0 +1,16 @@
+// pmemlint fixture: raw device access outside the storage layers.
+// The historical grep rule caught these; the structural port must too —
+// but never inside comments: dev.note_write(0, 64); dev->raw(0);
+#include <cstddef>
+
+namespace pmemcpy::core {
+
+template <typename Dev>
+void bad_copy(Dev& dev, std::size_t len) {
+  dev.note_write(0, len);
+  void* p = dev.raw(0);
+  (void)p;
+  (void)len;
+}
+
+}  // namespace pmemcpy::core

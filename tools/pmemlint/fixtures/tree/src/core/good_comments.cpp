@@ -1,0 +1,8 @@
+// pmemlint fixture: every forbidden pattern below sits in a comment, a
+// string, or a raw string — the analyzer must report nothing in this file.
+//   dev.note_write(0, 64);  dev->raw(0);  pmemcpy::obj::HashTable t;
+//   ctx.now();  pool.check();  ins.publish();
+
+const char* kOne = "dev.note_write(0, 64); obj::HashTable; ctx.now()";
+const char* kTwo = R"(p.store(0, x, 8); return; fs::FileSystem behind)";
+/* block: m.quarantine(0, 64); p.scrub(); #include <pmemcpy/engine/engine.hpp> */

@@ -1,0 +1,11 @@
+// pmemlint fixture: health-probe verdicts dropped through chained and
+// multi-line receivers — the exact class the line-anchored grep missed.
+
+template <typename Node>
+void bad_probes(Node& node) {
+  node.pool().check();
+  node
+      .mapping()
+      .publish(0, 64);
+  (void)node.pool().check();  // explicit discard: not a finding
+}

@@ -1,0 +1,12 @@
+// pmemlint fixture: a store that can reach a return with no persist on the
+// early-return branch (static persist-path rule).
+#include <cstddef>
+
+template <typename Pool, typename Rec>
+void bad_put(Pool& p, const Rec& r, bool small) {
+  p.store(0, &r, sizeof(r));
+  if (small) {
+    return;  // dirty: the store above is never flushed on this path
+  }
+  p.persist(0, sizeof(r));
+}

@@ -1,0 +1,22 @@
+// pmemlint fixture: stores persisted on every path, probe results consumed,
+// and one reviewed suppression via an inline allow pragma.
+#include <cstddef>
+
+template <typename Pool, typename Rec>
+bool good_put(Pool& p, const Rec& r, bool small) {
+  p.store(0, &r, sizeof(r));
+  if (small) {
+    p.persist(0, sizeof(r));
+    return true;
+  }
+  p.persist(0, sizeof(r));
+  const bool ok = p.pool().check().clean;
+  (void)p.pool().scrub();
+  return ok;
+}
+
+template <typename Pool>
+void reviewed_stage(Pool& p, const void* src) {
+  // pmemlint: allow(unpersisted-return) — staged on purpose; see fixture.
+  p.store(0, src, 8);
+}

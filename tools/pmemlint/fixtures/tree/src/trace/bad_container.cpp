@@ -1,0 +1,7 @@
+// pmemlint fixture: naming obj::HashTable outside the engine layers.
+// Mentions in comments never flag: obj::HashTable, fs::FileSystem.
+namespace pmemcpy { namespace obj { class HashTable; } }
+
+void bad_touch(pmemcpy::obj::HashTable* table);
+
+const char* kDoc = "obj::HashTable in a string is not a finding";

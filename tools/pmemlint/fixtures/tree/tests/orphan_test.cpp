@@ -1,0 +1,4 @@
+// pmemlint fixture: a test file never registered in tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+TEST(Orphan, NeverRuns) { EXPECT_TRUE(true); }

@@ -1,0 +1,4 @@
+// pmemlint fixture: registered in the fixture CMakeLists — no finding.
+#include <gtest/gtest.h>
+
+TEST(Registered, Runs) { EXPECT_TRUE(true); }

@@ -1,0 +1,259 @@
+// Tokenizer.  Produces the token stream the structural and flow rules run
+// over; comments and literals are consumed here so no rule can ever match
+// inside them (the historical grep rules' main false-positive class).
+// Comments are scanned for `pmemlint: allow(rule[, rule...])` suppressions
+// before being dropped.
+#include "pmemlint.hpp"
+
+#include <cctype>
+#include <cstring>
+
+namespace pmemlint {
+
+namespace {
+
+/// Multi-character punctuators we must not split ("::" matters to rules;
+/// the rest are kept whole so expression scans see sane boundaries).
+const char* const kPunct3[] = {"<<=", ">>=", "->*", "...", "<=>"};
+const char* const kPunct2[] = {"::", "->", "<<", ">>", "<=", ">=", "==", "!=",
+                               "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=",
+                               "|=", "^=", "++", "--", ".*", "##"};
+
+bool starts_with(std::string_view s, std::size_t i, const char* p) {
+  const std::size_t n = std::strlen(p);
+  return s.size() - i >= n && s.compare(i, n, p) == 0;
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Record `pmemlint: allow(a, b)` pragmas found in a comment at @p line.
+void scan_allow(SourceFile& f, std::string_view comment, int line) {
+  constexpr std::string_view kTag = "pmemlint:";
+  std::size_t p = comment.find(kTag);
+  if (p == std::string_view::npos) return;
+  p += kTag.size();
+  while (p < comment.size() && comment[p] == ' ') ++p;
+  constexpr std::string_view kAllow = "allow(";
+  if (comment.compare(p, kAllow.size(), kAllow) != 0) return;
+  p += kAllow.size();
+  const std::size_t close = comment.find(')', p);
+  if (close == std::string_view::npos) return;
+  std::string_view list = comment.substr(p, close - p);
+  while (!list.empty()) {
+    std::size_t comma = list.find(',');
+    std::string_view id = list.substr(0, comma);
+    while (!id.empty() && id.front() == ' ') id.remove_prefix(1);
+    while (!id.empty() && id.back() == ' ') id.remove_suffix(1);
+    if (!id.empty()) f.allows[line].insert(std::string(id));
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+}
+
+}  // namespace
+
+void lex(SourceFile& f) {
+  const std::string_view s = f.content;
+  std::size_t i = 0;
+  int line = 1;
+  auto push = [&](Tok k, std::size_t lo, std::size_t hi, int ln) {
+    f.tokens.push_back(Token{k, s.substr(lo, hi - lo), ln});
+  };
+
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (starts_with(s, i, "//")) {
+      std::size_t e = s.find('\n', i);
+      if (e == std::string_view::npos) e = s.size();
+      scan_allow(f, s.substr(i, e - i), line);
+      i = e;
+      continue;
+    }
+    // Block comment.
+    if (starts_with(s, i, "/*")) {
+      const int start_line = line;
+      std::size_t e = s.find("*/", i + 2);
+      if (e == std::string_view::npos) e = s.size();
+      for (std::size_t j = i; j < e; ++j)
+        if (s[j] == '\n') ++line;
+      scan_allow(f, s.substr(i, e - i), start_line);
+      i = (e == s.size()) ? e : e + 2;
+      continue;
+    }
+    // Preprocessor directive: only when '#' starts the logical line.  Keep
+    // the whole directive (with continuations joined) as one token.
+    if (c == '#') {
+      std::size_t back = i;
+      bool at_line_start = true;
+      while (back > 0) {
+        const char b = s[--back];
+        if (b == '\n') break;
+        if (b != ' ' && b != '\t' && b != '\r') {
+          at_line_start = false;
+          break;
+        }
+      }
+      if (at_line_start) {
+        const int start_line = line;
+        std::size_t e = i;
+        while (e < s.size()) {
+          if (s[e] == '\n') {
+            if (e > i && s[e - 1] == '\\') {
+              ++line;
+              ++e;
+              continue;
+            }
+            break;
+          }
+          ++e;
+        }
+        push(Tok::kPP, i, e, start_line);
+        i = e;
+        continue;
+      }
+      // '#' mid-line (stringize inside a macro body): plain punct.
+    }
+    // Raw string literal (optionally with encoding prefix).
+    {
+      std::size_t j = i;
+      if (ident_start(c)) {
+        // u8R"( / uR / UR / LR prefixes.
+        std::size_t k = i;
+        while (k < s.size() && ident_char(s[k])) ++k;
+        if (k < s.size() && s[k] == '"' && s[k - 1] == 'R' && k - i <= 3) {
+          j = k;  // points at '"'
+        }
+      }
+      if ((s[i] == 'R' && i + 1 < s.size() && s[i + 1] == '"') ||
+          (j != i && s[j] == '"')) {
+        const std::size_t q = (j != i) ? j : i + 1;  // the '"'
+        std::size_t d = q + 1;
+        while (d < s.size() && s[d] != '(' && s[d] != '"' && s[d] != '\n') ++d;
+        if (d < s.size() && s[d] == '(') {
+          std::string delim = ")" + std::string(s.substr(q + 1, d - q - 1)) +
+                              "\"";
+          std::size_t e = s.find(delim, d + 1);
+          if (e == std::string_view::npos)
+            e = s.size();
+          else
+            e += delim.size();
+          const int start_line = line;
+          for (std::size_t t = i; t < e && t < s.size(); ++t)
+            if (s[t] == '\n') ++line;
+          push(Tok::kString, i, e, start_line);
+          i = e;
+          continue;
+        }
+      }
+    }
+    // String / char literal (with optional u8/u/U/L prefix handled by the
+    // identifier path falling through: an identifier immediately followed by
+    // a quote is re-lexed here).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      std::size_t e = i + 1;
+      while (e < s.size()) {
+        if (s[e] == '\\' && e + 1 < s.size()) {
+          e += 2;
+          continue;
+        }
+        if (s[e] == quote) {
+          ++e;
+          break;
+        }
+        if (s[e] == '\n') ++line;  // unterminated; be forgiving
+        ++e;
+      }
+      push(quote == '"' ? Tok::kString : Tok::kChar, i, e, start_line);
+      i = e;
+      continue;
+    }
+    // Identifier / keyword (possibly a literal prefix).
+    if (ident_start(c)) {
+      std::size_t e = i + 1;
+      while (e < s.size() && ident_char(s[e])) ++e;
+      if (e < s.size() && (s[e] == '"' || s[e] == '\'') && e - i <= 2) {
+        // u8"...", L'...': fold the prefix into the literal by restarting
+        // the literal path from the prefix.
+        const char quote = s[e];
+        std::size_t q = e + 1;
+        while (q < s.size()) {
+          if (s[q] == '\\' && q + 1 < s.size()) {
+            q += 2;
+            continue;
+          }
+          if (s[q] == quote) {
+            ++q;
+            break;
+          }
+          if (s[q] == '\n') ++line;
+          ++q;
+        }
+        push(quote == '"' ? Tok::kString : Tok::kChar, i, q, line);
+        i = q;
+        continue;
+      }
+      push(Tok::kIdent, i, e, line);
+      i = e;
+      continue;
+    }
+    // Number (pp-number: digits, idents, quotes-as-separators, exponent
+    // signs, dots).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < s.size() &&
+         std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+      std::size_t e = i + 1;
+      while (e < s.size()) {
+        const char n = s[e];
+        if (ident_char(n) || n == '.') {
+          ++e;
+          continue;
+        }
+        if (n == '\'' && e + 1 < s.size() && ident_char(s[e + 1])) {
+          e += 2;
+          continue;
+        }
+        if ((n == '+' || n == '-') && (s[e - 1] == 'e' || s[e - 1] == 'E' ||
+                                       s[e - 1] == 'p' || s[e - 1] == 'P')) {
+          ++e;
+          continue;
+        }
+        break;
+      }
+      push(Tok::kNumber, i, e, line);
+      i = e;
+      continue;
+    }
+    // Punctuation, longest match first.
+    {
+      std::size_t n = 1;
+      for (const char* p : kPunct3)
+        if (starts_with(s, i, p)) n = 3;
+      if (n == 1)
+        for (const char* p : kPunct2)
+          if (starts_with(s, i, p)) n = 2;
+      push(Tok::kPunct, i, i + n, line);
+      i += n;
+      continue;
+    }
+  }
+  f.tokens.push_back(Token{Tok::kEnd, std::string_view(), line});
+}
+
+}  // namespace pmemlint

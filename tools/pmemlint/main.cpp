@@ -1,0 +1,151 @@
+// pmemlint CLI.
+//
+//   pmemlint [--root DIR] [--baseline FILE] [--json FILE] [--list-rules]
+//            [paths...]
+//
+// Paths are directories (walked recursively for .cpp/.hpp/.h/.c) or single
+// files, relative to --root (default: current directory).  With no paths the
+// default scan set is src include bench examples tests — deliberately not
+// tools/, so the analyzer's own fixture corpus of known-bad snippets does not
+// flag the tree.  Exit status is 1 iff any non-baselined finding (or stale
+// baseline entry) exists.
+#include "pmemlint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool source_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".cpp" || e == ".hpp" || e == ".h" || e == ".c" || e == ".cc";
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string rel_str(const fs::path& p, const fs::path& root) {
+  return p.lexically_relative(root).generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string baseline_path;
+  std::string json_path;
+  std::vector<std::string> paths;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* opt) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "pmemlint: " << opt << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = fs::path(next("--root"));
+    } else if (arg == "--baseline") {
+      baseline_path = next("--baseline");
+    } else if (arg == "--json") {
+      json_path = next("--json");
+    } else if (arg == "--quiet" || arg == "-q") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& r : pmemlint::rules())
+        std::cout << r.id << "\t" << r.summary << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: pmemlint [--root DIR] [--baseline FILE] "
+                   "[--json FILE] [--quiet] [--list-rules] [paths...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "pmemlint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty())
+    paths = {"src", "include", "bench", "examples", "tests"};
+
+  std::error_code ec;
+  root = fs::canonical(root, ec);
+  if (ec) {
+    std::cerr << "pmemlint: bad --root: " << ec.message() << "\n";
+    return 2;
+  }
+
+  pmemlint::Corpus corpus;
+  for (const std::string& p : paths) {
+    const fs::path abs = root / p;
+    if (fs::is_regular_file(abs, ec)) {
+      corpus.add(rel_str(abs, root), slurp(abs));
+    } else if (fs::is_directory(abs, ec)) {
+      std::vector<fs::path> files;
+      for (const auto& ent :
+           fs::recursive_directory_iterator(abs, ec))
+        if (ent.is_regular_file() && source_ext(ent.path()))
+          files.push_back(ent.path());
+      std::sort(files.begin(), files.end());
+      for (const auto& f : files) corpus.add(rel_str(f, root), slurp(f));
+    }
+    // Missing paths are skipped silently so `pmemlint src include` works in
+    // partial checkouts.
+  }
+  const fs::path tests_cmake = root / "tests" / "CMakeLists.txt";
+  if (fs::is_regular_file(tests_cmake, ec))
+    corpus.tests_cmake = slurp(tests_cmake);
+
+  std::vector<pmemlint::Finding> findings = pmemlint::run_rules(corpus);
+
+  std::vector<pmemlint::BaselineEntry> baseline;
+  if (!baseline_path.empty()) {
+    const fs::path bp =
+        fs::path(baseline_path).is_absolute() ? fs::path(baseline_path)
+                                              : root / baseline_path;
+    if (fs::is_regular_file(bp, ec)) baseline = pmemlint::parse_baseline(slurp(bp));
+  }
+  const std::size_t live = pmemlint::apply_baseline(findings, baseline);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    out << pmemlint::to_json(findings, baseline);
+    if (!out) {
+      std::cerr << "pmemlint: cannot write " << json_path << "\n";
+      return 2;
+    }
+  }
+
+  if (!quiet) std::cout << pmemlint::to_human(findings);
+
+  std::size_t stale = 0;
+  for (const auto& e : baseline)
+    if (!e.used) {
+      ++stale;
+      std::cerr << "pmemlint: stale baseline entry: " << e.rule << " "
+                << e.file << " " << e.context << "\n";
+    }
+
+  if (live > 0 || stale > 0) {
+    std::cerr << "pmemlint: " << live << " finding(s), " << stale
+              << " stale baseline entr(y/ies)\n";
+    return 1;
+  }
+  if (!quiet)
+    std::cout << "pmemlint: clean (" << corpus.files.size() << " files, "
+              << findings.size() << " baselined finding(s))\n";
+  return 0;
+}

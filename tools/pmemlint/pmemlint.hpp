@@ -1,0 +1,208 @@
+// pmemlint — in-tree flow-sensitive static analyzer for persist-path and
+// layering bugs (DESIGN.md §11).
+//
+// The pipeline is deliberately simple and dependency-free:
+//
+//   1. Lexer (lexer.cpp) — a real C++ tokenizer: comments (which may carry
+//      `pmemlint: allow(rule)` suppressions), string/char literals, raw
+//      strings, preprocessor lines (kept whole, for the include rules),
+//      identifiers, numbers, punctuation.  Rules never see into comments or
+//      literals, which kills the grep rules' false-positive class outright.
+//   2. Structure recovery (structure.cpp) — per-file function discovery
+//      (namespace/class/function brace classification) and, per function,
+//      a statement/branch tree: blocks, if/else, loops, switch, try/catch,
+//      return/throw, expression statements.  No type checking; just enough
+//      shape for flow-sensitive rules.
+//   3. Rule engine (rules.cpp) — typed rules over the corpus.  Structural
+//      ports of the five historical scripts/lint.sh rules plus the
+//      flow-sensitive ones the shell could not express (unpersisted-return,
+//      dropped-result over chained/temporary calls, include layering).
+//
+// Findings carry file:line provenance and a stable suppression key
+// (rule + file + enclosing-function/context) matched against a checked-in
+// baseline file, so legitimate idioms (e.g. deferred-persist staging) are
+// suppressed explicitly and visibly rather than by weakening the rule.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pmemlint {
+
+// ---------------------------------------------------------------------------
+// Tokens
+// ---------------------------------------------------------------------------
+
+enum class Tok : std::uint8_t {
+  kIdent,   ///< identifier or keyword
+  kNumber,  ///< numeric literal (pp-number)
+  kString,  ///< "..." or R"(...)" (text excludes quotes' content details)
+  kChar,    ///< '...'
+  kPunct,   ///< operator / punctuator ("::", "->", "{", ...)
+  kPP,      ///< one whole preprocessor directive (continuations joined)
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string_view text;  ///< view into SourceFile::content
+  int line;               ///< 1-based
+};
+
+// ---------------------------------------------------------------------------
+// Files and recovered structure
+// ---------------------------------------------------------------------------
+
+/// One recovered function definition (free function, method, TEST body...).
+struct Function {
+  std::string name;     ///< unqualified name ("publish", "TEST", "~Pool")
+  int line;             ///< line of the signature's opening identifier
+  std::size_t body_lo;  ///< token index of the '{' opening the body
+  std::size_t body_hi;  ///< token index of the matching '}'
+};
+
+struct SourceFile {
+  std::string rel;      ///< path relative to the analysis root ("src/x.cpp")
+  std::string content;  ///< owned; tokens view into this
+  std::vector<Token> tokens;
+  std::vector<Function> functions;
+  /// Lines carrying a `pmemlint: allow(rule[, rule...])` comment.  A pragma
+  /// suppresses matching findings on its own line and the following line.
+  std::map<int, std::set<std::string>> allows;
+
+  SourceFile() = default;
+  SourceFile(const SourceFile&) = delete;
+  SourceFile& operator=(const SourceFile&) = delete;
+
+  /// Innermost recovered function containing token index @p ti, or nullptr.
+  [[nodiscard]] const Function* function_at(std::size_t ti) const;
+};
+
+// ---------------------------------------------------------------------------
+// Statement tree (built on demand per function body by structure.cpp)
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  kBlock,   ///< { children }
+  kIf,      ///< children = {then[, else]}
+  kLoop,    ///< for/while/do/switch body: runs zero or more times
+  kTry,     ///< children = {body, catch...}; catches see any body state
+  kReturn,  ///< normal exit
+  kThrow,   ///< exceptional exit (not flagged by the persist-path rule)
+  kExpr,    ///< plain expression/declaration statement: tokens [lo, hi)
+};
+
+struct Stmt {
+  StmtKind kind;
+  std::size_t lo = 0;  ///< token range [lo, hi) of the statement head/expr
+  std::size_t hi = 0;
+  std::vector<Stmt> children;
+};
+
+/// Parse the token range (body_lo, body_hi) — exclusive of the braces —
+/// into a statement tree.
+[[nodiscard]] Stmt parse_block(const SourceFile& f, std::size_t lo,
+                               std::size_t hi);
+
+// ---------------------------------------------------------------------------
+// Lexing / loading
+// ---------------------------------------------------------------------------
+
+/// Tokenize @p content into @p f (fills content, tokens, allows, functions).
+void load_source(SourceFile& f, std::string rel, std::string content);
+
+// ---------------------------------------------------------------------------
+// Layer map (include-layering + persist-path scoping)
+// ---------------------------------------------------------------------------
+
+/// sim → trace → pmem → obj/fs → engine → core, with the leaf vocabulary
+/// below and the app facades above.  rank() of an includer must be >= the
+/// rank of anything it includes unless both map to the same layer.
+struct Layer {
+  std::string name;  ///< "obj", "engine", ... empty = unconstrained
+  int rank = -1;     ///< -1 = unconstrained (tests/bench/examples/unknown)
+};
+
+/// Layer of a repo-relative path ("src/pmemobj/pool.cpp",
+/// "pmemcpy/obj/pool.hpp" include targets are resolved by the caller to
+/// "include/pmemcpy/obj/pool.hpp" first).
+[[nodiscard]] Layer layer_of(std::string_view rel);
+
+// ---------------------------------------------------------------------------
+// Findings / rule engine
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string rule;     ///< stable rule id ("dropped-result", ...)
+  std::string file;     ///< repo-relative path
+  int line = 0;
+  std::string message;
+  /// Third field of the suppression key: the enclosing function name, or a
+  /// rule-specific stable context for file-level findings.
+  std::string context;
+  bool baselined = false;
+
+  [[nodiscard]] std::string key() const {
+    return rule + " " + file + " " + (context.empty() ? "-" : context);
+  }
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The seven rules, in reporting order.
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+struct Corpus {
+  std::vector<std::unique_ptr<SourceFile>> files;
+  /// tests/CMakeLists.txt content (for the test-registration rule); empty
+  /// when not provided.
+  std::string tests_cmake;
+
+  SourceFile& add(std::string rel, std::string content);
+  [[nodiscard]] const SourceFile* find(std::string_view rel) const;
+};
+
+/// Run every rule over the corpus.  Findings are sorted by file, line, rule.
+[[nodiscard]] std::vector<Finding> run_rules(const Corpus& corpus);
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+/// One parsed baseline entry: `rule file context  # note`.
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  std::string context;
+  bool used = false;
+};
+
+/// Parse a baseline file's content (comments: `#` to end of line).
+[[nodiscard]] std::vector<BaselineEntry> parse_baseline(
+    const std::string& content);
+
+/// Mark findings matching a baseline entry (rule+file+context) and mark the
+/// entries used.  Returns the number of non-baselined findings.
+std::size_t apply_baseline(std::vector<Finding>& findings,
+                           std::vector<BaselineEntry>& baseline);
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+/// Machine-readable report (one JSON object; schema in DESIGN.md §11).
+[[nodiscard]] std::string to_json(const std::vector<Finding>& findings,
+                                  const std::vector<BaselineEntry>& baseline);
+
+/// Human lines: "file:line: [rule] message" (+ "(baselined)" markers).
+[[nodiscard]] std::string to_human(const std::vector<Finding>& findings);
+
+}  // namespace pmemlint

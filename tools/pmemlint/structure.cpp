@@ -1,0 +1,404 @@
+// Structure recovery: which token ranges are function bodies, and what the
+// statement/branch shape of each body is.  This is a heuristic C++ "parser"
+// — no types, no overload resolution — but it only has to be right about
+// shape: braces, statement boundaries, branches, and exits.  Anything it
+// cannot classify is treated conservatively (skipped or folded into an
+// expression statement), never guessed at.
+#include "pmemlint.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pmemlint {
+
+void lex(SourceFile& f);  // lexer.cpp
+
+namespace {
+
+bool is_punct(const Token& t, std::string_view p) {
+  return t.kind == Tok::kPunct && t.text == p;
+}
+bool is_ident(const Token& t, std::string_view id) {
+  return t.kind == Tok::kIdent && t.text == id;
+}
+
+/// Index of the '}' matching the '{' at @p i (PP tokens never carry braces).
+std::size_t match_brace(const std::vector<Token>& ts, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < ts.size(); ++j) {
+    if (is_punct(ts[j], "{")) ++depth;
+    if (is_punct(ts[j], "}") && --depth == 0) return j;
+  }
+  return ts.size() - 1;  // unbalanced: clamp to end
+}
+
+/// Index just past a balanced "(...)" group starting at @p i (ts[i] == "(").
+std::size_t skip_parens(const std::vector<Token>& ts, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < ts.size(); ++j) {
+    if (is_punct(ts[j], "(")) ++depth;
+    if (is_punct(ts[j], ")") && --depth == 0) return j + 1;
+  }
+  return ts.size() - 1;
+}
+
+// ---------------------------------------------------------------------------
+// Function recovery
+// ---------------------------------------------------------------------------
+
+/// Scan back from the '{' at @p i to the start of its "header": the previous
+/// statement boundary (';', or a '{'/'}' not part of a balanced group inside
+/// the header, or a preprocessor token).  Balanced groups — member-init
+/// braces, default-argument parens — are stepped over whole.
+std::size_t header_start(const std::vector<Token>& ts, std::size_t i) {
+  int paren = 0;
+  std::size_t j = i;
+  while (j > 0) {
+    const Token& t = ts[j - 1];
+    if (t.kind == Tok::kPP) break;
+    if (is_punct(t, ")")) {
+      ++paren;
+    } else if (is_punct(t, "(")) {
+      if (paren == 0) break;  // inside an unbalanced group: barrier
+      --paren;
+    } else if (paren == 0 && (is_punct(t, ";") || is_punct(t, "{") ||
+                              is_punct(t, "}"))) {
+      // Statement boundary or an adjacent scope's brace.  (Braced member
+      // inits in constructor headers are not stepped over — this repo's
+      // style uses paren inits — so a '}' at depth 0 is always a boundary.)
+      break;
+    }
+    --j;
+  }
+  return j;
+}
+
+enum class BraceKind { kNamespace, kType, kFunction, kOther };
+
+struct Classified {
+  BraceKind kind;
+  std::string fn_name;
+  int fn_line = 0;
+};
+
+/// Classify the '{' at @p i by its header tokens [h, i).
+Classified classify_brace(const std::vector<Token>& ts, std::size_t h,
+                          std::size_t i) {
+  if (h >= i) return {BraceKind::kOther, {}, 0};
+
+  bool has_eq = false, has_namespace = false, has_extern_str = false;
+  bool has_type_kw = false;
+  int paren = 0;
+  // First pass: top-level markers.
+  for (std::size_t j = h; j < i; ++j) {
+    const Token& t = ts[j];
+    if (is_punct(t, "(")) ++paren;
+    if (is_punct(t, ")")) --paren;
+    if (paren > 0) continue;
+    if (is_punct(t, "=")) has_eq = true;
+    if (is_ident(t, "namespace")) has_namespace = true;
+    if (is_ident(t, "extern") && j + 1 < i && ts[j + 1].kind == Tok::kString)
+      has_extern_str = true;
+    if (is_ident(t, "class") || is_ident(t, "struct") ||
+        is_ident(t, "union") || is_ident(t, "enum"))
+      has_type_kw = true;
+  }
+  if (has_namespace || has_extern_str) return {BraceKind::kNamespace, {}, 0};
+  if (has_eq) return {BraceKind::kOther, {}, 0};
+
+  // Function candidate: the first top-level `ident (`, or `ident <...> (`
+  // (explicit specialization), or `operator<op> (`.
+  paren = 0;
+  for (std::size_t j = h; j < i; ++j) {
+    const Token& t = ts[j];
+    if (is_punct(t, "(")) ++paren;
+    if (is_punct(t, ")")) --paren;
+    if (paren != 0 || t.kind != Tok::kIdent) continue;
+    if (is_ident(t, "operator")) {
+      // operator==( / operator()( / operator bool( — an `operator` keyword
+      // at top level of a brace header is always an operator definition.
+      return {BraceKind::kFunction, "operator", t.line};
+    }
+    std::size_t k = j + 1;
+    if (k < i && is_punct(ts[k], "<")) {
+      // f<int>(...) — step over one balanced <...>.
+      int ang = 0;
+      while (k < i) {
+        if (is_punct(ts[k], "<")) ++ang;
+        if (is_punct(ts[k], ">") && --ang == 0) {
+          ++k;
+          break;
+        }
+        if (is_punct(ts[k], ";") || is_punct(ts[k], "(")) break;
+        ++k;
+      }
+    }
+    if (k < i && is_punct(ts[k], "(")) {
+      std::string name(t.text);
+      if (j > h && is_punct(ts[j - 1], "~")) name = "~" + name;
+      return {BraceKind::kFunction, std::move(name), t.line};
+    }
+  }
+  if (has_type_kw) return {BraceKind::kType, {}, 0};
+  return {BraceKind::kOther, {}, 0};
+}
+
+void recover_functions(SourceFile& f) {
+  const auto& ts = f.tokens;
+  // Context stack of open braces we are *inside* (namespaces/types only;
+  // function and other bodies are skipped whole).
+  std::vector<std::size_t> open;  // matching '}' indices, for popping
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    while (!open.empty() && i > open.back()) open.pop_back();
+    if (!is_punct(ts[i], "{")) continue;
+    const std::size_t h = header_start(ts, i);
+    const Classified c = classify_brace(ts, h, i);
+    const std::size_t close = match_brace(ts, i);
+    switch (c.kind) {
+      case BraceKind::kNamespace:
+      case BraceKind::kType:
+        open.push_back(close);  // descend
+        break;
+      case BraceKind::kFunction:
+        f.functions.push_back(Function{c.fn_name, c.fn_line, i, close});
+        i = close;  // bodies are parsed on demand by parse_block
+        break;
+      case BraceKind::kOther:
+        i = close;
+        break;
+    }
+  }
+  std::sort(f.functions.begin(), f.functions.end(),
+            [](const Function& a, const Function& b) {
+              return a.body_lo < b.body_lo;
+            });
+}
+
+}  // namespace
+
+const Function* SourceFile::function_at(std::size_t ti) const {
+  const Function* best = nullptr;
+  for (const auto& fn : functions)
+    if (fn.body_lo <= ti && ti <= fn.body_hi) best = &fn;  // last = innermost
+  return best;
+}
+
+void load_source(SourceFile& f, std::string rel, std::string content) {
+  f.rel = std::move(rel);
+  f.content = std::move(content);
+  lex(f);
+  recover_functions(f);
+}
+
+// ---------------------------------------------------------------------------
+// Statement tree
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct StmtParser {
+  const std::vector<Token>& ts;
+  std::size_t hi;
+
+  /// Consume one statement starting at @p i; returns (stmt, next index).
+  std::pair<Stmt, std::size_t> stmt(std::size_t i) {
+    if (i >= hi) return {Stmt{StmtKind::kBlock, i, i, {}}, hi};
+    const Token& t = ts[i];
+
+    if (t.kind == Tok::kPP) return {Stmt{StmtKind::kExpr, i, i + 1, {}}, i + 1};
+
+    if (is_punct(t, "{")) {
+      const std::size_t close = std::min(match_brace(ts, i), hi);
+      Stmt b = parse_range(i + 1, close);
+      return {std::move(b), close + 1};
+    }
+    if (is_punct(t, ";")) return {Stmt{StmtKind::kExpr, i, i, {}}, i + 1};
+
+    if (is_ident(t, "if")) {
+      std::size_t j = i + 1;
+      if (j < hi && is_ident(ts[j], "constexpr")) ++j;
+      std::size_t cond_lo = j, cond_hi = j;
+      if (j < hi && is_punct(ts[j], "(")) {
+        cond_hi = std::min(skip_parens(ts, j), hi);
+        j = cond_hi;
+      }
+      Stmt node{StmtKind::kIf, cond_lo, cond_hi, {}};
+      auto [then_s, after_then] = stmt(j);
+      node.children.push_back(std::move(then_s));
+      std::size_t k = after_then;
+      if (k < hi && is_ident(ts[k], "else")) {
+        auto [else_s, after_else] = stmt(k + 1);
+        node.children.push_back(std::move(else_s));
+        k = after_else;
+      }
+      return {std::move(node), k};
+    }
+    if (is_ident(t, "for") || is_ident(t, "while") || is_ident(t, "switch")) {
+      std::size_t j = i + 1;
+      std::size_t cond_lo = j, cond_hi = j;
+      if (j < hi && is_punct(ts[j], "(")) {
+        cond_hi = std::min(skip_parens(ts, j), hi);
+        j = cond_hi;
+      }
+      Stmt node{StmtKind::kLoop, cond_lo, cond_hi, {}};
+      auto [body, after] = stmt(j);
+      node.children.push_back(std::move(body));
+      return {std::move(node), after};
+    }
+    if (is_ident(t, "do")) {
+      Stmt node{StmtKind::kLoop, i, i + 1, {}};
+      auto [body, after] = stmt(i + 1);
+      node.children.push_back(std::move(body));
+      std::size_t k = after;
+      if (k < hi && is_ident(ts[k], "while")) {
+        ++k;
+        if (k < hi && is_punct(ts[k], "(")) k = std::min(skip_parens(ts, k), hi);
+        if (k < hi && is_punct(ts[k], ";")) ++k;
+      }
+      return {std::move(node), k};
+    }
+    if (is_ident(t, "try")) {
+      Stmt node{StmtKind::kTry, i, i + 1, {}};
+      auto [body, after] = stmt(i + 1);
+      node.children.push_back(std::move(body));
+      std::size_t k = after;
+      while (k < hi && is_ident(ts[k], "catch")) {
+        std::size_t j = k + 1;
+        if (j < hi && is_punct(ts[j], "(")) j = std::min(skip_parens(ts, j), hi);
+        auto [handler, after_h] = stmt(j);
+        node.children.push_back(std::move(handler));
+        k = after_h;
+      }
+      return {std::move(node), k};
+    }
+    if (is_ident(t, "return") || is_ident(t, "co_return")) {
+      const std::size_t e = expr_end(i + 1);
+      return {Stmt{StmtKind::kReturn, i + 1, e, {}}, e + 1};
+    }
+    if (is_ident(t, "throw")) {
+      const std::size_t e = expr_end(i + 1);
+      return {Stmt{StmtKind::kThrow, i + 1, e, {}}, e + 1};
+    }
+    if ((is_ident(t, "case") || is_ident(t, "default"))) {
+      std::size_t j = i + 1;
+      while (j < hi && !is_punct(ts[j], ":")) ++j;
+      return {Stmt{StmtKind::kExpr, i, j, {}}, j + 1};
+    }
+    // Plain expression / declaration statement: up to the ';' at depth 0.
+    const std::size_t e = expr_end(i);
+    return {Stmt{StmtKind::kExpr, i, e, {}}, e + 1};
+  }
+
+  /// First ';' at group depth 0 from @p i (balancing (), {}, []).
+  std::size_t expr_end(std::size_t i) {
+    int paren = 0, brace = 0, brack = 0;
+    for (std::size_t j = i; j < hi; ++j) {
+      const Token& t = ts[j];
+      if (t.kind != Tok::kPunct) continue;
+      if (t.text == "(") ++paren;
+      else if (t.text == ")") --paren;
+      else if (t.text == "{") ++brace;
+      else if (t.text == "}") {
+        if (brace == 0) return j;  // missing ';' guard: stop at scope close
+        --brace;
+      } else if (t.text == "[") ++brack;
+      else if (t.text == "]") --brack;
+      else if (t.text == ";" && paren == 0 && brace == 0 && brack == 0)
+        return j;
+    }
+    return hi;
+  }
+
+  Stmt parse_range(std::size_t lo, std::size_t end) {
+    Stmt block{StmtKind::kBlock, lo, end, {}};
+    const std::size_t save = hi;
+    hi = end;
+    std::size_t i = lo;
+    while (i < end) {
+      auto [s, next] = stmt(i);
+      block.children.push_back(std::move(s));
+      if (next <= i) break;  // defensive: never loop forever
+      i = next;
+    }
+    hi = save;
+    return block;
+  }
+};
+
+}  // namespace
+
+Stmt parse_block(const SourceFile& f, std::size_t lo, std::size_t hi) {
+  StmtParser p{f.tokens, hi};
+  return p.parse_range(lo, hi);
+}
+
+// ---------------------------------------------------------------------------
+// Layer map
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct LayerPrefix {
+  const char* prefix;
+  const char* name;
+  int rank;
+};
+
+// sim → trace → pmem → obj/fs → engine → core, leaf vocabulary below, app
+// facades above.  Exact-file overrides come first: src/engine/{node,open}.cpp
+// implement the core-layer node wiring and src/pfs/burst_buffer.cpp
+// implements the bb facade; they live where their build targets live, not
+// where their layer is.
+const LayerPrefix kOverrides[] = {
+    {"src/engine/node.cpp", "core", 7},
+    {"src/engine/open.cpp", "core", 7},
+    {"src/pfs/burst_buffer.cpp", "app", 8},
+};
+
+const LayerPrefix kPrefixes[] = {
+    {"include/pmemcpy/ft/", "ft", 0},
+    {"include/pmemcpy/crc32c.hpp", "util", 0},
+    {"include/pmemcpy/sim/", "sim", 1},
+    {"src/simtime/", "sim", 1},
+    {"include/pmemcpy/trace/", "trace", 2},
+    {"src/trace/", "trace", 2},
+    {"include/pmemcpy/par/", "par", 2},
+    {"src/par/", "par", 2},
+    {"include/pmemcpy/pfs/", "pfs", 2},
+    {"src/pfs/", "pfs", 2},
+    {"include/pmemcpy/check/", "check", 2},
+    {"include/pmemcpy/pmem/", "pmem", 3},
+    {"src/pmemdev/", "pmem", 3},
+    {"include/pmemcpy/fs/", "fs", 4},
+    {"src/pmemfs/", "fs", 4},
+    {"include/pmemcpy/obj/", "obj", 4},
+    {"src/pmemobj/", "obj", 4},
+    {"include/pmemcpy/serial/", "serial", 5},
+    {"src/serial/", "serial", 5},
+    {"include/pmemcpy/engine/", "engine", 6},
+    {"src/engine/", "engine", 6},
+    {"include/pmemcpy/core/", "core", 7},
+    {"include/pmemcpy/pmemcpy.hpp", "core", 7},
+    {"include/pmemcpy/pmemcpy.h", "core", 7},
+    {"src/core/", "core", 7},
+    {"include/pmemcpy/bb/", "app", 8},
+    {"include/pmemcpy/workload/", "app", 8},
+    {"src/workload/", "app", 8},
+    {"include/miniio/", "app", 8},
+    {"src/baselines/", "app", 8},
+};
+
+}  // namespace
+
+Layer layer_of(std::string_view rel) {
+  for (const auto& o : kOverrides)
+    if (rel == o.prefix) return {o.name, o.rank};
+  for (const auto& p : kPrefixes) {
+    const std::string_view pre = p.prefix;
+    if (rel.size() >= pre.size() && rel.compare(0, pre.size(), pre) == 0)
+      return {p.name, p.rank};
+  }
+  return {"", -1};  // tests/bench/examples/unknown: unconstrained
+}
+
+}  // namespace pmemlint
