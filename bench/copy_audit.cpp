@@ -1,0 +1,271 @@
+// Deterministic data-path copy audit (DESIGN.md §12).
+//
+// Runs a fixed put workload through each library's write path with tracing
+// armed and reports, per phase, where the serialized bytes landed: a DRAM
+// staging buffer (copy.staged_bytes — the ADIOS-style extra pass) or the
+// reserved PMEM span directly (copy.direct_bytes — reserve-then-serialize).
+// The asymmetry is the point of the comparison, so the gate is asymmetric
+// too: pMEMCPY's direct phases must report ZERO staged bytes, while the
+// staging ablation and the miniio baselines must report staged bytes —
+// otherwise the audit instrumentation itself has rotted.  Like flush_audit,
+// every count is exact and reproducible.
+//
+// Usage: copy_audit [--json PATH] [--baseline PATH]
+//   --json      write the per-phase counters as JSON (one object per line)
+//   --baseline  compare against a previously written JSON file and fail
+//               (exit 1) if any phase's copy.staged_bytes or
+//               copy.staged_puts grew — ci.sh uses this as a copy
+//               regression gate on top of the built-in zero-staged gate.
+#include <miniio/miniio.hpp>
+#include <pmemcpy/pmemcpy.hpp>
+#include <pmemcpy/trace/trace.hpp>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace trace = pmemcpy::trace;
+using pmemcpy::Box;
+using pmemcpy::Config;
+using pmemcpy::Dimensions;
+using pmemcpy::PMEM;
+using pmemcpy::PmemNode;
+
+struct Phase {
+  std::string name;
+  std::uint64_t staged_bytes = 0;
+  std::uint64_t direct_bytes = 0;
+  std::uint64_t staged_puts = 0;
+  bool expect_staged = false;
+};
+
+std::vector<Phase> phases;
+
+PmemNode::Options node_opts() {
+  PmemNode::Options o;
+  o.capacity = 96ull << 20;
+  return o;
+}
+
+/// Runs @p fn with the copy counters zeroed and records their deltas.
+template <typename Fn>
+void audit(const std::string& name, bool expect_staged, Fn&& fn) {
+  trace::reset();
+  fn();
+  Phase p;
+  p.name = name;
+  p.staged_bytes = trace::counter(trace::Counter::kCopyStagedBytes);
+  p.direct_bytes = trace::counter(trace::Counter::kCopyDirectBytes);
+  p.staged_puts = trace::counter(trace::Counter::kCopyStagedPuts);
+  p.expect_staged = expect_staged;
+  phases.push_back(std::move(p));
+}
+
+/// The common put mix: scalar puts, a group commit, and an array piece.
+void pmemcpy_puts(PMEM& pmem) {
+  for (int i = 0; i < 16; ++i) {
+    pmem.store("k" + std::to_string(i), std::int64_t{i});
+  }
+  {
+    auto b = pmem.batch();
+    for (int i = 0; i < 16; ++i) {
+      pmem.store("b" + std::to_string(i), std::int64_t{100 + i});
+    }
+    b.commit();
+  }
+  std::vector<double> v(4096);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = double(i) * 0.25;
+  const std::size_t dims = v.size(), off = 0;
+  pmem.alloc<double>("arr", 1, &dims);
+  pmem.store("arr", v.data(), 1, &off, &dims);
+}
+
+void run_pmemcpy(pmemcpy::Layout layout, bool force_staging) {
+  PmemNode node(node_opts());
+  Config cfg;
+  cfg.node = &node;
+  cfg.layout = layout;
+  cfg.serializer = pmemcpy::serial::SerializerId::kBinary;
+  cfg.force_dram_staging = force_staging;
+  PMEM pmem{cfg};
+  pmem.mmap("/audit");
+  pmemcpy_puts(pmem);
+  pmem.munmap();
+}
+
+void run_miniio(miniio::Library lib) {
+  PmemNode node(node_opts());
+  pmemcpy::par::Runtime::run(1, [&](pmemcpy::par::Comm& comm) {
+    auto w = miniio::open_writer(lib, node, "/baseline.dat", comm);
+    const Dimensions global{32768};
+    const Box local(Dimensions{0}, global);
+    std::vector<double> data(32768);
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] = double(i);
+    w->write("var", data.data(), local, global);
+    w->close();
+  });
+}
+
+bool write_json(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "copy_audit: cannot write %s\n", path);
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    // Serialise through the shared trace counter schema (stats exporter,
+    // flush_audit and this tool all emit the same field names).
+    std::uint64_t row[static_cast<int>(trace::Counter::kNumCounters)] = {};
+    row[static_cast<int>(trace::Counter::kCopyStagedBytes)] =
+        phases[i].staged_bytes;
+    row[static_cast<int>(trace::Counter::kCopyDirectBytes)] =
+        phases[i].direct_bytes;
+    row[static_cast<int>(trace::Counter::kCopyStagedPuts)] =
+        phases[i].staged_puts;
+    std::fprintf(f, "{\"phase\": \"%s\", %s}%s\n", phases[i].name.c_str(),
+                 trace::schema_fields(row).c_str(),
+                 i + 1 < phases.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
+}
+
+/// Pulls `"field": N` out of a JSON line; absent (zero-suppressed) = 0.
+std::uint64_t field_of(const char* line, const char* field) {
+  const std::string pat = std::string("\"") + field + "\": ";
+  const char* at = std::strstr(line, pat.c_str());
+  if (at == nullptr) return 0;
+  unsigned long long v = 0;
+  std::sscanf(at + pat.size(), "%llu", &v);
+  return v;
+}
+
+struct BaselineRow {
+  std::uint64_t staged_bytes = 0;
+  std::uint64_t staged_puts = 0;
+};
+
+/// Parses the one-object-per-line JSON write_json() emits.  Phases present
+/// only on one side are skipped (new phases must not fail old baselines).
+bool check_baseline(const char* path) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "copy_audit: cannot read baseline %s\n", path);
+    return false;
+  }
+  std::map<std::string, BaselineRow> base;
+  char line[1024];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    char name[128];
+    if (std::sscanf(line, "{\"phase\": \"%127[^\"]\"", name) == 1) {
+      base[name] = {field_of(line, "copy_staged_bytes"),
+                    field_of(line, "copy_staged_puts")};
+    }
+  }
+  std::fclose(f);
+
+  bool ok = true;
+  for (const auto& p : phases) {
+    const auto it = base.find(p.name);
+    if (it == base.end()) continue;
+    if (p.staged_bytes > it->second.staged_bytes) {
+      std::fprintf(stderr,
+                   "copy_audit: REGRESSION %s copy_staged_bytes %llu > "
+                   "baseline %llu\n",
+                   p.name.c_str(),
+                   static_cast<unsigned long long>(p.staged_bytes),
+                   static_cast<unsigned long long>(it->second.staged_bytes));
+      ok = false;
+    }
+    if (p.staged_puts > it->second.staged_puts) {
+      std::fprintf(stderr,
+                   "copy_audit: REGRESSION %s copy_staged_puts %llu > "
+                   "baseline %llu\n",
+                   p.name.c_str(),
+                   static_cast<unsigned long long>(p.staged_puts),
+                   static_cast<unsigned long long>(it->second.staged_puts));
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  const char* baseline_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: copy_audit [--json PATH] [--baseline PATH]\n");
+      return 2;
+    }
+  }
+
+  trace::set_enabled(true);
+
+  // pMEMCPY direct phases: every serialized byte must land in the reserved
+  // PMEM span; a single DRAM-staged byte fails the audit.
+  audit("pmemcpy-put", false,
+        [] { run_pmemcpy(pmemcpy::Layout::kHashTable, false); });
+  audit("pmemcpy-tree", false,
+        [] { run_pmemcpy(pmemcpy::Layout::kHierarchical, false); });
+  // The staging ablation (Config::force_dram_staging) and the miniio
+  // baselines must be *seen* staging — that asymmetry is the paper's
+  // comparison, and a zero here means the instrumentation is broken.
+  audit("pmemcpy-staged", true,
+        [] { run_pmemcpy(pmemcpy::Layout::kHashTable, true); });
+  audit("adios", true, [] { run_miniio(miniio::Library::kAdios); });
+  audit("netcdf4", true, [] { run_miniio(miniio::Library::kNetcdf4); });
+  audit("pnetcdf", true, [] { run_miniio(miniio::Library::kPnetcdf); });
+
+  std::printf("%-16s %14s %14s %12s\n", "phase", "staged_bytes",
+              "direct_bytes", "staged_puts");
+  for (const auto& p : phases) {
+    std::printf("%-16s %14llu %14llu %12llu\n", p.name.c_str(),
+                static_cast<unsigned long long>(p.staged_bytes),
+                static_cast<unsigned long long>(p.direct_bytes),
+                static_cast<unsigned long long>(p.staged_puts));
+  }
+
+  bool ok = true;
+  for (const auto& p : phases) {
+    if (!p.expect_staged && (p.staged_bytes != 0 || p.staged_puts != 0)) {
+      std::fprintf(stderr,
+                   "copy_audit: FAIL %s staged %llu bytes (%llu puts) on "
+                   "the direct path\n",
+                   p.name.c_str(),
+                   static_cast<unsigned long long>(p.staged_bytes),
+                   static_cast<unsigned long long>(p.staged_puts));
+      ok = false;
+    }
+    if (!p.expect_staged && p.direct_bytes == 0) {
+      std::fprintf(stderr, "copy_audit: FAIL %s reported no direct bytes\n",
+                   p.name.c_str());
+      ok = false;
+    }
+    if (p.expect_staged && p.staged_bytes == 0) {
+      std::fprintf(stderr,
+                   "copy_audit: FAIL %s reported no staged bytes — staging "
+                   "instrumentation is broken\n",
+                   p.name.c_str());
+      ok = false;
+    }
+  }
+
+  if (json_path != nullptr && !write_json(json_path)) ok = false;
+  if (baseline_path != nullptr && !check_baseline(baseline_path)) ok = false;
+  return ok ? 0 : 1;
+}

@@ -37,6 +37,12 @@ run_config() {
   # traffic regressed past the checked-in baseline (see bench/flush_audit.cpp).
   "${dir}/bench/flush_audit" --json "${dir}/BENCH_flush_audit.json" \
     --baseline bench/flush_audit_baseline.json
+  echo "==== [${name}] copy audit ===="
+  # Zero-copy gate (DESIGN.md §12): pMEMCPY puts must stage zero DRAM bytes
+  # while the staging ablation and the miniio baselines must report their
+  # staging passes; the baseline catches copy.staged growth anywhere.
+  "${dir}/bench/copy_audit" --json "${dir}/BENCH_copy_audit.json" \
+    --baseline bench/copy_audit_baseline.json
 }
 
 run_checker_config() {
@@ -82,6 +88,9 @@ run_fault_config() {
   # be flush-for-flush identical to an uninstrumented one.
   "${dir}/bench/flush_audit" --json "${dir}/BENCH_flush_audit.json" \
     --baseline bench/flush_audit_baseline.json
+  echo "==== [fault] copy audit (injection disabled) ===="
+  "${dir}/bench/copy_audit" --json "${dir}/BENCH_copy_audit.json" \
+    --baseline bench/copy_audit_baseline.json
 }
 
 what="${1:-all}"

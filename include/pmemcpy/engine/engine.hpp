@@ -10,6 +10,14 @@
 //     reserved blob, and commit(crc) stamps the checksum and publishes.  An
 //     entry is either fully visible or absent — never torn.  A PutHandle
 //     destroyed without commit() leaves no trace.
+//   * Zero-copy contract (DESIGN.md §12): the reservation is an
+//     exactly-sized span of persistent memory, and sink() writes serialize
+//     straight into it — a put handle never stages the payload in DRAM.
+//     reserved_span() exposes the raw span when the reservation is
+//     physically contiguous (empty span otherwise, e.g. a fragmented tree
+//     file streaming through its mapping); either way the bytes take one
+//     trip.  Callers that *want* staging (the ADIOS-style ablation) stage
+//     above the contract with a BufferSink and copy in.
 //   * Durability ordering: an entry's bytes (blob + metadata) are flushed
 //     and fenced *before* the store that makes them reachable, so a crash at
 //     any point exposes only complete entries (the PR-2 persistency checker
@@ -33,6 +41,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -74,6 +83,12 @@ class Engine {
     virtual ~PutHandle() = default;
     /// Sink over the reserved blob; write exactly the reserved size.
     virtual serial::Sink& sink() = 0;
+    /// The reserved PMEM span itself, when the reservation is physically
+    /// contiguous — sink() is a SpanSink over exactly this memory, already
+    /// charged at reservation time.  Empty when the engine streams through
+    /// a non-contiguous mapping instead (the bytes still go straight to
+    /// PMEM; there is just no single span to hand out).
+    [[nodiscard]] virtual std::span<std::byte> reserved_span() { return {}; }
     /// Stamp the payload CRC into the meta word's high 32 bits and publish
     /// (or, inside a Batch, stage for the group publish).
     virtual void commit(std::uint32_t payload_crc) = 0;

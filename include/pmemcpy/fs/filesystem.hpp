@@ -80,6 +80,15 @@ class Mapping {
   /// FsError otherwise (callers fall back to store()/load()).  Uncharged —
   /// account access through charge_load()/store().
   [[nodiscard]] std::span<std::byte> span(std::uint64_t off, std::size_t len);
+  /// Charged, crash-tracked writable span over [off, off+len) when the
+  /// range is physically contiguous; throws FsError otherwise (callers
+  /// fall back to streaming store()s).  The write is announced
+  /// (note_write) and charged once up front — the zero-copy reservation
+  /// primitive of the reserve-then-serialize contract (DESIGN.md §12),
+  /// exactly like Pool::direct_write_span.  Persisting the filled span
+  /// stays the caller's job.
+  [[nodiscard]] std::span<std::byte> direct_write_span(std::uint64_t off,
+                                                       std::size_t len);
   /// Account a zero-copy read of @p bytes through this mapping.
   void charge_load(std::size_t bytes) const;
 

@@ -38,7 +38,6 @@
 #include <pmemcpy/serial/filter.hpp>
 #include <pmemcpy/trace/trace.hpp>
 
-#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -234,17 +233,11 @@ class PMEM {
   template <typename T>
   void store(const std::string& id, const T& data) {
     trace::Span span("core.put");
-    // One-pass sizing: the archive payload is serialized into a stack
-    // buffer; small entries (the common case) are then copied out of it
-    // instead of being serialized a second time.  An overflow still yields
-    // the exact size, so the fallback reserializes without a counting pass.
-    std::array<std::byte, kStageBytes> stage_buf;
-    serial::StagingSink stage(stage_buf);
-    {
-      serial::BinaryWriter w(stage);
-      w(data);
-    }
-    const std::size_t payload = stage.tell();
+    // Reserve-then-serialize (DESIGN.md §12): a SizingSink pass measures
+    // the archive, the engine reserves an exactly-sized PMEM span, and the
+    // second serializer pass lands the bytes straight in it — the payload
+    // never visits a DRAM staging buffer.
+    const std::size_t payload = serial::binary_serialized_size(data);
     const auto ser = cfg_.serializer;
     const std::size_t hdr = detail::blob_header_size(ser, 0);
     const auto dtype = serial::dtype_of_v<T>;
@@ -255,12 +248,8 @@ class PMEM {
       const auto emit = [&](serial::Sink& sink) {
         trace::Span serialize_span("core.serialize");
         detail::write_blob_header(sink, ser, dtype, payload, {}, {});
-        if (stage.captured()) {
-          sink.write(stage.bytes().data(), stage.bytes().size());
-        } else {
-          serial::BinaryWriter w(sink);
-          w(data);
-        }
+        serial::BinaryWriter w(sink);
+        w(data);
       };
       std::uint32_t crc = 0;
       if (cfg_.force_dram_staging) {
@@ -377,6 +366,10 @@ class PMEM {
         const auto enc = serial::filter_encode(
             cfg_.filter,
             {reinterpret_cast<const std::byte*>(data), payload});
+        // The encode pass materializes the compressed payload in DRAM; the
+        // copy audit must see it as a staging pass (DESIGN.md §12).
+        trace::count(trace::Counter::kCopyStagedPuts);
+        trace::count(trace::Counter::kCopyStagedBytes, enc.size());
         auto put = start_put(
             detail::piece_key(id, box), hdr + 8 + enc.size(),
             detail::pack_meta(detail::EntryKind::kPiece, dtype, ser,
@@ -469,6 +462,7 @@ class PMEM {
         verify_piece(id, *entry, hdr, staged.data(), payload, info.meta);
         std::memcpy(data, staged.data(), payload);
         sim::ctx().charge_cpu_copy(payload);
+        trace::count(trace::Counter::kCopyStagedBytes, payload);
       } else {
         // One pass: PMEM -> user buffer.
         entry->read(hdr, data, payload);
@@ -608,9 +602,6 @@ class PMEM {
                   std::uint64_t meta);
 
  private:
-  /// Stack-staging capacity for one-pass small-entry serialization.
-  static constexpr std::size_t kStageBytes = 4096;
-
   void do_mmap(const std::string& filename, par::Comm* comm);
   [[nodiscard]] engine::Engine& engine_ref() {
     if (!engine_) throw StateError("pmemcpy: not mapped (call mmap first)");

@@ -145,4 +145,15 @@ class BinaryReader {
   Source* src_;
 };
 
+/// Exact archive size of @p vals — a SizingSink pass through the writer, so
+/// any serialize()-able value can be pre-sized for an exactly-fitting PMEM
+/// reservation (the first half of reserve-then-serialize, DESIGN.md §12).
+template <typename... Ts>
+[[nodiscard]] std::size_t binary_serialized_size(const Ts&... vals) {
+  SizingSink s;
+  BinaryWriter w(s);
+  w(vals...);
+  return s.tell();
+}
+
 }  // namespace pmemcpy::serial

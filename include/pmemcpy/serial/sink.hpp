@@ -12,11 +12,19 @@
 //     directly into PMEM without first placing it in DRAM")
 //   * MappingSink/MappingSource — the same direct idea over a DAX file
 //     mapping (hierarchical layout), charged per store.
+//
+// Every sink/source also feeds the copy audit (DESIGN.md §12): bytes that
+// flow through a DRAM buffer count toward copy.staged_bytes (and the first
+// write of a BufferSink marks one copy.staged_put), bytes that land in or
+// come straight out of persistent memory count toward copy.direct_bytes.
+// `bench/copy_audit` gates these totals per library, so "zero-copy" is an
+// enforced invariant of the pMEMCPY put path, not a comment.
 #pragma once
 
 #include <pmemcpy/crc32c.hpp>
 #include <pmemcpy/fs/filesystem.hpp>
 #include <pmemcpy/sim/context.hpp>
+#include <pmemcpy/trace/trace.hpp>
 
 #include <cstddef>
 #include <cstdint>
@@ -58,6 +66,8 @@ class BufferSink final : public Sink {
     buf_.resize(at + len);
     std::memcpy(buf_.data() + at, data, len);
     sim::ctx().charge_cpu_copy(len);
+    if (at == 0 && len > 0) trace::count(trace::Counter::kCopyStagedPuts);
+    trace::count(trace::Counter::kCopyStagedBytes, len);
   }
   [[nodiscard]] std::size_t tell() const override { return buf_.size(); }
 
@@ -82,6 +92,7 @@ class BufferSource final : public Source {
     std::memcpy(dst, data_.data() + pos_, len);
     pos_ += len;
     sim::ctx().charge_cpu_copy(len);
+    trace::count(trace::Counter::kCopyStagedBytes, len);
   }
   [[nodiscard]] std::size_t tell() const override { return pos_; }
 
@@ -99,6 +110,7 @@ class SpanSink final : public Sink {
     if (pos_ + len > out_.size()) throw SerialError("span sink overflow");
     std::memcpy(out_.data() + pos_, data, len);
     pos_ += len;
+    trace::count(trace::Counter::kCopyDirectBytes, len);
   }
   [[nodiscard]] std::size_t tell() const override { return pos_; }
 
@@ -116,6 +128,7 @@ class SpanSource final : public Source {
     if (pos_ + len > in_.size()) throw SerialError("source underrun");
     std::memcpy(dst, in_.data() + pos_, len);
     pos_ += len;
+    trace::count(trace::Counter::kCopyDirectBytes, len);
   }
   [[nodiscard]] std::size_t tell() const override { return pos_; }
 
@@ -132,6 +145,7 @@ class MappingSink final : public Sink {
   void write(const void* data, std::size_t len) override {
     m_->store(off_ + pos_, data, len);
     pos_ += len;
+    trace::count(trace::Counter::kCopyDirectBytes, len);
   }
   [[nodiscard]] std::size_t tell() const override { return pos_; }
 
@@ -149,6 +163,7 @@ class MappingSource final : public Source {
   void read(void* dst, std::size_t len) override {
     m_->load(off_ + pos_, dst, len);
     pos_ += len;
+    trace::count(trace::Counter::kCopyDirectBytes, len);
   }
   [[nodiscard]] std::size_t tell() const override { return pos_; }
 
@@ -179,44 +194,12 @@ class ChecksumSink final : public Sink {
   std::uint32_t crc_ = 0;
 };
 
-/// One-pass sizing for small entries: counts like CountingSink while also
-/// capturing the bytes into a caller-supplied buffer as long as they fit.
-/// Small metadata blobs (dimensions, scalars) used to be serialized twice —
-/// once through a CountingSink to size the reservation, then again into the
-/// reserved blob.  Staging the first pass here lets the caller reserve and
-/// memcpy the captured bytes instead.  On overflow the capture is abandoned
-/// but the count stays exact, so the fallback already has pass one of the
-/// classic count-then-serialize scheme for free.
-class StagingSink final : public Sink {
- public:
-  explicit StagingSink(std::span<std::byte> buf) : buf_(buf) {}
-
-  void write(const void* data, std::size_t len) override {
-    if (fits_ && pos_ + len <= buf_.size()) {
-      std::memcpy(buf_.data() + pos_, data, len);
-      sim::ctx().charge_cpu_copy(len);
-    } else {
-      fits_ = false;
-    }
-    pos_ += len;
-  }
-  [[nodiscard]] std::size_t tell() const override { return pos_; }
-
-  /// True while every byte written so far landed in the buffer.
-  [[nodiscard]] bool captured() const noexcept { return fits_; }
-  /// The captured payload (empty after an overflow).
-  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
-    return fits_ ? buf_.first(pos_) : std::span<const std::byte>{};
-  }
-
- private:
-  std::span<std::byte> buf_;
-  std::size_t pos_ = 0;
-  bool fits_ = true;
-};
-
-/// Measures serialized size without moving bytes (for blob reservation).
-class CountingSink final : public Sink {
+/// Measures serialized size without moving (or charging) a single byte.
+/// The reserve-then-serialize contract runs the serializer through one of
+/// these first, reserves an exactly-sized PMEM span from the answer, then
+/// serializes again straight into the span — two cheap passes instead of a
+/// DRAM staging copy.
+class SizingSink final : public Sink {
  public:
   void write(const void*, std::size_t len) override { pos_ += len; }
   [[nodiscard]] std::size_t tell() const override { return pos_; }

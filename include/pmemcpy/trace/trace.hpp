@@ -81,6 +81,13 @@ enum class Counter : int {
   kFtPutRetries,            ///< whole-put retries after quarantining
   kFtDegradedTransitions,   ///< pools entering degraded read-only mode
   kFtDamagedKeys,           ///< entries found unrecoverable by repair()
+  // copy.* — data-path copy audit (DESIGN.md §12).  Also appended last so
+  // checked-in flush-audit baselines stay byte-identical: the schema omits
+  // zero counters past the always-first four, and the audit phases that do
+  // stage are gated by their own copy-audit baseline instead.
+  kCopyStagedBytes,         ///< serialized bytes that landed in a DRAM buffer
+  kCopyDirectBytes,         ///< serialized bytes that landed in PMEM directly
+  kCopyStagedPuts,          ///< puts whose payload took a DRAM staging pass
   kNumCounters,
 };
 

@@ -16,6 +16,8 @@
 // fill-value initialisation at variable definition.
 #include "common.hpp"
 
+#include <pmemcpy/trace/trace.hpp>
+
 #include <algorithm>
 #include <cstring>
 
@@ -240,6 +242,11 @@ class ContiguousWriter final : public Writer {
           }
         });
     c.charge_cpu_copy(packed);
+    // The pack pass is this library's DRAM staging copy; the audit
+    // (bench/copy_audit) contrasts it with pMEMCPY's direct path.
+    namespace trace = pmemcpy::trace;
+    if (packed > 0) trace::count(trace::Counter::kCopyStagedPuts);
+    trace::count(trace::Counter::kCopyStagedBytes, packed);
 
     // Phase 2: shuffle.
     Exchanged recv = alltoall_bytes(*comm_, send);
@@ -269,10 +276,13 @@ class ContiguousWriter final : public Writer {
         rmax = std::max(rmax, h.lin + h.elems);
       }
       c.charge_cpu_copy(assembled);
+      trace::count(trace::Counter::kCopyStagedBytes, assembled);
       if (rmax > rmin) {
         if (hdf5_) {
           // HDF5 internal scatter/gather staging pass over the stripe.
           c.charge_cpu_copy((rmax - rmin) * sizeof(double));
+          trace::count(trace::Counter::kCopyStagedBytes,
+                       (rmax - rmin) * sizeof(double));
         }
         fs_->pwrite(file_, stripe.data() + (rmin - mine.lo),
                     (rmax - rmin) * sizeof(double),

@@ -176,28 +176,21 @@ void PMEM::put_dims(const std::string& id, serial::DType dtype,
       return;
     }
   }
-  // One serialization pass: dims records are tiny, so they land in the
-  // stack stage and are copied out of it instead of being re-serialized.
+  // Reserve-then-serialize (DESIGN.md §12): size the record with a
+  // SizingSink pass, reserve exactly that much, then serialize straight
+  // into the reserved span — no DRAM staging even for tiny records.
   std::vector<std::uint64_t> d64(dims.begin(), dims.end());
-  std::array<std::byte, kStageBytes> stage_buf;
-  serial::StagingSink stage(stage_buf);
-  {
-    serial::BinaryWriter w(stage);
-    w(static_cast<std::uint8_t>(dtype), d64);
-  }
+  const std::size_t size =
+      serial::binary_serialized_size(static_cast<std::uint8_t>(dtype), d64);
   with_healing(detail::dims_key(id), [&] {
     auto put = start_put(
-        detail::dims_key(id), stage.tell(),
+        detail::dims_key(id), size,
         detail::pack_meta(detail::EntryKind::kDims, dtype,
                           serial::SerializerId::kBinary),
         /*keep_existing=*/true);
     serial::ChecksumSink cs(put->sink());
-    if (stage.captured()) {
-      cs.write(stage.bytes().data(), stage.bytes().size());
-    } else {
-      serial::BinaryWriter w(cs);
-      w(static_cast<std::uint8_t>(dtype), d64);
-    }
+    serial::BinaryWriter w(cs);
+    w(static_cast<std::uint8_t>(dtype), d64);
     put->commit(cs.crc());
   });
 }

@@ -18,10 +18,14 @@ class TablePut final : public Engine::PutHandle {
  public:
   TablePut(obj::HashTable::Inserter ins, bool keep_existing)
       : ins_(std::move(ins)),
-        sink_(ins_.value()),
+        // value() charges the reservation's DAX write once; cache the span
+        // so sink() and reserved_span() share that single charge.
+        span_(ins_.value()),
+        sink_(span_),
         keep_existing_(keep_existing) {}
 
   serial::Sink& sink() override { return sink_; }
+  std::span<std::byte> reserved_span() override { return span_; }
   void commit(std::uint32_t payload_crc) override {
     ins_.set_meta_high(payload_crc);
     // In keep mode `false` means an existing entry won the race and was
@@ -31,6 +35,7 @@ class TablePut final : public Engine::PutHandle {
 
  private:
   obj::HashTable::Inserter ins_;
+  std::span<std::byte> span_;
   serial::SpanSink sink_;
   bool keep_existing_;
 };
@@ -85,10 +90,12 @@ class TableBatchPut final : public Engine::PutHandle {
                 obj::HashTable::Inserter ins, bool keep_existing)
       : st_(std::move(st)),
         ins_(std::move(ins)),
-        sink_(ins_.value()),
+        span_(ins_.value()),
+        sink_(span_),
         keep_existing_(keep_existing) {}
 
   serial::Sink& sink() override { return sink_; }
+  std::span<std::byte> reserved_span() override { return span_; }
   void commit(std::uint32_t payload_crc) override {
     if (staged_) return;
     ins_.set_meta_high(payload_crc);
@@ -103,6 +110,7 @@ class TableBatchPut final : public Engine::PutHandle {
  private:
   std::shared_ptr<TableBatchState> st_;
   obj::HashTable::Inserter ins_;
+  std::span<std::byte> span_;
   serial::SpanSink sink_;
   bool keep_existing_;
   bool staged_ = false;

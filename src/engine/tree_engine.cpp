@@ -2,7 +2,11 @@
 // directory.  Each file starts with the 8-byte meta word; writes land in a
 // unique temp file that commit() renames over the final path (so concurrent
 // same-key puts last-write-win instead of racing on one inode, and crashes
-// never expose partial entries).
+// never expose partial entries).  The payload region is reserved up front
+// as a direct_write_span over the temp file's extent (reserve-then-
+// serialize, DESIGN.md §12) and serialization lands straight in it;
+// tree_finalize() then stores the meta word, persists the whole file in one
+// coalesced flush pass, and renames it visible.
 //
 // The batch path defers the persist+publish+rename of each staged entry to
 // Batch::commit().  The filesystem already fences per-file, so unlike the
@@ -13,6 +17,8 @@
 #include <pmemcpy/trace/trace.hpp>
 
 #include <atomic>
+#include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -52,19 +58,46 @@ void tree_discard(fs::FileSystem& fs, const TreePending& p) {
   if (fs.exists(p.tmp_path)) fs.remove(p.tmp_path);
 }
 
+/// Reserved destination for one entry's payload (reserve-then-serialize,
+/// DESIGN.md §12): a SpanSink straight over the file's extent when the
+/// payload range is physically contiguous (the common case — entry files
+/// are created in fresh extents), else a MappingSink streaming through the
+/// runs.  Both land every byte in PMEM directly; only the span variant can
+/// also hand out reserved_span().
+class TreeDest {
+ public:
+  TreeDest(fs::Mapping& m, std::size_t size) {
+    try {
+      span_ = m.direct_write_span(kTreeHeader, size);
+      span_sink_.emplace(span_);
+    } catch (const fs::FsError&) {
+      map_sink_.emplace(m, kTreeHeader);
+    }
+  }
+
+  serial::Sink& sink() {
+    return span_sink_ ? static_cast<serial::Sink&>(*span_sink_) : *map_sink_;
+  }
+  [[nodiscard]] std::span<std::byte> span() const noexcept { return span_; }
+
+ private:
+  std::span<std::byte> span_;
+  std::optional<serial::SpanSink> span_sink_;
+  std::optional<serial::MappingSink> map_sink_;
+};
+
 class TreePut final : public Engine::PutHandle {
  public:
   TreePut(fs::FileSystem& fs, TreePending pending)
-      : fs_(&fs), pending_(std::move(pending)), sink_(pending_.mapping,
-                                                      kTreeHeader) {
-    pending_.mapping.store(0, &pending_.meta, sizeof(pending_.meta));
-  }
+      : fs_(&fs), pending_(std::move(pending)),
+        dest_(pending_.mapping, pending_.size) {}
 
   ~TreePut() override {
     if (!committed_) tree_discard(*fs_, pending_);
   }
 
-  serial::Sink& sink() override { return sink_; }
+  serial::Sink& sink() override { return dest_.sink(); }
+  std::span<std::byte> reserved_span() override { return dest_.span(); }
 
   void commit(std::uint32_t payload_crc) override {
     if (committed_) return;
@@ -76,7 +109,7 @@ class TreePut final : public Engine::PutHandle {
  private:
   fs::FileSystem* fs_;
   TreePending pending_;
-  serial::MappingSink sink_;
+  TreeDest dest_;
   bool committed_ = false;
 };
 
@@ -105,10 +138,12 @@ class TreeEntry final : public Engine::Entry {
       return s.data();
     } catch (const fs::FsError&) {
       // Fragmented file: fall back to a charged bounce copy (rare — entry
-      // files are written once into fresh extents).
+      // files are written once into fresh extents).  The bounce is a DRAM
+      // staging pass; the copy audit must see it.
       if (bounce_.empty() && info_.size > 0) {
         bounce_.resize(info_.size);
         mapping_.load(kTreeHeader, bounce_.data(), info_.size);
+        trace::count(trace::Counter::kCopyStagedBytes, info_.size);
       } else {
         mapping_.charge_load(charge_bytes);
       }
@@ -137,15 +172,14 @@ class TreeBatchPut final : public Engine::PutHandle {
  public:
   TreeBatchPut(std::shared_ptr<TreeBatchState> st, TreePending pending)
       : st_(std::move(st)), pending_(std::move(pending)),
-        sink_(pending_.mapping, kTreeHeader) {
-    pending_.mapping.store(0, &pending_.meta, sizeof(pending_.meta));
-  }
+        dest_(pending_.mapping, pending_.size) {}
 
   ~TreeBatchPut() override {
     if (!staged_) tree_discard(*st_->fs, pending_);
   }
 
-  serial::Sink& sink() override { return sink_; }
+  serial::Sink& sink() override { return dest_.sink(); }
+  std::span<std::byte> reserved_span() override { return dest_.span(); }
 
   void commit(std::uint32_t payload_crc) override {
     if (staged_) return;
@@ -157,7 +191,7 @@ class TreeBatchPut final : public Engine::PutHandle {
  private:
   std::shared_ptr<TreeBatchState> st_;
   TreePending pending_;
-  serial::MappingSink sink_;
+  TreeDest dest_;
   bool staged_ = false;
 };
 

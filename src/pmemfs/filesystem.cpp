@@ -469,6 +469,21 @@ void FileSystem::dir_write_entries(
   Inode inode = read_inode(dir);
   inode.size = raw.size();
   write_inode(dir, inode);
+  // Namespace ops are durable at syscall return (metadata-journaling
+  // semantics, like every other metadata structure here): persist the entry
+  // bytes now.  Deferring them to an fsync nobody issues for directories
+  // would let a crash evaporate a completed rename — the tree engine's
+  // publish point.
+  bool flushed = false;
+  for (const auto& r : gather_runs(dir, raw.size())) {
+    const std::uint64_t hi =
+        std::min<std::uint64_t>(raw.size(), r.file_off + r.len);
+    if (r.file_off >= hi) continue;
+    dev_->flush(r.dev_off, hi - r.file_off);
+    flushed = true;
+  }
+  if (flushed) dev_->drain();
+  dirty_.erase(dir);
 }
 
 Ino FileSystem::dir_lookup(Ino dir, std::string_view name) const {
@@ -825,6 +840,29 @@ std::span<std::byte> Mapping::span(std::uint64_t off, std::size_t len) {
   for (const auto& r : runs_) {
     if (off >= r.file_off && off + len <= r.file_off + r.len) {
       return {fs_->dev_->raw(r.dev_off + (off - r.file_off)), len};
+    }
+  }
+  throw FsError("fs: range not physically contiguous");
+}
+
+std::span<std::byte> Mapping::direct_write_span(std::uint64_t off,
+                                                std::size_t len) {
+  if (off + len > size_) throw FsError("fs: mapping access out of range");
+  auto* dev = fs_->dev_;
+  if (dev->frozen()) {
+    // Powered off: hand out scratch DRAM so the caller's stores vanish,
+    // exactly like stores through a dead DIMM mapping (and exactly like
+    // Pool::direct_write_span).
+    thread_local std::vector<std::byte> scratch;
+    scratch.assign(len, std::byte{});
+    return {scratch.data(), len};
+  }
+  for (const auto& r : runs_) {
+    if (off >= r.file_off && off + len <= r.file_off + r.len) {
+      const std::uint64_t dev_off = r.dev_off + (off - r.file_off);
+      dev->note_write(dev_off, len);
+      dev->charge_dax_write(dev_off, len, map_sync_);
+      return {dev->raw(dev_off), len};
     }
   }
   throw FsError("fs: range not physically contiguous");

@@ -161,6 +161,9 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kFtPutRetries: return "ft_put_retries";
     case Counter::kFtDegradedTransitions: return "ft_degraded_transitions";
     case Counter::kFtDamagedKeys: return "ft_damaged_keys";
+    case Counter::kCopyStagedBytes: return "copy_staged_bytes";
+    case Counter::kCopyDirectBytes: return "copy_direct_bytes";
+    case Counter::kCopyStagedPuts: return "copy_staged_puts";
     case Counter::kNumCounters: break;
   }
   return "unknown";

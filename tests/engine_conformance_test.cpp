@@ -125,6 +125,38 @@ TEST_P(EngineTest, DirectPointerMatches) {
   EXPECT_EQ(std::memcmp(p, "direct-data", 11), 0);
 }
 
+TEST_P(EngineTest, ReservedSpanBacksTheSink) {
+  // Zero-copy contract (DESIGN.md §12): the engine reserves the payload
+  // extent up front and exposes it, and bytes written through the sink land
+  // in that exact span — no staging copy between serializer and PMEM.
+  auto put = engine_->put("zc", 24, 0, false);
+  const auto span = put->reserved_span();
+  ASSERT_EQ(span.size(), 24u);
+  const std::string payload = "reserve-then-serialize!!";
+  put->sink().write(payload.data(), payload.size());
+  EXPECT_EQ(std::memcmp(span.data(), payload.data(), payload.size()), 0);
+  put->commit(0);
+  EXPECT_EQ(get_str(*engine_, "zc"), payload);
+}
+
+TEST_P(EngineTest, BatchReservedSpansAreDistinct) {
+  auto b = engine_->begin_batch();
+  auto p1 = b->put("z1", 8, 0, false);
+  auto p2 = b->put("z2", 8, 0, false);
+  const auto s1 = p1->reserved_span();
+  const auto s2 = p2->reserved_span();
+  ASSERT_EQ(s1.size(), 8u);
+  ASSERT_EQ(s2.size(), 8u);
+  EXPECT_NE(s1.data(), s2.data());
+  p1->sink().write("AAAAAAAA", 8);
+  p1->commit(0);
+  p2->sink().write("BBBBBBBB", 8);
+  p2->commit(0);
+  b->commit();
+  EXPECT_EQ(get_str(*engine_, "z1"), "AAAAAAAA");
+  EXPECT_EQ(get_str(*engine_, "z2"), "BBBBBBBB");
+}
+
 TEST_P(EngineTest, ReplaceLastWins) {
   put_str(*engine_, "k", "first");
   put_str(*engine_, "k", "second");

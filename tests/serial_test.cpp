@@ -55,11 +55,52 @@ TEST(SinkTest, SourceUnderrunThrows) {
   EXPECT_THROW(src.read(&v, 8), SerialError);
 }
 
-TEST(SinkTest, CountingSinkMeasures) {
-  CountingSink s;
+TEST(SinkTest, SizingSinkMeasures) {
+  SizingSink s;
   s.write(nullptr, 100);
   s.write(nullptr, 28);
   EXPECT_EQ(s.tell(), 128u);
+}
+
+TEST(SinkTest, BinarySerializedSizeMatchesArchive) {
+  const std::string tag = "zero-copy";
+  const std::vector<std::uint32_t> v{1, 2, 3};
+  BufferSink sink;
+  BinaryWriter w(sink);
+  w(tag, v, 3.5);
+  EXPECT_EQ(binary_serialized_size(tag, v, 3.5), sink.tell());
+}
+
+TEST(SinkTest, CopyCountersChargeByDestination) {
+  namespace trace = pmemcpy::trace;
+  const bool was_enabled = trace::enabled();
+  trace::set_enabled(true);
+  trace::reset();
+  std::vector<std::byte> data(256);
+
+  BufferSink staged;
+  staged.write(data.data(), 100);
+  staged.write(data.data(), 28);  // same staging pass: still one staged put
+  EXPECT_EQ(trace::counter(trace::Counter::kCopyStagedBytes), 128u);
+  EXPECT_EQ(trace::counter(trace::Counter::kCopyStagedPuts), 1u);
+
+  std::vector<std::byte> out(256);
+  SpanSink direct(out);
+  direct.write(data.data(), 200);
+  EXPECT_EQ(trace::counter(trace::Counter::kCopyDirectBytes), 200u);
+  EXPECT_EQ(trace::counter(trace::Counter::kCopyStagedBytes), 128u);
+
+  SpanSource src(out);
+  std::byte sink_buf[64];
+  src.read(sink_buf, 64);
+  EXPECT_EQ(trace::counter(trace::Counter::kCopyDirectBytes), 264u);
+
+  BufferSource bsrc(data);
+  bsrc.read(sink_buf, 32);
+  EXPECT_EQ(trace::counter(trace::Counter::kCopyStagedBytes), 160u);
+
+  trace::reset();
+  trace::set_enabled(was_enabled);
 }
 
 struct Inner {

@@ -209,6 +209,13 @@ TEST_F(TraceTest, GoldenWorkloadCounters) {
   EXPECT_GT(trace::counter(Counter::kBytesWritten), 0u);
   EXPECT_GT(trace::counter(Counter::kAllocOps), 0u);
 
+  // Zero-copy invariant (DESIGN.md §12): the pMEMCPY put/get path stages
+  // nothing in DRAM — every serialized byte lands in (or is read out of)
+  // the reserved PMEM spans directly.
+  EXPECT_EQ(trace::counter(Counter::kCopyStagedBytes), 0u);
+  EXPECT_EQ(trace::counter(Counter::kCopyStagedPuts), 0u);
+  EXPECT_GT(trace::counter(Counter::kCopyDirectBytes), 0u);
+
   const trace::HistData batch = trace::histogram(Hist::kBatchSize);
   EXPECT_EQ(batch.count, 1u);
   EXPECT_EQ(batch.min, 2.0);
