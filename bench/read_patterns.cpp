@@ -9,7 +9,19 @@
 //   restart-12   12 ranks restart from a 24-rank checkpoint (2 pieces each)
 //   plane-x      every rank reads one full x-plane (crosses many pieces)
 //   subvolume    every rank reads a centred 1/8th subvolume
+//
+// Each library's store is opened ONCE per rank and every pattern is timed
+// as a sim-clock delta inside that session (earlier revisions re-opened the
+// pool per pattern, which both re-paid the open/recovery cost in every
+// number and reset the pMEMCPY read cache before it could ever hit).  With
+// the DRAM read cache armed (Config::read_cache_bytes; PMEMCPY_READ_CACHE
+// overrides), pieces cached by earlier patterns accelerate the later
+// overlapping ones, and the per-pattern cache/copy counter deltas printed
+// below make that visible.
 #include "figures_common.hpp"
+
+#include <iterator>
+#include <span>
 
 namespace {
 
@@ -17,40 +29,107 @@ using namespace figbench;
 using pmemcpy::Box;
 using pmemcpy::Dimensions;
 
-double run_pattern(IoLib lib, PmemNode& node, const wk::Decomposition& dec,
-                   int nvars, int readers,
-                   const std::function<Box(const wk::Decomposition&, int)>&
-                       want_of) {
+struct Pattern {
+  const char* name;
+  int readers;
+  std::function<Box(const wk::Decomposition&, int)> want;
+};
+
+struct PatternStats {
+  double time = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_hit_bytes = 0;
+  std::uint64_t read_direct = 0;
+  std::uint64_t read_staged = 0;
+};
+
+std::uint64_t ctr(pmemcpy::trace::Counter c) {
+  return pmemcpy::trace::counter(c);
+}
+
+/// One session per rank; every pattern timed as a clock delta inside it.
+void run_patterns(IoLib lib, PmemNode& node, const wk::Decomposition& dec,
+                  int nvars, std::span<const Pattern> patterns,
+                  std::span<PatternStats> stats) {
+  namespace trace = pmemcpy::trace;
   node.device().reset_page_touches();
-  auto result = pmemcpy::par::Runtime::run(
-      readers, [&](pmemcpy::par::Comm& comm) {
-        const Box want = want_of(dec, comm.rank());
-        std::vector<double> buf(want.elements());
-        if (is_pmcpy(lib)) {
-          pmemcpy::PMEM pmem{pmcpy_config(lib, node)};
-          pmem.mmap("/fig.pmem", comm);
+  pmemcpy::par::Runtime::run(24, [&](pmemcpy::par::Comm& comm) {
+    std::unique_ptr<pmemcpy::PMEM> pmem;
+    std::unique_ptr<miniio::Reader> reader;
+    if (is_pmcpy(lib)) {
+      auto cfg = pmcpy_config(lib, node);
+      // Arm the DRAM read cache (per handle, so per rank); the env override
+      // PMEMCPY_READ_CACHE still wins inside mmap().
+      cfg.read_cache_bytes = 32u << 20;
+      pmem = std::make_unique<pmemcpy::PMEM>(cfg);
+      pmem->mmap("/fig.pmem", comm);
+    } else {
+      const auto ml = lib == IoLib::kAdios     ? miniio::Library::kAdios
+                      : lib == IoLib::kNetcdf ? miniio::Library::kNetcdf4
+                                              : miniio::Library::kPnetcdf;
+      reader = miniio::open_reader(ml, node, "/fig.out", comm);
+    }
+    std::vector<double> buf;
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      // Quiescent point: the previous pattern's allreduce has completed on
+      // every rank, so rank 0's counter snapshot here is race-free.
+      PatternStats before;
+      if (comm.rank() == 0) {
+        before.cache_hits = ctr(trace::Counter::kReadCacheHits);
+        before.cache_misses = ctr(trace::Counter::kReadCacheMisses);
+        before.cache_hit_bytes = ctr(trace::Counter::kReadCacheHitBytes);
+        before.read_direct = ctr(trace::Counter::kCopyReadDirectBytes);
+        before.read_staged = ctr(trace::Counter::kCopyReadStagedBytes);
+      }
+      comm.barrier();
+      const double worst = comm.timed_max([&] {
+        if (comm.rank() < patterns[i].readers) {
+          const Box want = patterns[i].want(dec, comm.rank());
+          buf.resize(want.elements());
           for (int v = 0; v < nvars; ++v) {
-            pmem.load(var_name(v), buf.data(), 3, want.offset.data(),
-                      want.count.data());
+            if (pmem) {
+              pmem->load(var_name(v), buf.data(), 3, want.offset.data(),
+                         want.count.data());
+            } else {
+              reader->read(var_name(v), buf.data(), want);
+            }
           }
-          pmem.munmap();
-        } else {
-          const auto ml = lib == IoLib::kAdios     ? miniio::Library::kAdios
-                          : lib == IoLib::kNetcdf ? miniio::Library::kNetcdf4
-                                                  : miniio::Library::kPnetcdf;
-          auto r = miniio::open_reader(ml, node, "/fig.out", comm);
+        } else if (reader) {
+          // The contiguous readers' read() is a collective two-phase
+          // shuffle, and non-reading ranks still own stripes the readers
+          // need — they must participate with an empty request.  pMEMCPY
+          // loads are independent, so the pmem branch simply sits out.
+          const Box none({0, 0, 0}, {0, 0, 0});
+          double dummy = 0.0;
           for (int v = 0; v < nvars; ++v) {
-            r->read(var_name(v), buf.data(), want);
+            reader->read(var_name(v), &dummy, none);
           }
-          r->close();
         }
       });
-  return result.max_time;
+      if (comm.rank() == 0) {
+        stats[i].time = worst;
+        stats[i].cache_hits =
+            ctr(trace::Counter::kReadCacheHits) - before.cache_hits;
+        stats[i].cache_misses =
+            ctr(trace::Counter::kReadCacheMisses) - before.cache_misses;
+        stats[i].cache_hit_bytes =
+            ctr(trace::Counter::kReadCacheHitBytes) - before.cache_hit_bytes;
+        stats[i].read_direct =
+            ctr(trace::Counter::kCopyReadDirectBytes) - before.read_direct;
+        stats[i].read_staged =
+            ctr(trace::Counter::kCopyReadStagedBytes) - before.read_staged;
+      }
+    }
+    if (pmem) pmem->munmap();
+    if (reader) reader->close();
+  });
 }
 
 }  // namespace
 
 int main() {
+  pmemcpy::trace::set_enabled(true);
   Params p = params_from_env();
   constexpr int kWriters = 24;
   const auto dec = wk::decompose(p.elems_per_var(), kWriters);
@@ -59,11 +138,6 @@ int main() {
   std::printf("read_patterns: %.3f GiB written by %d procs\n",
               static_cast<double>(bytes) / (1ull << 30), kWriters);
 
-  struct Pattern {
-    const char* name;
-    int readers;
-    std::function<Box(const wk::Decomposition&, int)> want;
-  };
   const Pattern patterns[] = {
       {"restart (symmetric)", kWriters,
        [](const wk::Decomposition& d, int r) {
@@ -98,24 +172,45 @@ int main() {
                     {d.global[0] / 2, d.global[1] / 2, d.global[2] / 2});
        }},
   };
+  constexpr std::size_t kNumPatterns = std::size(patterns);
 
-  std::printf("%-30s", "pattern");
-  for (const IoLib lib : kAllLibs) std::printf("%12s", name(lib));
-  std::printf("\n");
   // One populated node per library, reused across patterns.
   std::map<IoLib, std::unique_ptr<PmemNode>> nodes;
   for (const IoLib lib : kAllLibs) {
     nodes[lib] = make_node(lib, bytes);
     (void)run_write(lib, *nodes[lib], dec, p.nvars, kWriters);
   }
-  for (const auto& pat : patterns) {
-    std::printf("%-30s", pat.name);
+  std::map<IoLib, std::vector<PatternStats>> stats;
+  for (const IoLib lib : kAllLibs) {
+    stats[lib].resize(kNumPatterns);
+    run_patterns(lib, *nodes[lib], dec, p.nvars, patterns, stats[lib]);
+  }
+
+  std::printf("%-30s", "pattern");
+  for (const IoLib lib : kAllLibs) std::printf("%12s", name(lib));
+  std::printf("\n");
+  for (std::size_t i = 0; i < kNumPatterns; ++i) {
+    std::printf("%-30s", patterns[i].name);
     for (const IoLib lib : kAllLibs) {
-      std::printf("%12.4f", run_pattern(lib, *nodes[lib], dec, p.nvars,
-                                        pat.readers, pat.want));
-      std::fflush(stdout);
+      std::printf("%12.4f", stats[lib][i].time);
     }
     std::printf("\n");
+  }
+  // Per-pattern read-cache and copy-direction deltas for the pMEMCPY
+  // stacks: the cache warms across patterns within the open session, so
+  // later overlapping patterns should show hits (EXPERIMENTS.md).
+  for (const IoLib lib : {IoLib::kPmcpyA, IoLib::kPmcpyB}) {
+    for (std::size_t i = 0; i < kNumPatterns; ++i) {
+      const auto& s = stats[lib][i];
+      std::printf("cache,%s,%s,hits=%llu,misses=%llu,hit_bytes=%llu,"
+                  "rd_direct=%llu,rd_staged=%llu\n",
+                  name(lib), patterns[i].name,
+                  static_cast<unsigned long long>(s.cache_hits),
+                  static_cast<unsigned long long>(s.cache_misses),
+                  static_cast<unsigned long long>(s.cache_hit_bytes),
+                  static_cast<unsigned long long>(s.read_direct),
+                  static_cast<unsigned long long>(s.read_staged));
+    }
   }
   std::printf("\nExpected shape: log-structured stores (pMEMCPY, ADIOS) win "
               "the symmetric patterns outright; the contiguous layouts "

@@ -30,8 +30,11 @@ run_config() {
   echo "==== [${name}] build ===="
   cmake --build "${dir}" -j"$(nproc)"
   echo "==== [${name}] test ===="
-  # CTEST_ENV: extra KEY=VAL pairs exported into the test processes.
-  env ${CTEST_ENV:-} ctest --test-dir "${dir}" --output-on-failure -j"$(nproc)"
+  # CTEST_ENV: extra KEY=VAL pairs exported into the test processes.  The
+  # full suite is the tier1 label (every test carries it; crash/fault/
+  # property sub-labels select subsets, see tests/CMakeLists.txt).
+  env ${CTEST_ENV:-} ctest --test-dir "${dir}" --output-on-failure \
+    -j"$(nproc)" -L tier1
   echo "==== [${name}] flush audit ===="
   # Deterministic flush/fence counts; fails if any phase's CLWB or SFENCE
   # traffic regressed past the checked-in baseline (see bench/flush_audit.cpp).
@@ -77,9 +80,12 @@ run_fault_config() {
   echo "==== [fault] build ===="
   cmake --build "${dir}" -j"$(nproc)"
   echo "==== [fault] fault-matrix + scrub-corpus sweep ===="
+  # Selected by ctest label (tests/CMakeLists.txt tags fault_matrix_test and
+  # scrub_corpus_test with "fault"), so new fault suites join the sweep by
+  # adding the label instead of editing this regex.
   env PMEMCPY_PERSIST_CHECK=1 PMEMCPY_TRACE=1 \
     ctest --test-dir "${dir}" --output-on-failure -j"$(nproc)" \
-    -R 'fault_matrix|scrub_corpus'
+    -L fault
   echo "==== [fault] env-armed smoke ===="
   env PMEMCPY_FAULT_RATE=0.001 PMEMCPY_FAULT_SEED=7 \
     "${dir}/examples/quickstart" >/dev/null

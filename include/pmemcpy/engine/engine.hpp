@@ -18,6 +18,12 @@
 //     file streaming through its mapping); either way the bytes take one
 //     trip.  Callers that *want* staging (the ADIOS-style ablation) stage
 //     above the contract with a BufferSink and copy in.
+//   * Zero-copy read contract (DESIGN.md §13): find() hands back an Entry
+//     whose stored_span() is a direct const view of the stored blob —
+//     hashtable value bytes in the pool, or the tree file's mapped extent —
+//     so CRC verification and deserialization run in place without bouncing
+//     the payload through DRAM.  A fragmented tree file is the one charged
+//     fallback (copy.read_bounce_bytes); everything else reads exactly once.
 //   * Durability ordering: an entry's bytes (blob + metadata) are flushed
 //     and fenced *before* the store that makes them reachable, so a crash at
 //     any point exposes only complete entries (the PR-2 persistency checker
@@ -102,9 +108,22 @@ class Engine {
     /// Charged copy of blob bytes [off, off+len); throws SerialError when
     /// out of range.
     virtual void read(std::uint64_t off, void* dst, std::size_t len) = 0;
-    /// Zero-copy pointer to the whole blob, charging @p charge_bytes of
-    /// DAX read traffic (callers often consume only a slice).
-    virtual const std::byte* direct(std::size_t charge_bytes) = 0;
+    /// Zero-copy read contract (DESIGN.md §13): a direct const span over
+    /// the whole stored blob, exactly info().size bytes, valid while this
+    /// handle lives.  CRC verification and deserialization consume it in
+    /// place — a get never bounces the payload through DRAM.  Only
+    /// @p charge_bytes of device read traffic are charged (callers often
+    /// decode a slice); media errors surface as DeviceError, never as
+    /// stale/garbage bytes.  Engines whose blob is not physically
+    /// contiguous (a fragmented tree file) fall back internally to a DRAM
+    /// bounce charged to copy.read_bounce_bytes — the span they return is
+    /// then over the bounce buffer, still handle-lifetime stable.
+    [[nodiscard]] virtual std::span<const std::byte> stored_span(
+        std::size_t charge_bytes) = 0;
+    /// Whole-blob convenience: charges the full stored size.
+    [[nodiscard]] std::span<const std::byte> stored_span() {
+      return stored_span(info().size);
+    }
     /// Physical placement (shard + device offset) for diagnostics.
     [[nodiscard]] virtual Provenance provenance() const { return {}; }
   };

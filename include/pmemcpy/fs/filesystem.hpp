@@ -89,6 +89,15 @@ class Mapping {
   /// stays the caller's job.
   [[nodiscard]] std::span<std::byte> direct_write_span(std::uint64_t off,
                                                        std::size_t len);
+  /// Media-checked read-only span over [off, off+len) when the range is
+  /// physically contiguous; throws FsError otherwise (callers fall back to
+  /// a charged DRAM bounce through load()) and DeviceError when the range
+  /// sits on injected-bad media — the zero-copy consumption primitive of
+  /// the read path (DESIGN.md §13), symmetric to direct_write_span.
+  /// Account the bytes actually consumed through charge_load(): callers
+  /// often decode only a slice of the mapped blob.
+  [[nodiscard]] std::span<const std::byte> direct_read_span(
+      std::uint64_t off, std::size_t len) const;
   /// Account a zero-copy read of @p bytes through this mapping.
   void charge_load(std::size_t bytes) const;
 
@@ -196,7 +205,17 @@ class FileSystem {
   /// Append an extent to an inode's extent list (inline or indirect chain).
   void append_extent(Inode& inode, Ino ino, std::uint64_t start,
                      std::uint64_t n);
+  /// Detach every block run from the inode (zeroing its extent fields)
+  /// WITHOUT freeing them; crash-ordering requires persisting the detached
+  /// inode before free_runs() returns the blocks to the allocator.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  detach_extents(Inode& inode);
+  void free_runs(
+      const std::vector<std::pair<std::uint64_t, std::uint64_t>>& runs);
+  /// detach_extents + persist the detached inode + free, in that order.
   void drop_extents(Inode& inode, Ino ino);
+  /// Flush + fence the device lines backing file range [off, off+len).
+  void persist_file_range(Ino ino, std::uint64_t off, std::uint64_t len);
 
   [[nodiscard]] Ino resolve(const std::string& path, bool want_parent,
                             std::string* leaf) const;

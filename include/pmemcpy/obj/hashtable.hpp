@@ -178,6 +178,14 @@ class HashTable {
   struct Node;  // persistent node layout (see .cpp)
 
   [[nodiscard]] std::uint64_t bucket_slot(std::string_view key) const;
+  /// Every (prev, node) chain position matching @p key, head-first.  More
+  /// than one match is a crash leftover: an overwrite that published its
+  /// new head but lost power before unlinking the superseded node.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  find_chain(std::uint64_t slot, std::string_view key) const;
+  /// Unlink @p node (whose predecessor is @p prev, 0 = bucket head) and
+  /// free its storage.
+  void unlink_free(std::uint64_t slot, std::uint64_t prev, std::uint64_t node);
   bool link_replace(std::string_view key, std::uint64_t node_off,
                     bool keep_existing);
   void maybe_grow();

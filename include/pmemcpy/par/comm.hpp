@@ -84,6 +84,13 @@ class Comm {
   /// Exclusive prefix sum (rank 0 receives 0).
   [[nodiscard]] std::uint64_t exscan_sum(std::uint64_t v);
 
+  /// Run @p body on this rank and return the slowest rank's elapsed
+  /// simulated time (an allreduce_max, so it is also a barrier).  The
+  /// clock reads live here in the par layer so benchmarks never touch the
+  /// raw simulated clock; callers wanting a clean start line should
+  /// barrier() first.
+  [[nodiscard]] double timed_max(const std::function<void()>& body);
+
   template <typename T>
   [[nodiscard]] T allreduce_sum(T v) {
     return allreduce(v, [](T a, T b) { return a + b; });

@@ -28,6 +28,7 @@
 
 #include <pmemcpy/core/hyperslab.hpp>
 #include <pmemcpy/core/node.hpp>
+#include <pmemcpy/core/read_cache.hpp>
 #include <pmemcpy/crc32c.hpp>
 #include <pmemcpy/engine/engine.hpp>
 #include <pmemcpy/ft/ft.hpp>
@@ -41,6 +42,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 
@@ -75,6 +77,14 @@ struct Config {
   /// Verify the per-entry CRC32C on every load and throw IntegrityError on
   /// mismatch instead of deserializing torn or rotted bytes.
   bool verify_checksums = true;
+  /// DRAM read-cache budget in bytes (DESIGN.md §13).  0 disables caching;
+  /// nonzero keeps verified blob copies under LRU so repeated reads of the
+  /// same entries (restart / plane / subvolume patterns) are served at DRAM
+  /// cost.  The fill copy is charged to the simulated clock, eviction order
+  /// is deterministic, and every put/remove/repair/quarantine invalidates —
+  /// a cached blob never goes stale.  The PMEMCPY_READ_CACHE env var
+  /// overrides this at mmap() time (accepts k/m/g suffixes).
+  std::size_t read_cache_bytes = 0;
   /// Hash-partition the flat layout's keys across this many pools (each
   /// with its own allocator and metadata table), so concurrent ranks stop
   /// serializing on one pool's metadata path.  1 = the classic single-pool
@@ -270,21 +280,14 @@ class PMEM {
   void load(const std::string& id, T& data) {
     trace::Span span("core.get");
     throw_if_damaged(id);
-    auto entry = engine_ref().find(id);
-    if (!entry) throw KeyError(id);
-    const auto info = entry->info();
-    detail::EntryKind kind;
-    serial::DType dtype;
-    serial::SerializerId ser;
-    detail::unpack_meta(info.meta, &kind, &dtype, &ser);
-    if (kind != detail::EntryKind::kScalar) {
-      throw TypeError("pmemcpy: " + id + " is not a scalar entry");
-    }
-    if (dtype != serial::dtype_of_v<T>) {
-      throw TypeError("pmemcpy: dtype mismatch loading " + id);
-    }
-    const std::size_t hdr = detail::blob_header_size(ser, 0);
     if (cfg_.force_dram_staging) {
+      // Ablation: bounce the blob through DRAM before decoding, the way an
+      // ADIOS-style reader materializes its buffer (bypasses the cache so
+      // the staging pass is what gets measured).
+      auto entry = engine_ref().find(id);
+      if (!entry) throw KeyError(id);
+      const auto info = entry->info();
+      const std::size_t hdr = check_scalar_meta<T>(id, info.meta);
       std::vector<std::byte> staged(info.size);
       entry->read(0, staged.data(), staged.size());
       verify_blob(id, staged.data(), staged.size(), info.meta);
@@ -292,14 +295,21 @@ class PMEM {
           {staged.data() + hdr, staged.size() - hdr});
       serial::BinaryReader r(src);
       r(data);
-    } else {
-      // Deserialize straight out of PMEM.
-      const std::byte* blob = entry->direct(info.size);
-      verify_blob(id, blob, info.size, info.meta);
-      serial::SpanSource src({blob + hdr, info.size - hdr});
-      serial::BinaryReader r(src);
-      r(data);
+      return;
     }
+    // Zero-copy read path (DESIGN.md §13): the blob is CRC-verified and
+    // deserialized in place — from the read cache when it holds the key,
+    // else straight out of the engine's stored span.
+    auto fetched = fetch_blob(id);
+    if (!fetched) throw KeyError(id);
+    const std::size_t hdr = check_scalar_meta<T>(id, fetched->meta);
+    const auto payload = fetched->blob.subspan(hdr);
+    serial::SpanSource pmem_src(payload);
+    serial::CacheSource dram_src(payload);
+    serial::BinaryReader r(fetched->from_cache
+                               ? static_cast<serial::Source&>(dram_src)
+                               : pmem_src);
+    r(data);
   }
 
   template <typename T>
@@ -425,32 +435,44 @@ class PMEM {
              Dimensions(dimspp, dimspp + nd));
     auto& st = engine_ref();
 
-    throw_if_damaged(detail::piece_key(id, want));
-    if (auto entry = st.find(detail::piece_key(id, want))) {
-      const auto info = entry->info();
-      detail::EntryKind kind;
-      serial::DType dtype;
-      serial::SerializerId ser;
-      serial::FilterId filter;
-      detail::unpack_meta(info.meta, &kind, &dtype, &ser, &filter);
-      if (dtype != serial::dtype_of_v<T>) {
-        throw TypeError("pmemcpy: dtype mismatch loading " + id);
+    const std::string pkey = detail::piece_key(id, want);
+    throw_if_damaged(pkey);
+    if (!cfg_.force_dram_staging && read_cache_) {
+      // Cached fast path: the verified whole blob comes from DRAM on a hit
+      // (or is fetched zero-copy and filled on a miss); the payload slice
+      // is copied straight into the caller's buffer.
+      if (auto fetched = fetch_blob(pkey)) {
+        serial::FilterId filter;
+        const std::size_t hdr =
+            check_piece_meta<T>(id, fetched->meta, nd, &filter);
+        const std::size_t payload = want.elements() * sizeof(T);
+        if (filter != serial::FilterId::kNone) {
+          decode_filtered_piece(id, fetched->blob, hdr, filter,
+                                {reinterpret_cast<std::byte*>(data), payload});
+          return;
+        }
+        if (fetched->blob.size() != hdr + payload) {
+          throw TypeError("pmemcpy: size mismatch loading " + id);
+        }
+        std::memcpy(data, fetched->blob.data() + hdr, payload);
+        if (fetched->from_cache) {
+          sim::ctx().charge_cpu_copy(payload);
+        } else {
+          trace::count(trace::Counter::kCopyReadDirectBytes, payload);
+        }
+        return;
       }
-      const std::size_t hdr =
-          detail::blob_header_size(ser, static_cast<std::uint32_t>(nd));
+    } else if (auto entry = st.find(pkey)) {
+      const auto info = entry->info();
+      serial::FilterId filter;
+      const std::size_t hdr = check_piece_meta<T>(id, info.meta, nd, &filter);
       const std::size_t payload = want.elements() * sizeof(T);
       if (filter != serial::FilterId::kNone) {
         // Decode straight from the PMEM-resident encoded bytes.
-        const std::byte* blob = entry->direct(info.size);
-        verify_blob(id, blob, info.size, info.meta);
-        std::uint64_t enc_size = 0;
-        std::memcpy(&enc_size, blob + hdr, sizeof(enc_size));
-        if (hdr + 8 + enc_size != info.size) {
-          throw TypeError("pmemcpy: corrupt filtered blob in " + id);
-        }
-        serial::filter_decode(
-            filter, {blob + hdr + 8, enc_size},
-            {reinterpret_cast<std::byte*>(data), payload});
+        const auto blob = entry->stored_span();
+        verify_blob(id, blob.data(), blob.size(), info.meta);
+        decode_filtered_piece(id, blob, hdr, filter,
+                              {reinterpret_cast<std::byte*>(data), payload});
         return;
       }
       if (info.size != hdr + payload) {
@@ -462,11 +484,12 @@ class PMEM {
         verify_piece(id, *entry, hdr, staged.data(), payload, info.meta);
         std::memcpy(data, staged.data(), payload);
         sim::ctx().charge_cpu_copy(payload);
-        trace::count(trace::Counter::kCopyStagedBytes, payload);
+        trace::count(trace::Counter::kCopyReadStagedBytes, payload);
       } else {
         // One pass: PMEM -> user buffer.
         entry->read(hdr, data, payload);
         verify_piece(id, *entry, hdr, data, payload, info.meta);
+        trace::count(trace::Counter::kCopyReadDirectBytes, payload);
       }
       return;
     }
@@ -481,35 +504,28 @@ class PMEM {
       const Box region = intersect(want, pbox);
       if (region.empty()) continue;
       throw_if_damaged(key);
-      auto entry = st.find(key);
-      if (!entry) continue;
-      const auto info = entry->info();
-      detail::EntryKind kind;
-      serial::DType dtype;
-      serial::SerializerId ser;
+      // Charge only the consumed slice on the uncached path — assembling a
+      // sub-region must not bill a whole-piece read.
+      auto fetched = fetch_blob(key, region.elements() * sizeof(T));
+      if (!fetched) continue;
       serial::FilterId filter;
-      detail::unpack_meta(info.meta, &kind, &dtype, &ser, &filter);
-      if (dtype != serial::dtype_of_v<T>) {
-        throw TypeError("pmemcpy: dtype mismatch loading " + id);
-      }
-      const std::size_t hdr =
-          detail::blob_header_size(ser, static_cast<std::uint32_t>(nd));
+      const std::size_t hdr = check_piece_meta<T>(id, fetched->meta, nd,
+                                                  &filter);
       if (filter != serial::FilterId::kNone) {
         // Decode the whole piece to scratch, then intersect.
-        const std::byte* blob = entry->direct(info.size);
-        verify_blob(key, blob, info.size, info.meta);
-        std::uint64_t enc_size = 0;
-        std::memcpy(&enc_size, blob + hdr, sizeof(enc_size));
         std::vector<std::byte> raw(pbox.elements() * sizeof(T));
-        serial::filter_decode(filter, {blob + hdr + 8, enc_size}, raw);
+        decode_filtered_piece(key, fetched->blob, hdr, filter, raw);
         copy_box_region(reinterpret_cast<std::byte*>(data), want, raw.data(),
                         pbox, region, sizeof(T));
       } else {
-        const std::byte* blob =
-            entry->direct(region.elements() * sizeof(T));
-        verify_blob(key, blob, info.size, info.meta);
-        copy_box_region(reinterpret_cast<std::byte*>(data), want, blob + hdr,
-                        pbox, region, sizeof(T));
+        copy_box_region(reinterpret_cast<std::byte*>(data), want,
+                        fetched->blob.data() + hdr, pbox, region, sizeof(T));
+        const std::size_t consumed = region.elements() * sizeof(T);
+        if (fetched->from_cache) {
+          sim::ctx().charge_cpu_copy(consumed);
+        } else {
+          trace::count(trace::Counter::kCopyReadDirectBytes, consumed);
+        }
       }
       covered += region.elements();
     }
@@ -607,10 +623,15 @@ class PMEM {
     if (!engine_) throw StateError("pmemcpy: not mapped (call mmap first)");
     return *engine_;
   }
-  /// Route a put through the open Batch when one exists.
+  /// Route a put through the open Batch when one exists.  Every put path
+  /// funnels through here, so this is also the read cache's write-side
+  /// invalidation point (DESIGN.md §13): the stale copy is dropped before
+  /// the reservation even opens, and — because fills are suppressed while a
+  /// Batch is open — cannot be re-filled until the new entry is visible.
   [[nodiscard]] std::unique_ptr<engine::Engine::PutHandle> start_put(
       const std::string& key, std::size_t size, std::uint64_t meta,
       bool keep_existing = false) {
+    if (read_cache_) read_cache_->invalidate(key);
     if (open_batch_) return open_batch_->put(key, size, meta, keep_existing);
     return engine_ref().put(key, size, meta, keep_existing);
   }
@@ -641,6 +662,82 @@ class PMEM {
       throw IntegrityError("checksum mismatch in " + key);
     }
   }
+  // --- zero-copy read path (DESIGN.md §13) ----------------------------------
+
+  /// One fetched blob: a zero-copy span over PMEM (entry keeps the mapping
+  /// alive) or a DRAM span served by the read cache.
+  struct FetchedBlob {
+    std::span<const std::byte> blob;
+    std::uint64_t meta = 0;
+    bool from_cache = false;
+    std::unique_ptr<engine::Engine::Entry> entry;  ///< null when cached
+  };
+
+  /// find() + stored_span() + CRC verification, with the read cache (when
+  /// configured) in front: a hit serves the verified DRAM copy, a miss
+  /// reads the blob in place, verifies it and fills the cache (fills are
+  /// skipped while a Batch is open — a staged same-key entry publishes at
+  /// commit, after this key's start_put() invalidation, so a fill in
+  /// between could pin the pre-batch value past the publish).  nullopt when
+  /// the key is absent.  @p charge_bytes bounds the device read charged on
+  /// the uncached path (callers that consume a slice; a cache fill always
+  /// charges the full blob it copies).
+  [[nodiscard]] std::optional<FetchedBlob> fetch_blob(
+      const std::string& key,
+      std::size_t charge_bytes = static_cast<std::size_t>(-1));
+
+  /// Meta-word checks shared by the scalar load paths; returns the blob
+  /// header size for the entry's serializer.
+  template <typename T>
+  std::size_t check_scalar_meta(const std::string& id,
+                                std::uint64_t meta) const {
+    detail::EntryKind kind;
+    serial::DType dtype;
+    serial::SerializerId ser;
+    detail::unpack_meta(meta, &kind, &dtype, &ser);
+    if (kind != detail::EntryKind::kScalar) {
+      throw TypeError("pmemcpy: " + id + " is not a scalar entry");
+    }
+    if (dtype != serial::dtype_of_v<T>) {
+      throw TypeError("pmemcpy: dtype mismatch loading " + id);
+    }
+    return detail::blob_header_size(ser, 0);
+  }
+
+  /// Meta-word checks shared by the piece load paths; returns the blob
+  /// header size and reports the piece's filter.
+  template <typename T>
+  std::size_t check_piece_meta(const std::string& id, std::uint64_t meta,
+                               std::size_t nd,
+                               serial::FilterId* filter) const {
+    detail::EntryKind kind;
+    serial::DType dtype;
+    serial::SerializerId ser;
+    detail::unpack_meta(meta, &kind, &dtype, &ser, filter);
+    if (dtype != serial::dtype_of_v<T>) {
+      throw TypeError("pmemcpy: dtype mismatch loading " + id);
+    }
+    return detail::blob_header_size(ser, static_cast<std::uint32_t>(nd));
+  }
+
+  /// Decode a filtered piece blob (header | u64 encoded size | encoded
+  /// bytes) into @p out, validating the length framing.
+  void decode_filtered_piece(const std::string& id,
+                             std::span<const std::byte> blob, std::size_t hdr,
+                             serial::FilterId filter,
+                             std::span<std::byte> out) const {
+    std::uint64_t enc_size = 0;
+    if (blob.size() < hdr + sizeof(enc_size)) {
+      throw TypeError("pmemcpy: corrupt filtered blob in " + id);
+    }
+    std::memcpy(&enc_size, blob.data() + hdr, sizeof(enc_size));
+    if (hdr + sizeof(enc_size) + enc_size != blob.size()) {
+      throw TypeError("pmemcpy: corrupt filtered blob in " + id);
+    }
+    serial::filter_decode(filter,
+                          blob.subspan(hdr + sizeof(enc_size), enc_size), out);
+  }
+
   /// Fast-path piece verification without a second payload pass: the blob
   /// header is re-read and chained with the payload already in the caller's
   /// buffer (CRC32C(header || payload) == stored checksum).
@@ -722,6 +819,8 @@ class PMEM {
   /// Keys repair() could not recover; guarded reads throw DegradedError.
   std::set<std::string> damaged_;
   std::map<std::string, std::vector<std::string>> piece_cache_;
+  /// Bounded DRAM blob cache (DESIGN.md §13); null when disabled.
+  std::unique_ptr<core::ReadCache> read_cache_;
   PmemNode* node_ = nullptr;
   par::Comm* comm_ = nullptr;
   std::unique_ptr<engine::Engine> engine_;

@@ -13,12 +13,16 @@
 //   * MappingSink/MappingSource — the same direct idea over a DAX file
 //     mapping (hierarchical layout), charged per store.
 //
-// Every sink/source also feeds the copy audit (DESIGN.md §12): bytes that
-// flow through a DRAM buffer count toward copy.staged_bytes (and the first
-// write of a BufferSink marks one copy.staged_put), bytes that land in or
-// come straight out of persistent memory count toward copy.direct_bytes.
-// `bench/copy_audit` gates these totals per library, so "zero-copy" is an
-// enforced invariant of the pMEMCPY put path, not a comment.
+// Every sink/source also feeds the copy audit (DESIGN.md §12/§13), split by
+// direction: sink bytes that flow through a DRAM buffer count toward
+// copy.staged_bytes (and the first write of a BufferSink marks one
+// copy.staged_put) while sink bytes landing in persistent memory count
+// toward copy.direct_bytes; source bytes symmetrically feed
+// copy.read_staged_bytes (BufferSource — a blob bounced through DRAM before
+// decode) or copy.read_direct_bytes (SpanSource/MappingSource — decode
+// consuming the mapped blob in place).  `bench/copy_audit` gates these
+// totals per library and per direction, so "zero-copy" is an enforced
+// invariant of both pMEMCPY data paths, not a comment.
 #pragma once
 
 #include <pmemcpy/crc32c.hpp>
@@ -92,7 +96,7 @@ class BufferSource final : public Source {
     std::memcpy(dst, data_.data() + pos_, len);
     pos_ += len;
     sim::ctx().charge_cpu_copy(len);
-    trace::count(trace::Counter::kCopyStagedBytes, len);
+    trace::count(trace::Counter::kCopyReadStagedBytes, len);
   }
   [[nodiscard]] std::size_t tell() const override { return pos_; }
 
@@ -128,7 +132,29 @@ class SpanSource final : public Source {
     if (pos_ + len > in_.size()) throw SerialError("source underrun");
     std::memcpy(dst, in_.data() + pos_, len);
     pos_ += len;
-    trace::count(trace::Counter::kCopyDirectBytes, len);
+    trace::count(trace::Counter::kCopyReadDirectBytes, len);
+  }
+  [[nodiscard]] std::size_t tell() const override { return pos_; }
+
+ private:
+  std::span<const std::byte> in_;
+  std::size_t pos_ = 0;
+};
+
+/// Reads from a DRAM read-cache blob (DESIGN.md §13).  Charged as a DRAM
+/// copy like BufferSource, but tallied under the cache's own vocabulary
+/// (read_cache_hit_bytes, counted at lookup) instead of the staged/direct
+/// read audit: the bytes already took their single PMEM trip when the cache
+/// filled, so they are neither a staging bounce nor fresh PMEM traffic.
+class CacheSource final : public Source {
+ public:
+  explicit CacheSource(std::span<const std::byte> in) : in_(in) {}
+
+  void read(void* dst, std::size_t len) override {
+    if (pos_ + len > in_.size()) throw SerialError("source underrun");
+    std::memcpy(dst, in_.data() + pos_, len);
+    pos_ += len;
+    sim::ctx().charge_cpu_copy(len);
   }
   [[nodiscard]] std::size_t tell() const override { return pos_; }
 
@@ -163,7 +189,7 @@ class MappingSource final : public Source {
   void read(void* dst, std::size_t len) override {
     m_->load(off_ + pos_, dst, len);
     pos_ += len;
-    trace::count(trace::Counter::kCopyDirectBytes, len);
+    trace::count(trace::Counter::kCopyReadDirectBytes, len);
   }
   [[nodiscard]] std::size_t tell() const override { return pos_; }
 

@@ -88,6 +88,19 @@ enum class Counter : int {
   kCopyStagedBytes,         ///< serialized bytes that landed in a DRAM buffer
   kCopyDirectBytes,         ///< serialized bytes that landed in PMEM directly
   kCopyStagedPuts,          ///< puts whose payload took a DRAM staging pass
+  // copy.read_* + cache.* — zero-copy read path (DESIGN.md §13).  Appended
+  // last, same schema-stability argument as above: the stats/flush-audit
+  // schema omits zero counters past the always-first four, so checked-in
+  // baselines stay byte-identical for workloads that never read-stage.
+  kCopyReadStagedBytes,     ///< get bytes bounced through a DRAM buffer
+  kCopyReadDirectBytes,     ///< get bytes consumed in-place from PMEM spans
+  kCopyReadBounceBytes,     ///< fragmented-tree fallback: charged DRAM bounce
+  kReadCacheHits,           ///< read-cache lookups served from DRAM
+  kReadCacheMisses,         ///< read-cache lookups that went to the engine
+  kReadCacheHitBytes,       ///< blob bytes served from the read cache
+  kReadCacheFillBytes,      ///< blob bytes copied into the cache on miss
+  kReadCacheEvictions,      ///< entries evicted to respect read_cache_bytes
+  kReadCacheInvalidations,  ///< entries dropped by put/remove/repair
   kNumCounters,
 };
 

@@ -12,6 +12,7 @@
 #include "common.hpp"
 
 #include <pmemcpy/serial/bp4.hpp>
+#include <pmemcpy/trace/trace.hpp>
 
 #include <cstring>
 #include <map>
@@ -199,6 +200,10 @@ class AdiosReader final : public Reader {
                                staging_.data(), pbox, region,
                                sizeof(double));
       c.charge_cpu_copy(region.elements() * sizeof(double));
+      // The DRAM bounce before deserialization is what the read-side copy
+      // audit charges against this library.
+      pmemcpy::trace::count(pmemcpy::trace::Counter::kCopyReadStagedBytes,
+                            region.elements() * sizeof(double));
       covered += region.elements();
     }
     if (covered < local.elements()) {

@@ -424,7 +424,10 @@ class ContiguousReader final : public Reader {
       fs_->pread(file_, stripe.data(), stripe.size() * sizeof(double),
                  var.base + need_lo * sizeof(double));
       if (hdf5_) {
+        // HDF5 internal scatter/gather staging pass over the stripe.
         c.charge_cpu_copy(stripe.size() * sizeof(double));
+        pmemcpy::trace::count(pmemcpy::trace::Counter::kCopyReadStagedBytes,
+                              stripe.size() * sizeof(double));
       }
     }
     std::size_t packed = 0;
@@ -446,6 +449,10 @@ class ContiguousReader final : public Reader {
       }
     }
     c.charge_cpu_copy(packed);
+    // The response-pack pass is this library's DRAM staging bounce on the
+    // read side; the audit contrasts it with pMEMCPY's in-place decode.
+    pmemcpy::trace::count(pmemcpy::trace::Counter::kCopyReadStagedBytes,
+                          packed);
 
     // Phase 3: shuffle back and unpack into the user buffer.
     Exchanged replies = alltoall_bytes(*comm_, resp);
@@ -463,6 +470,8 @@ class ContiguousReader final : public Reader {
       unpacked += h.elems * sizeof(double);
     }
     c.charge_cpu_copy(unpacked);
+    pmemcpy::trace::count(pmemcpy::trace::Counter::kCopyReadStagedBytes,
+                          unpacked);
     if (unpacked != local.elements() * sizeof(double)) {
       throw pmemcpy::fs::FsError("miniio: contiguous read incomplete for " +
                                  name);

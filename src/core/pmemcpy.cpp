@@ -3,6 +3,7 @@
 #include <pmemcpy/serial/capnp.hpp>
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 
 namespace pmemcpy {
@@ -120,6 +121,26 @@ std::string fs_root_for(const std::string& filename) {
   return filename.empty() || filename[0] != '/' ? "/" + filename : filename;
 }
 
+/// Byte count with an optional k/m/g suffix ("4m" = 4 MiB); nullopt when
+/// unset or unparsable (an unparsable override is ignored, not fatal —
+/// matching how the other PMEMCPY_* env toggles degrade).
+std::optional<std::size_t> read_cache_env() {
+  const char* v = std::getenv("PMEMCPY_READ_CACHE");
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  if (end == v) return std::nullopt;
+  std::size_t mult = 1;
+  switch (*end) {
+    case 'k': case 'K': mult = 1ull << 10; break;
+    case 'm': case 'M': mult = 1ull << 20; break;
+    case 'g': case 'G': mult = 1ull << 30; break;
+    case '\0': break;
+    default: return std::nullopt;
+  }
+  return static_cast<std::size_t>(n) * mult;
+}
+
 }  // namespace
 
 void PMEM::do_mmap(const std::string& filename, par::Comm* comm) {
@@ -146,6 +167,12 @@ void PMEM::do_mmap(const std::string& filename, par::Comm* comm) {
     engine_ = engine::open_tree_engine(*node_, fs_root_for(filename),
                                        cfg_.map_sync, comm);
   }
+  // DRAM read cache (DESIGN.md §13): per-handle, bounded, env-overridable.
+  const std::size_t cache_bytes =
+      read_cache_env().value_or(cfg_.read_cache_bytes);
+  if (cache_bytes > 0) {
+    read_cache_ = std::make_unique<core::ReadCache>(cache_bytes);
+  }
   if (comm != nullptr) comm->barrier();
 }
 
@@ -153,6 +180,7 @@ void PMEM::munmap() {
   if (!engine_) throw StateError("pmemcpy: not mapped");
   if (comm_ != nullptr) comm_->barrier();
   piece_cache_.clear();
+  read_cache_.reset();  // cached blobs die with the mapping
   open_batch_.reset();  // staged-but-uncommitted entries are discarded
   engine_.reset();
   comm_ = nullptr;
@@ -195,16 +223,46 @@ void PMEM::put_dims(const std::string& id, serial::DType dtype,
   });
 }
 
+std::optional<PMEM::FetchedBlob> PMEM::fetch_blob(const std::string& key,
+                                                  std::size_t charge_bytes) {
+  if (read_cache_) {
+    if (const auto* hit = read_cache_->find(key)) {
+      FetchedBlob f;
+      f.blob = {hit->bytes.data(), hit->bytes.size()};
+      f.meta = hit->meta;
+      f.from_cache = true;
+      return f;
+    }
+  }
+  auto entry = engine_ref().find(key);
+  if (!entry) return std::nullopt;
+  const auto info = entry->info();
+  // A fill copies the whole blob, so it always charges the full read; a
+  // plain fetch charges only the slice the caller declared.
+  const bool fill = read_cache_ != nullptr && !open_batch_;
+  const std::size_t charge =
+      fill ? info.size : std::min<std::size_t>(charge_bytes, info.size);
+  FetchedBlob f;
+  f.blob = entry->stored_span(charge);
+  f.meta = info.meta;
+  f.entry = std::move(entry);
+  // Verify before the bytes can reach either the cache or a deserializer:
+  // only CRC-clean blobs are ever cached.
+  verify_blob(key, f.blob.data(), f.blob.size(), f.meta);
+  if (fill) read_cache_->insert(key, f.blob, f.meta);
+  return f;
+}
+
 bool PMEM::get_dims(const std::string& id, serial::DType* dtype,
                     Dimensions* dims) {
   throw_if_damaged(detail::dims_key(id));
-  auto entry = engine_ref().find(detail::dims_key(id));
-  if (!entry) return false;
-  const auto info = entry->info();
-  const std::byte* blob = entry->direct(info.size);
-  verify_blob(detail::dims_key(id), blob, info.size, info.meta);
-  serial::SpanSource src({blob, info.size});
-  serial::BinaryReader r(src);
+  auto fetched = fetch_blob(detail::dims_key(id));
+  if (!fetched) return false;
+  serial::SpanSource pmem_src(fetched->blob);
+  serial::CacheSource dram_src(fetched->blob);
+  serial::BinaryReader r(fetched->from_cache
+                             ? static_cast<serial::Source&>(dram_src)
+                             : pmem_src);
   std::uint8_t dt = 0;
   std::vector<std::uint64_t> d64;
   r(dt, d64);
@@ -265,9 +323,7 @@ void PMEM::for_each_raw(
   for (const auto& key : keys) {
     auto entry = st.find(key);
     if (!entry) continue;
-    const auto info = entry->info();
-    const std::byte* blob = entry->direct(info.size);
-    fn(key, {blob, info.size}, info.meta);
+    fn(key, entry->stored_span(), entry->info().meta);
   }
 }
 
@@ -300,6 +356,14 @@ void PMEM::remove(const std::string& id) {
                      });
   for (const auto& key : attrs) any |= st.erase(key);
   invalidate_piece_cache(id);
+  if (read_cache_) {
+    // Drop every erased binding: the scalar, the dims entry, and each piece
+    // and attribute key.
+    read_cache_->invalidate(id);
+    read_cache_->invalidate(detail::dims_key(id));
+    for (const auto& key : pieces) read_cache_->invalidate(key);
+    for (const auto& key : attrs) read_cache_->invalidate(key);
+  }
   if (!any) throw KeyError(id);
 }
 
@@ -370,6 +434,9 @@ void PMEM::heal_put_fault(const std::string& id, const pmem::DeviceError& e,
                          "cannot quarantine bad media range while writing '" +
                              id + "': " + e.what()));
     }
+    // Quarantine may relocate future writes anywhere; cached blobs stay
+    // byte-correct but the conservative move is to refill from PMEM.
+    if (read_cache_) read_cache_->clear();
   }
   if (attempt >= kMaxPutAttempts) {
     fail_degraded(
@@ -446,6 +513,10 @@ RepairReport PMEM::repair() {
                    prov);
     }
   }
+  // Relocation rewrites bindings and quarantine reshapes the allocatable
+  // space; drop every cached blob rather than reasoning about which ones the
+  // pass touched.  Correctness first — the cache refills on the next read.
+  if (read_cache_) read_cache_->clear();
   return rep;
 }
 

@@ -1,0 +1,68 @@
+#include <pmemcpy/core/read_cache.hpp>
+
+#include <pmemcpy/sim/context.hpp>
+#include <pmemcpy/trace/trace.hpp>
+
+#include <cstring>
+
+namespace pmemcpy::core {
+
+const ReadCache::Blob* ReadCache::find(const std::string& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    trace::count(trace::Counter::kReadCacheMisses);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  trace::count(trace::Counter::kReadCacheHits);
+  trace::count(trace::Counter::kReadCacheHitBytes,
+               it->second->second.bytes.size());
+  return &it->second->second;
+}
+
+void ReadCache::insert(const std::string& key,
+                       std::span<const std::byte> blob, std::uint64_t meta) {
+  if (blob.size() > capacity_) return;
+  // Replacing an existing entry is not an invalidation — the fresh bytes
+  // supersede in place, so only adjust the byte budget.
+  if (const auto it = map_.find(key); it != map_.end()) {
+    bytes_ -= it->second->second.bytes.size();
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  while (bytes_ + blob.size() > capacity_) {
+    auto& victim = lru_.back();
+    bytes_ -= victim.second.bytes.size();
+    map_.erase(victim.first);
+    lru_.pop_back();
+    trace::count(trace::Counter::kReadCacheEvictions);
+  }
+  Blob b;
+  b.bytes.assign(blob.begin(), blob.end());
+  b.meta = meta;
+  // The fill is a real DRAM copy: charge it like any other staging pass so
+  // caching shows up honestly in bench numbers.
+  sim::ctx().charge_cpu_copy(blob.size());
+  trace::count(trace::Counter::kReadCacheFillBytes, blob.size());
+  lru_.emplace_front(key, std::move(b));
+  map_.emplace(key, lru_.begin());
+  bytes_ += blob.size();
+}
+
+void ReadCache::invalidate(const std::string& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return;
+  bytes_ -= it->second->second.bytes.size();
+  lru_.erase(it->second);
+  map_.erase(it);
+  trace::count(trace::Counter::kReadCacheInvalidations);
+}
+
+void ReadCache::clear() {
+  trace::count(trace::Counter::kReadCacheInvalidations, map_.size());
+  lru_.clear();
+  map_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace pmemcpy::core

@@ -48,8 +48,8 @@ class ShardedEntry final : public Engine::Entry {
   void read(std::uint64_t off, void* dst, std::size_t len) override {
     inner_->read(off, dst, len);
   }
-  const std::byte* direct(std::size_t charge_bytes) override {
-    return inner_->direct(charge_bytes);
+  std::span<const std::byte> stored_span(std::size_t charge_bytes) override {
+    return inner_->stored_span(charge_bytes);
   }
   Provenance provenance() const override {
     auto p = inner_->provenance();

@@ -54,12 +54,12 @@ class TableEntry final : public Engine::Entry {
     pool_->read(ref_.val_off + off, dst, len);
   }
 
-  const std::byte* direct(std::size_t charge_bytes) override {
+  std::span<const std::byte> stored_span(std::size_t charge_bytes) override {
     // Zero-copy bypasses the checked read path, so probe for injected
-    // media errors explicitly before handing out the pointer.
+    // media errors explicitly before handing out the span.
     pool_->verify_media(ref_.val_off, ref_.val_size);
     pool_->charge_read(charge_bytes);
-    return pool_->direct(ref_.val_off);
+    return {pool_->direct(ref_.val_off), ref_.val_size};
   }
 
   Provenance provenance() const override {

@@ -17,6 +17,7 @@
 #include <pmemcpy/trace/trace.hpp>
 
 #include <atomic>
+#include <cstdio>
 #include <optional>
 #include <span>
 #include <utility>
@@ -131,23 +132,26 @@ class TreeEntry final : public Engine::Entry {
     mapping_.load(kTreeHeader + off, dst, len);
   }
 
-  const std::byte* direct(std::size_t charge_bytes) override {
+  std::span<const std::byte> stored_span(std::size_t charge_bytes) override {
     try {
-      auto s = mapping_.span(kTreeHeader, info_.size);
+      // Media-probed direct view over the payload extent; the consumption
+      // charge covers only the slice the caller will decode.
+      auto s = mapping_.direct_read_span(kTreeHeader, info_.size);
       mapping_.charge_load(charge_bytes);
-      return s.data();
+      return s;
     } catch (const fs::FsError&) {
       // Fragmented file: fall back to a charged bounce copy (rare — entry
       // files are written once into fresh extents).  The bounce is a DRAM
-      // staging pass; the copy audit must see it.
+      // pass the read audit must see, but under its own exempted counter:
+      // it is the engine's fallback, not a staging decision above it.
       if (bounce_.empty() && info_.size > 0) {
         bounce_.resize(info_.size);
         mapping_.load(kTreeHeader, bounce_.data(), info_.size);
-        trace::count(trace::Counter::kCopyStagedBytes, info_.size);
+        trace::count(trace::Counter::kCopyReadBounceBytes, info_.size);
       } else {
         mapping_.charge_load(charge_bytes);
       }
-      return bounce_.data();
+      return {bounce_.data(), info_.size};
     }
   }
 
@@ -205,9 +209,15 @@ TreePending make_pending(fs::FileSystem& fs, const std::string& root,
     const std::string dir = path.substr(0, slash);
     if (!fs.exists(dir)) fs.mkdirs(dir);
   }
-  const std::string tmp =
-      path + ".tmp." +
-      std::to_string(g_tmp_seq.fetch_add(1, std::memory_order_relaxed));
+  // Fixed-width sequence so the temp name's LENGTH never depends on how
+  // many temps this process made before: variable-length names leak the
+  // process history into directory-entry byte counts and break run-to-run
+  // counter determinism (tests/determinism_test.cpp).
+  char seq[24];
+  std::snprintf(seq, sizeof(seq), ".tmp.%012llu",
+                static_cast<unsigned long long>(
+                    g_tmp_seq.fetch_add(1, std::memory_order_relaxed)));
+  const std::string tmp = path + seq;
   auto mapping = fs.create_mapped(tmp, kTreeHeader + size, map_sync);
   return TreePending{std::move(mapping), tmp,  path,
                      meta,               size, keep_existing};

@@ -127,6 +127,12 @@ void Comm::barrier() {
   barrier_sync(*state_);
 }
 
+double Comm::timed_max(const std::function<void()>& body) {
+  const double t0 = sim::ctx().now();
+  body();
+  return allreduce_max(sim::ctx().now() - t0);
+}
+
 void Comm::bcast(void* data, std::size_t bytes, int root) {
   auto& st = *state_;
   if (rank_ == root) st.pub_ptr[static_cast<std::size_t>(root)] = data;

@@ -47,6 +47,21 @@ struct DirEntryHeader {
   std::uint16_t name_len;
 };
 
+/// Directory files are shadow-committed (see dir_write_entries): the first
+/// cacheline of the file is this header, and the entry records live in one
+/// of two slots behind it.  Rewrites fill the inactive slot, make it
+/// durable, then flip the header — a single-line store the crash model
+/// treats as atomic — so a torn crash always parses either the old or the
+/// new entry list, never a byte-mix of both.
+struct DirHeader {
+  std::uint64_t seq;          // bumped on every committed rewrite
+  std::uint64_t content_off;  // file offset of the live entry records
+  std::uint64_t content_len;  // bytes of live entry records
+  std::uint64_t cap;          // per-slot capacity, 64-byte aligned
+};
+constexpr std::uint64_t kDirHeaderSize = pmem::kCacheLine;
+static_assert(sizeof(DirHeader) <= kDirHeaderSize);
+
 std::vector<std::string> split_path(const std::string& path) {
   if (path.empty() || path[0] != '/') {
     throw FsError("fs: path must be absolute: " + path);
@@ -95,7 +110,10 @@ FileSystem FileSystem::format(pmem::Device& dev, std::size_t base,
   fs.total_blocks_ = blocks;
   fs.inode_count_ = inode_count;
   fs.bitmap_off_ = base + kBlockSize;
-  fs.itable_off_ = fs.bitmap_off_ + (blocks + 7) / 8;
+  // Line-aligned so every inode's head line is one atomic persist
+  // (write_inode's commit ordering depends on it).
+  fs.itable_off_ = (fs.bitmap_off_ + (blocks + 7) / 8 + pmem::kCacheLine - 1) /
+                   pmem::kCacheLine * pmem::kCacheLine;
   fs.data_off_ = (fs.itable_off_ + itable_bytes + kBlockSize - 1) / kBlockSize *
                  kBlockSize;
   // data_off_ must leave room for all blocks.
@@ -184,8 +202,28 @@ FileSystem::Inode FileSystem::read_inode(Ino ino) const {
 void FileSystem::write_inode(Ino ino, const Inode& inode) {
   if (ino == 0 || ino > inode_count_) throw FsError("fs: bad inode");
   const std::uint64_t off = itable_off_ + (ino - 1) * kInodeSize;
-  dev_->write(off, &inode, sizeof(inode));
-  dev_->persist(off, sizeof(inode));
+  // The head line (type, nextents, size, first three extents) is the commit
+  // record for the rest of the inode: when the tail (later extents, the
+  // indirect pointer) changed, it must be durable BEFORE the head publishes
+  // a count that references it, or a torn crash can commit a head whose
+  // extra extents revert to garbage.  The head itself is one cacheline
+  // (itable_off_ is line-aligned), so its persist is atomic under the crash
+  // model.  Skipping an unchanged tail keeps the common single-line inode
+  // update at one flush + one fence.
+  constexpr std::size_t kHead = pmem::kCacheLine;
+  static_assert(sizeof(Inode) > kHead);
+  Inode cur{};
+  dev_->read(off, &cur, sizeof(cur));
+  if (std::memcmp(reinterpret_cast<const std::byte*>(&cur) + kHead,
+                  reinterpret_cast<const std::byte*>(&inode) + kHead,
+                  sizeof(Inode) - kHead) != 0) {
+    dev_->write(off + kHead,
+                reinterpret_cast<const std::byte*>(&inode) + kHead,
+                sizeof(Inode) - kHead);
+    dev_->persist(off + kHead, sizeof(Inode) - kHead);
+  }
+  dev_->write(off, &inode, kHead);
+  dev_->persist(off, kHead);
 }
 
 Ino FileSystem::alloc_inode(std::uint32_t type) {
@@ -322,9 +360,11 @@ void FileSystem::append_extent(Inode& inode, Ino /*ino*/, std::uint64_t start,
   }
 }
 
-void FileSystem::drop_extents(Inode& inode, Ino /*ino*/) {
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+FileSystem::detach_extents(Inode& inode) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> runs;
   for (std::uint32_t i = 0; i < inode.nextents; ++i) {
-    free_blocks_range(inode.ext[i].start, inode.ext[i].len);
+    runs.emplace_back(inode.ext[i].start, inode.ext[i].len);
   }
   inode.nextents = 0;
   std::uint64_t blk = inode.indirect;
@@ -332,13 +372,29 @@ void FileSystem::drop_extents(Inode& inode, Ino /*ino*/) {
     IndirectBlock ib{};
     dev_->read(data_off_ + blk * kBlockSize, &ib, sizeof(ib));
     for (std::uint64_t i = 0; i < ib.count; ++i) {
-      free_blocks_range(ib.ext[i].start, ib.ext[i].len);
+      runs.emplace_back(ib.ext[i].start, ib.ext[i].len);
     }
-    free_blocks_range(blk, 1);
+    runs.emplace_back(blk, 1);
     blk = ib.next;
   }
   inode.indirect = 0;
   inode.size = 0;
+  return runs;
+}
+
+void FileSystem::free_runs(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& runs) {
+  for (const auto& [start, n] : runs) free_blocks_range(start, n);
+}
+
+void FileSystem::drop_extents(Inode& inode, Ino ino) {
+  // Crash-ordering: the detached inode must be durable BEFORE its old
+  // blocks return to the allocator.  Freeing first leaves a window where a
+  // crash preserves a live inode whose extents another file can re-allocate
+  // (cross-linking); this order can only leak blocks.
+  const auto runs = detach_extents(inode);
+  write_inode(ino, inode);
+  free_runs(runs);
 }
 
 void FileSystem::ensure_capacity(Ino ino, std::uint64_t size) {
@@ -437,8 +493,11 @@ std::vector<std::pair<std::string, Ino>> FileSystem::dir_entries(
     Ino dir) const {
   const Inode inode = read_inode(dir);
   if (inode.type != kTypeDir) throw FsError("fs: not a directory");
-  std::vector<std::byte> raw(inode.size);
-  if (!raw.empty()) data_read(dir, raw.data(), raw.size(), 0);
+  if (inode.size == 0) return {};  // never written: empty
+  DirHeader dh{};
+  data_read(dir, &dh, sizeof(dh), 0);
+  std::vector<std::byte> raw(dh.content_len);
+  if (!raw.empty()) data_read(dir, raw.data(), raw.size(), dh.content_off);
   std::vector<std::pair<std::string, Ino>> out;
   std::size_t pos = 0;
   while (pos + sizeof(DirEntryHeader) <= raw.size()) {
@@ -454,6 +513,20 @@ std::vector<std::pair<std::string, Ino>> FileSystem::dir_entries(
   return out;
 }
 
+/// Flush the device lines backing file range [off, off+len) and fence.
+void FileSystem::persist_file_range(Ino ino, std::uint64_t off,
+                                    std::uint64_t len) {
+  bool flushed = false;
+  for (const auto& r : gather_runs(ino, off + len)) {
+    const std::uint64_t lo = std::max(r.file_off, off);
+    const std::uint64_t hi = std::min(r.file_off + r.len, off + len);
+    if (lo >= hi) continue;
+    dev_->flush(r.dev_off + (lo - r.file_off), hi - lo);
+    flushed = true;
+  }
+  if (flushed) dev_->drain();
+}
+
 void FileSystem::dir_write_entries(
     Ino dir, const std::vector<std::pair<std::string, Ino>>& entries) {
   std::vector<std::byte> raw;
@@ -464,25 +537,40 @@ void FileSystem::dir_write_entries(
     std::memcpy(raw.data() + pos, &h, sizeof(h));
     std::memcpy(raw.data() + pos + sizeof(h), name.data(), name.size());
   }
-  ensure_capacity(dir, raw.size());
-  if (!raw.empty()) data_write(dir, raw.data(), raw.size(), 0);
+  // Namespace ops are durable at syscall return AND crash-atomic
+  // (metadata-journaling semantics).  An in-place rewrite can never be both:
+  // a crash mid-flush tears the entry bytes into a parse-corrupting mix of
+  // the old and new lists (the property fuzzer found exactly that — a
+  // half-stitched name swallowing its neighbour's record).  So directories
+  // are shadow-committed: write the new list into the slot the live header
+  // does NOT point at, fence it, then flip the single-line header.  Every
+  // crash point parses either the whole old list or the whole new one.
   Inode inode = read_inode(dir);
-  inode.size = raw.size();
-  write_inode(dir, inode);
-  // Namespace ops are durable at syscall return (metadata-journaling
-  // semantics, like every other metadata structure here): persist the entry
-  // bytes now.  Deferring them to an fsync nobody issues for directories
-  // would let a crash evaporate a completed rename — the tree engine's
-  // publish point.
-  bool flushed = false;
-  for (const auto& r : gather_runs(dir, raw.size())) {
-    const std::uint64_t hi =
-        std::min<std::uint64_t>(raw.size(), r.file_off + r.len);
-    if (r.file_off >= hi) continue;
-    dev_->flush(r.dev_off, hi - r.file_off);
-    flushed = true;
+  DirHeader dh{};
+  if (inode.size != 0) data_read(dir, &dh, sizeof(dh), 0);
+  std::uint64_t new_cap = dh.cap;
+  std::uint64_t new_off;
+  if (raw.size() > dh.cap) {
+    // Grow: place the new slot beyond every byte the old header can reach
+    // ([kDirHeaderSize, kDirHeaderSize + 2*cap)), so the live list is never
+    // overwritten before the flip.
+    new_cap = std::max<std::uint64_t>(
+        {2 * dh.cap, (raw.size() + pmem::kCacheLine - 1) / pmem::kCacheLine *
+                         pmem::kCacheLine,
+         kDirHeaderSize});
+    new_off = kDirHeaderSize + new_cap;
+  } else {
+    new_off = dh.content_off == kDirHeaderSize ? kDirHeaderSize + new_cap
+                                               : kDirHeaderSize;
   }
-  if (flushed) dev_->drain();
+  ensure_capacity(dir, kDirHeaderSize + 2 * new_cap);
+  if (!raw.empty()) {
+    data_write(dir, raw.data(), raw.size(), new_off);
+    persist_file_range(dir, new_off, raw.size());
+  }
+  const DirHeader next{dh.seq + 1, new_off, raw.size(), new_cap};
+  data_write(dir, &next, sizeof(next), 0);
+  persist_file_range(dir, 0, kDirHeaderSize);  // single-line commit
   dirty_.erase(dir);
 }
 
@@ -580,9 +668,14 @@ void FileSystem::remove(const std::string& path) {
       !dir_entries(ino).empty()) {
     throw FsError("fs: directory not empty: " + path);
   }
+  // Soft-updates ordering: the name removal must be durable BEFORE the inode
+  // or its blocks are freed.  The reverse order has a crash window where the
+  // directory still names a zeroed inode — a dangling entry that reads as a
+  // zero-length file after remount.  This order can at worst leak an unnamed
+  // inode and its blocks (a space leak, never corruption).
+  dir_remove(parent, leaf);
   drop_extents(inode, ino);
   free_inode(ino);
-  dir_remove(parent, leaf);
 }
 
 bool FileSystem::rename(const std::string& from, const std::string& to,
@@ -597,24 +690,65 @@ bool FileSystem::rename(const std::string& from, const std::string& to,
   }
   const Ino ino = dir_lookup(from_parent, from_leaf);
   if (ino == 0) throw FsError("fs: rename: no such file: " + from);
+  if (from_parent == to_parent && from_leaf == to_leaf) return true;
   const Ino victim = dir_lookup(to_parent, to_leaf);
   if (victim != 0) {
     Inode vi = read_inode(victim);
     if (vi.type != kTypeFile) throw FsError("fs: rename over a directory");
     if (!replace) {
-      // Target wins: discard the source instead.
+      // Target wins: discard the source instead.  Name removal first — the
+      // same soft-updates rule as remove(): freeing the source inode while
+      // the directory still names it would leave a dangling entry behind a
+      // crash.
+      dir_remove(from_parent, from_leaf);
       Inode si = read_inode(ino);
       drop_extents(si, ino);
       free_inode(ino);
-      dir_remove(from_parent, from_leaf);
       return false;
     }
+  }
+  // Namespace update before any resource free, and — for the same-directory
+  // case (the tree engine's publish rename) — as ONE entry-list rewrite:
+  // dropping the source name and repointing the target name in separate
+  // directory updates would open a crash window where the target is missing
+  // entirely (neither the old nor the new value survives) or still names the
+  // about-to-be-freed victim inode.
+  if (from_parent == to_parent) {
+    auto entries = dir_entries(from_parent);
+    std::vector<std::pair<std::string, Ino>> next;
+    bool have_to = false;
+    for (auto& e : entries) {
+      if (e.first == from_leaf) continue;  // old name dropped
+      if (e.first == to_leaf) {
+        e.second = ino;
+        have_to = true;
+      }
+      next.push_back(std::move(e));
+    }
+    if (!have_to) next.emplace_back(to_leaf, ino);
+    dir_write_entries(from_parent, next);
+  } else {
+    // Cross-directory: publish the new name first (at worst both names are
+    // alive across a crash), then retire the old one.
+    auto tentries = dir_entries(to_parent);
+    bool have_to = false;
+    for (auto& e : tentries) {
+      if (e.first == to_leaf) {
+        e.second = ino;
+        have_to = true;
+      }
+    }
+    if (!have_to) tentries.emplace_back(to_leaf, ino);
+    dir_write_entries(to_parent, tentries);
+    dir_remove(from_parent, from_leaf);
+  }
+  // Only now, with no name pointing at it, free the replaced inode.  A crash
+  // here leaks it — the benign failure mode.
+  if (victim != 0) {
+    Inode vi = read_inode(victim);
     drop_extents(vi, victim);
     free_inode(victim);
-    dir_remove(to_parent, to_leaf);
   }
-  dir_remove(from_parent, from_leaf);
-  dir_add(to_parent, to_leaf, ino);
   return true;
 }
 
@@ -862,6 +996,20 @@ std::span<std::byte> Mapping::direct_write_span(std::uint64_t off,
       const std::uint64_t dev_off = r.dev_off + (off - r.file_off);
       dev->note_write(dev_off, len);
       dev->charge_dax_write(dev_off, len, map_sync_);
+      return {dev->raw(dev_off), len};
+    }
+  }
+  throw FsError("fs: range not physically contiguous");
+}
+
+std::span<const std::byte> Mapping::direct_read_span(std::uint64_t off,
+                                                     std::size_t len) const {
+  if (off + len > size_) throw FsError("fs: mapping access out of range");
+  auto* dev = fs_->dev_;
+  for (const auto& r : runs_) {
+    if (off >= r.file_off && off + len <= r.file_off + r.len) {
+      const std::uint64_t dev_off = r.dev_off + (off - r.file_off);
+      dev->check_media(dev_off, len);
       return {dev->raw(dev_off), len};
     }
   }

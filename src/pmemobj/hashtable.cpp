@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -167,22 +168,40 @@ void HashTable::put(std::string_view key, const void* data, std::size_t len,
   (void)ins.publish();  // replace mode: always links
 }
 
+std::vector<std::pair<std::uint64_t, std::uint64_t>> HashTable::find_chain(
+    std::uint64_t slot, std::string_view key) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> matches;
+  std::uint64_t prev = 0;
+  std::uint64_t node = pool_->get<std::uint64_t>(slot);
+  while (node != 0) {
+    const std::uint64_t next = pool_->get<std::uint64_t>(node + kNodeNext);
+    if (read_key(node) == key) matches.emplace_back(prev, node);
+    prev = node;
+    node = next;
+  }
+  return matches;
+}
+
+void HashTable::unlink_free(std::uint64_t slot, std::uint64_t prev,
+                            std::uint64_t node) {
+  const std::uint64_t next = pool_->get<std::uint64_t>(node + kNodeNext);
+  if (prev == 0) {
+    pool_->set<std::uint64_t>(slot, next);
+  } else {
+    pool_->set<std::uint64_t>(prev + kNodeNext, next);
+  }
+  const auto val = pool_->get<std::uint64_t>(node + kNodeValOff);
+  pool_->free(node);
+  if (val != 0) pool_->free(val);
+}
+
 bool HashTable::link_replace(std::string_view key, std::uint64_t node_off,
                              bool keep_existing) {
   std::lock_guard lk((*stripes_)[fnv1a(key) % kStripes]);
   const std::uint64_t slot = bucket_slot(key);
-  const std::uint64_t head = pool_->get<std::uint64_t>(slot);
+  auto matches = find_chain(slot, key);
 
-  // Find an existing entry to supersede.
-  std::uint64_t prev = 0;
-  std::uint64_t old = head;
-  while (old != 0) {
-    if (read_key(old) == key) break;
-    prev = old;
-    old = pool_->get<std::uint64_t>(old + kNodeNext);
-  }
-
-  if (old != 0 && keep_existing) {
+  if (!matches.empty() && keep_existing) {
     // First writer won: discard this reservation.
     const auto val = pool_->get<std::uint64_t>(node_off + kNodeValOff);
     pool_->free(node_off);
@@ -190,50 +209,63 @@ bool HashTable::link_replace(std::string_view key, std::uint64_t node_off,
     return false;
   }
 
-  // Link the new node at the head (it is fully persisted by now).
-  pool_->set<std::uint64_t>(node_off + kNodeNext, head);
-  pool_->set<std::uint64_t>(slot, node_off);
-
-  if (old != 0) {
-    // Unlink the superseded entry.  prev may be the new head's old target.
-    const std::uint64_t old_next = pool_->get<std::uint64_t>(old + kNodeNext);
-    if (prev == 0) {
-      pool_->set<std::uint64_t>(node_off + kNodeNext, old_next);
-    } else {
-      pool_->set<std::uint64_t>(prev + kNodeNext, old_next);
-    }
-    const auto old_val = pool_->get<std::uint64_t>(old + kNodeValOff);
-    pool_->free(old);
-    if (old_val != 0) pool_->free(old_val);
-  } else {
-    bump_count(+1);
+  // Crash leftovers first: an overwrite interrupted between its head
+  // publish and its unlink leaves a stale duplicate shadowed behind the
+  // live (first) match.  Readers never see those, so sweeping them
+  // deepest-first is invisible at every intermediate crash point.
+  while (matches.size() > 1) {
+    unlink_free(slot, matches.back().first, matches.back().second);
+    matches.pop_back();
   }
+
+  const std::uint64_t head = pool_->get<std::uint64_t>(slot);
+  if (matches.empty()) {
+    // Fresh key: the head store is the atomic publish.
+    pool_->set<std::uint64_t>(node_off + kNodeNext, head);
+    pool_->set<std::uint64_t>(slot, node_off);
+    bump_count(+1);
+    return true;
+  }
+
+  const auto [prev, old] = matches.front();
+  if (prev == 0) {
+    // The superseded entry IS the head: point the new node past it first,
+    // so the single head store atomically swaps old for new.  No crash
+    // point can see both versions chained.
+    pool_->set<std::uint64_t>(node_off + kNodeNext,
+                              pool_->get<std::uint64_t>(old + kNodeNext));
+    pool_->set<std::uint64_t>(slot, node_off);
+  } else {
+    // Mid-chain: publish the new head first (the stale entry is shadowed
+    // behind it for every reader), then unlink it.  A crash in between
+    // leaves exactly the shadowed duplicate the sweeps collect.
+    pool_->set<std::uint64_t>(node_off + kNodeNext, head);
+    pool_->set<std::uint64_t>(slot, node_off);
+    pool_->set<std::uint64_t>(prev + kNodeNext,
+                              pool_->get<std::uint64_t>(old + kNodeNext));
+  }
+  const auto old_val = pool_->get<std::uint64_t>(old + kNodeValOff);
+  pool_->free(old);
+  if (old_val != 0) pool_->free(old_val);
   return true;
 }
 
 bool HashTable::erase(std::string_view key) {
   std::lock_guard lk((*stripes_)[fnv1a(key) % kStripes]);
   const std::uint64_t slot = bucket_slot(key);
-  std::uint64_t prev = 0;
-  std::uint64_t node = pool_->get<std::uint64_t>(slot);
-  while (node != 0) {
-    const std::uint64_t next = pool_->get<std::uint64_t>(node + kNodeNext);
-    if (read_key(node) == key) {
-      if (prev == 0) {
-        pool_->set<std::uint64_t>(slot, next);
-      } else {
-        pool_->set<std::uint64_t>(prev + kNodeNext, next);
-      }
-      const auto val = pool_->get<std::uint64_t>(node + kNodeValOff);
-      pool_->free(node);
-      if (val != 0) pool_->free(val);
-      bump_count(-1);
-      return true;
-    }
-    prev = node;
-    node = next;
+  auto matches = find_chain(slot, key);
+  if (matches.empty()) return false;
+  // Deepest-first: shadowed crash-leftover duplicates go before the live
+  // head entry, so every intermediate crash point still reads exactly the
+  // live value; the final unlink completes the erase.  The old head-first
+  // single unlink was the resurrection bug the property fuzzer caught — it
+  // re-exposed a stale duplicate as the live value.
+  while (!matches.empty()) {
+    unlink_free(slot, matches.back().first, matches.back().second);
+    matches.pop_back();
   }
-  return false;
+  bump_count(-1);
+  return true;
 }
 
 void HashTable::read_value(const ValueRef& ref, void* dst) const {
@@ -309,11 +341,22 @@ void HashTable::rehash(std::size_t new_nbuckets) {
   zero_range(*pool_, nbuckets_off, new_nbuckets * 8);
 
   std::vector<std::uint64_t> old_nodes;
+  std::vector<std::uint64_t> dup_vals;
   for (std::uint64_t b = 0; b < hdr.nbuckets; ++b) {
     std::uint64_t node = pool_->get<std::uint64_t>(hdr.buckets_off + b * 8);
+    std::set<std::string> seen;  // keys copied from this chain
     while (node != 0) {
       old_nodes.push_back(node);
       const std::string key = read_key(node);
+      if (!seen.insert(key).second) {
+        // Shadowed crash-leftover duplicate (see link_replace): copying it
+        // would RE-ORDER it above the live entry, because this loop
+        // prepends while walking head-to-tail.  Drop it instead; its value
+        // blob is freed with the other retired storage after the swap.
+        dup_vals.push_back(pool_->get<std::uint64_t>(node + kNodeValOff));
+        node = pool_->get<std::uint64_t>(node + kNodeNext);
+        continue;
+      }
       const std::uint64_t copy = pool_->alloc(kNodeKey + key.size());
       const std::uint64_t nslot =
           nbuckets_off + (fnv1a(key) % new_nbuckets) * 8;
@@ -347,6 +390,9 @@ void HashTable::rehash(std::size_t new_nbuckets) {
   }
 
   for (std::uint64_t node : old_nodes) pool_->free(node);
+  for (std::uint64_t val : dup_vals) {
+    if (val != 0) pool_->free(val);
+  }
   pool_->free(hdr.buckets_off);
   for (auto it = stripes_->rbegin(); it != stripes_->rend(); ++it) it->unlock();
 }

@@ -164,6 +164,15 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kCopyStagedBytes: return "copy_staged_bytes";
     case Counter::kCopyDirectBytes: return "copy_direct_bytes";
     case Counter::kCopyStagedPuts: return "copy_staged_puts";
+    case Counter::kCopyReadStagedBytes: return "copy_read_staged_bytes";
+    case Counter::kCopyReadDirectBytes: return "copy_read_direct_bytes";
+    case Counter::kCopyReadBounceBytes: return "copy_read_bounce_bytes";
+    case Counter::kReadCacheHits: return "read_cache_hits";
+    case Counter::kReadCacheMisses: return "read_cache_misses";
+    case Counter::kReadCacheHitBytes: return "read_cache_hit_bytes";
+    case Counter::kReadCacheFillBytes: return "read_cache_fill_bytes";
+    case Counter::kReadCacheEvictions: return "read_cache_evictions";
+    case Counter::kReadCacheInvalidations: return "read_cache_invalidations";
     case Counter::kNumCounters: break;
   }
   return "unknown";

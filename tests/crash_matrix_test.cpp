@@ -544,6 +544,111 @@ TEST(ScrubTest, DetectsBitrotAndMediaErrors) {
 }
 
 // ---------------------------------------------------------------------------
+// Read cache across power loss: sweep every persist point of a repair
+// relocation while the victim is warm in the DRAM read cache.  The cache is
+// volatile state layered over persistent truth — no crash point may leave a
+// recovered store whose reads disagree with what was acknowledged.
+// ---------------------------------------------------------------------------
+
+TEST(CrashMatrixTest, RepairCrashSweepWithWarmReadCache) {
+  namespace trace = pmemcpy::trace;
+  const bool trace_was = trace::enabled();
+  trace::set_enabled(true);
+
+  auto cached_cfg = [](pmemcpy::PmemNode& node) {
+    auto cfg = make_cfg(node);
+    cfg.read_cache_bytes = 1u << 20;
+    return cfg;
+  };
+  // Deterministic scene: six entries, every one loaded twice so the whole
+  // working set is cache-resident, then the victim's media goes sticky.
+  auto build_scene = [&](pmemcpy::PmemNode& node, pmemcpy::PMEM& p) {
+    p.mmap("crash.warmcache");
+    for (int i = 0; i < 6; ++i) {
+      p.store("w" + std::to_string(i), std::vector<int>(16, i + 1));
+    }
+    const std::uint64_t hits0 = trace::counter(trace::Counter::kReadCacheHits);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int i = 0; i < 6; ++i) {
+        EXPECT_EQ(p.load<std::vector<int>>("w" + std::to_string(i)),
+                  std::vector<int>(16, i + 1));
+      }
+    }
+    // The repeats really were DRAM hits: the cache is warm at crash time.
+    EXPECT_GT(trace::counter(trace::Counter::kReadCacheHits), hits0);
+    std::uint64_t voff = 0;
+    p.for_each_raw([&](const std::string& k, std::span<const std::byte> blob,
+                       std::uint64_t) {
+      if (k == "w2") voff = static_cast<std::uint64_t>(
+          blob.data() - node.device().raw());
+    });
+    ASSERT_NE(voff, 0u);
+    node.device().inject_sticky_range(voff, 64);
+  };
+  auto check_scene = [](pmemcpy::PMEM& p) {
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_EQ(p.load<std::vector<int>>("w" + std::to_string(i)),
+                std::vector<int>(16, i + 1))
+          << "w" << i;
+    }
+  };
+
+  // Counting run: learn the persist-op window the relocation spans.
+  std::uint64_t ops_before = 0, ops_after = 0;
+  {
+    pmemcpy::PmemNode node(node_opts());
+    pmemcpy::PMEM p(cached_cfg(node));
+    build_scene(node, p);
+    ops_before = node.device().persist_ops();
+    const auto rep = p.repair();
+    EXPECT_TRUE(rep.ok());
+    EXPECT_EQ(rep.relocated, 1u);
+    ops_after = node.device().persist_ops();
+    check_scene(p);
+    p.munmap();
+  }
+  ASSERT_GT(ops_after, ops_before);
+
+  for (std::uint64_t k = ops_before + 1; k <= ops_after; ++k) {
+    SCOPED_TRACE("crash at persist op " + std::to_string(k));
+    pmemcpy::PmemNode node(node_opts());
+    auto& dev = node.device();
+    {
+      pmemcpy::PMEM p(cached_cfg(node));
+      build_scene(node, p);
+      ASSERT_EQ(dev.persist_ops(), ops_before);  // replay determinism
+      FaultPlan fp;
+      fp.crash_at_persist = k;
+      fp.torn_writes = true;
+      fp.fault_seed = k;
+      dev.set_fault_plan(fp);
+      try {
+        (void)p.repair();
+        ADD_FAILURE() << "repair completed despite scheduled crash";
+      } catch (const CrashError& e) {
+        EXPECT_EQ(e.persist_op, k);
+      }
+      ASSERT_TRUE(dev.frozen());
+    }
+    dev.revive();
+    node.remount();
+
+    const auto pool = node.open_pool("crash.warmcache");
+    const auto report = pool->check();
+    EXPECT_TRUE(report.ok()) << join_issues(report.issues);
+    pmemcpy::PMEM p2(cached_cfg(node));
+    p2.mmap("crash.warmcache");
+    check_scene(p2);
+    const auto rep2 = p2.repair();
+    EXPECT_TRUE(rep2.ok());
+    check_scene(p2);
+    p2.munmap();
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+  trace::set_enabled(trace_was);
+}
+
+// ---------------------------------------------------------------------------
 // Trace layer across power loss: spans open at the crash close carrying the
 // crashed flag, the registry resets to a clean epoch, and the recovery sweep
 // after revive/remount is itself traced.

@@ -118,11 +118,19 @@ TEST_P(EngineTest, PartialRead) {
   EXPECT_THROW(e->read(8, buf, 4), std::exception);
 }
 
-TEST_P(EngineTest, DirectPointerMatches) {
+TEST_P(EngineTest, StoredSpanMatches) {
+  // Zero-copy read contract (DESIGN.md §13): stored_span() is a direct
+  // const view of the committed blob, sized exactly, with the bytes readable
+  // in place.
   put_str(*engine_, "k", "direct-data");
   auto e = engine_->find("k");
-  const std::byte* p = e->direct(e->info().size);
-  EXPECT_EQ(std::memcmp(p, "direct-data", 11), 0);
+  const auto span = e->stored_span();
+  ASSERT_EQ(span.size(), 11u);
+  EXPECT_EQ(std::memcmp(span.data(), "direct-data", 11), 0);
+  // A second call is stable — same bytes, same extent.
+  const auto again = e->stored_span();
+  ASSERT_EQ(again.size(), span.size());
+  EXPECT_EQ(std::memcmp(again.data(), span.data(), span.size()), 0);
 }
 
 TEST_P(EngineTest, ReservedSpanBacksTheSink) {

@@ -354,6 +354,56 @@ TEST(FaultMatrix, RepairRelocatesIntactEntriesOffFailingMedia) {
   p2.munmap();
 }
 
+/// Read path under failing media with the DRAM read cache armed: cached
+/// reads must fall back to PMEM + quarantine without ever serving bytes
+/// that no longer match the published entry (DESIGN.md §13).
+TEST(FaultMatrix, StickyMediaUnderCachedReadsServesNoStaleBytes) {
+  pmemcpy::PmemNode node(node_opts());
+  auto& dev = node.device();
+  auto cfg = make_cfg(node);
+  cfg.read_cache_bytes = 1u << 20;
+  pmemcpy::PMEM p(cfg);
+  p.mmap("ft.cachedread");
+
+  const std::vector<double> v1{1.25, 2.25, 3.25, 4.25};
+  p.store("victim", v1);
+  p.store("bystander", 7);
+
+  // Warm the cache: first load fills, the repeat is a DRAM hit.
+  EXPECT_EQ(p.load<std::vector<double>>("victim"), v1);
+  const std::uint64_t hits0 = ctr(Counter::kReadCacheHits);
+  EXPECT_EQ(p.load<std::vector<double>>("victim"), v1);
+  EXPECT_GT(ctr(Counter::kReadCacheHits), hits0);
+
+  // The victim's media goes sticky-bad; repair() relocates it and — the
+  // ordering §13 pins down — drops every cached blob before the new
+  // location is the published one.
+  std::size_t vsize = 0;
+  const std::uint64_t voff = blob_dev_off(p, dev, "victim", &vsize);
+  dev.inject_sticky_range(voff, 64);
+  const std::uint64_t inval0 = ctr(Counter::kReadCacheInvalidations);
+  const auto rep = p.repair();
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.relocated, 1u);
+  EXPECT_GT(ctr(Counter::kReadCacheInvalidations), inval0);
+
+  // Kill the old location outright: if any layer still held the stale
+  // address (or the cache survived the repair), the next load would fault
+  // or serve bytes the quarantine already fenced off.
+  dev.inject_read_error(voff, vsize);
+  const std::uint64_t miss0 = ctr(Counter::kReadCacheMisses);
+  EXPECT_EQ(p.load<std::vector<double>>("victim"), v1);
+  EXPECT_GT(ctr(Counter::kReadCacheMisses), miss0);  // refilled, not stale-hit
+
+  // Overwrite invalidation under the same armed cache: the put drops the
+  // freshly refilled v1 blob, so the next load sees v2, never cached v1.
+  const std::vector<double> v2{9.5, 8.5};
+  p.store("victim", v2);
+  EXPECT_EQ(p.load<std::vector<double>>("victim"), v2);
+  EXPECT_EQ(p.load<int>("bystander"), 7);
+  p.munmap();
+}
+
 TEST(FaultMatrix, UnreadableEntriesBecomeTypedDamage) {
   pmemcpy::PmemNode node(node_opts());
   auto& dev = node.device();

@@ -1,0 +1,116 @@
+// Unit tests for the DRAM read cache (DESIGN.md §13) — the properties the
+// header promises, pinned directly against core::ReadCache rather than
+// through a PMEM handle: strict-LRU eviction keeps the byte budget at or
+// under capacity, replacement and invalidation keep the budget exact (the
+// fault-matrix fuzzing caught an insert that never credited its bytes, so
+// the first invalidation underflowed the budget and the next fill evicted
+// from an empty list), and every traffic class lands on its own counter.
+#include <pmemcpy/core/read_cache.hpp>
+#include <pmemcpy/sim/context.hpp>
+#include <pmemcpy/trace/trace.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace {
+
+using pmemcpy::core::ReadCache;
+using pmemcpy::trace::Counter;
+
+std::vector<std::byte> bytes_of(std::size_t n, int fill) {
+  return std::vector<std::byte>(n, static_cast<std::byte>(fill));
+}
+
+std::uint64_t ctr(Counter c) { return pmemcpy::trace::counter(c); }
+
+class TraceOnEnv : public ::testing::Environment {
+  void SetUp() override { pmemcpy::trace::set_enabled(true); }
+  void TearDown() override { pmemcpy::trace::set_enabled(false); }
+};
+const auto* const kTraceOn =
+    ::testing::AddGlobalTestEnvironment(new TraceOnEnv);
+
+TEST(ReadCacheTest, BudgetIsExactAcrossInsertReplaceInvalidate) {
+  ReadCache cache(1024);
+  cache.insert("a", bytes_of(100, 1), 1);
+  cache.insert("b", bytes_of(200, 2), 2);
+  EXPECT_EQ(cache.bytes(), 300u);
+  EXPECT_EQ(cache.entries(), 2u);
+
+  // Replacement supersedes in place: the old 100 bytes leave the budget.
+  cache.insert("a", bytes_of(150, 3), 3);
+  EXPECT_EQ(cache.bytes(), 350u);
+  EXPECT_EQ(cache.entries(), 2u);
+
+  cache.invalidate("a");
+  EXPECT_EQ(cache.bytes(), 200u);
+  cache.invalidate("b");
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.entries(), 0u);
+
+  // The regression shape: a fill after invalidations must not evict from
+  // an empty list (the budget was underflowing here).
+  cache.insert("c", bytes_of(64, 4), 4);
+  EXPECT_EQ(cache.bytes(), 64u);
+  ASSERT_NE(cache.find("c"), nullptr);
+  EXPECT_EQ(cache.find("c")->meta, 4u);
+}
+
+TEST(ReadCacheTest, LruEvictionRespectsCapacityAndRecency) {
+  const std::uint64_t evict0 = ctr(Counter::kReadCacheEvictions);
+  ReadCache cache(300);
+  cache.insert("a", bytes_of(100, 1), 1);
+  cache.insert("b", bytes_of(100, 2), 2);
+  cache.insert("c", bytes_of(100, 3), 3);
+  EXPECT_EQ(cache.bytes(), 300u);
+
+  // Touch "a" so "b" is the least recently used, then overflow.
+  ASSERT_NE(cache.find("a"), nullptr);
+  cache.insert("d", bytes_of(100, 4), 4);
+  EXPECT_EQ(cache.bytes(), 300u);
+  EXPECT_EQ(cache.find("b"), nullptr) << "LRU entry must be the victim";
+  EXPECT_NE(cache.find("a"), nullptr);
+  EXPECT_NE(cache.find("c"), nullptr);
+  EXPECT_NE(cache.find("d"), nullptr);
+  EXPECT_EQ(ctr(Counter::kReadCacheEvictions) - evict0, 1u);
+
+  // A blob larger than the whole capacity is not cached at all.
+  cache.insert("huge", bytes_of(301, 5), 5);
+  EXPECT_EQ(cache.find("huge"), nullptr);
+  EXPECT_EQ(cache.bytes(), 300u);
+}
+
+TEST(ReadCacheTest, CountersTallyEachTrafficClass) {
+  ReadCache cache(4096);
+  const std::uint64_t hits0 = ctr(Counter::kReadCacheHits);
+  const std::uint64_t miss0 = ctr(Counter::kReadCacheMisses);
+  const std::uint64_t fill0 = ctr(Counter::kReadCacheFillBytes);
+  const std::uint64_t hitb0 = ctr(Counter::kReadCacheHitBytes);
+  const std::uint64_t inval0 = ctr(Counter::kReadCacheInvalidations);
+
+  EXPECT_EQ(cache.find("k"), nullptr);
+  cache.insert("k", bytes_of(128, 7), 7);
+  ASSERT_NE(cache.find("k"), nullptr);
+  cache.invalidate("k");
+  cache.invalidate("k");  // absent: not an invalidation event
+
+  EXPECT_EQ(ctr(Counter::kReadCacheMisses) - miss0, 1u);
+  EXPECT_EQ(ctr(Counter::kReadCacheHits) - hits0, 1u);
+  EXPECT_EQ(ctr(Counter::kReadCacheFillBytes) - fill0, 128u);
+  EXPECT_EQ(ctr(Counter::kReadCacheHitBytes) - hitb0, 128u);
+  EXPECT_EQ(ctr(Counter::kReadCacheInvalidations) - inval0, 1u);
+
+  // clear() drops everything and counts one invalidation per entry.
+  cache.insert("x", bytes_of(10, 1), 1);
+  cache.insert("y", bytes_of(10, 2), 2);
+  const std::uint64_t inval1 = ctr(Counter::kReadCacheInvalidations);
+  cache.clear();
+  EXPECT_EQ(ctr(Counter::kReadCacheInvalidations) - inval1, 2u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+}  // namespace

@@ -90,14 +90,27 @@ TEST(SinkTest, CopyCountersChargeByDestination) {
   EXPECT_EQ(trace::counter(trace::Counter::kCopyDirectBytes), 200u);
   EXPECT_EQ(trace::counter(trace::Counter::kCopyStagedBytes), 128u);
 
+  // Reads audit under their own direction (DESIGN.md §13): a SpanSource
+  // decode consumes PMEM in place, a BufferSource decode is a DRAM bounce,
+  // and neither bleeds into the write-side counters.
   SpanSource src(out);
   std::byte sink_buf[64];
   src.read(sink_buf, 64);
-  EXPECT_EQ(trace::counter(trace::Counter::kCopyDirectBytes), 264u);
+  EXPECT_EQ(trace::counter(trace::Counter::kCopyReadDirectBytes), 64u);
+  EXPECT_EQ(trace::counter(trace::Counter::kCopyDirectBytes), 200u);
 
   BufferSource bsrc(data);
   bsrc.read(sink_buf, 32);
-  EXPECT_EQ(trace::counter(trace::Counter::kCopyStagedBytes), 160u);
+  EXPECT_EQ(trace::counter(trace::Counter::kCopyReadStagedBytes), 32u);
+  EXPECT_EQ(trace::counter(trace::Counter::kCopyStagedBytes), 128u);
+
+  // A CacheSource decode is neither: the blob already took its one PMEM
+  // trip when the cache filled, so only the hit accounting (at lookup)
+  // names it.
+  CacheSource csrc(data);
+  csrc.read(sink_buf, 16);
+  EXPECT_EQ(trace::counter(trace::Counter::kCopyReadDirectBytes), 64u);
+  EXPECT_EQ(trace::counter(trace::Counter::kCopyReadStagedBytes), 32u);
 
   trace::reset();
   trace::set_enabled(was_enabled);
