@@ -46,6 +46,13 @@ run_config() {
   # staging passes; the baseline catches copy.staged growth anywhere.
   "${dir}/bench/copy_audit" --json "${dir}/BENCH_copy_audit.json" \
     --baseline bench/copy_audit_baseline.json
+  echo "==== [${name}] alloc audit ===="
+  # Allocator hot-path gate (DESIGN.md §14): magazines + metadata stripes
+  # must keep pool lane acquisitions and queue charges per put at least 4x
+  # below the classic serialized path at 24 ranks; the baseline catches any
+  # regrowth of lock traffic or metadata persists.
+  "${dir}/bench/alloc_audit" --json "${dir}/BENCH_alloc_audit.json" \
+    --baseline bench/alloc_audit_baseline.json
 }
 
 run_checker_config() {
@@ -97,6 +104,9 @@ run_fault_config() {
   echo "==== [fault] copy audit (injection disabled) ===="
   "${dir}/bench/copy_audit" --json "${dir}/BENCH_copy_audit.json" \
     --baseline bench/copy_audit_baseline.json
+  echo "==== [fault] alloc audit (injection disabled) ===="
+  "${dir}/bench/alloc_audit" --json "${dir}/BENCH_alloc_audit.json" \
+    --baseline bench/alloc_audit_baseline.json
 }
 
 what="${1:-all}"

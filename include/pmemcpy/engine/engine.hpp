@@ -194,6 +194,12 @@ struct PoolEngineOptions {
   bool auto_grow = true;
   bool map_sync = false;
   std::size_t shards = 1;
+  /// Allocator hot-path knobs (DESIGN.md §14).  -1 defers to the
+  /// PMEMCPY_MAGAZINE_SIZE / PMEMCPY_ALLOC_STRIPES env vars, then to the
+  /// engine defaults (magazines of 8, 8 stripes); 0 disables magazines /
+  /// 1 collapses the stripes back to a single metadata lane.
+  int magazine_size = -1;
+  int alloc_stripes = -1;
 };
 
 /// Open (creating if needed) the table engine(s) for @p opts.  Collective

@@ -186,8 +186,13 @@ class HashTable {
   /// Unlink @p node (whose predecessor is @p prev, 0 = bucket head) and
   /// free its storage.
   void unlink_free(std::uint64_t slot, std::uint64_t prev, std::uint64_t node);
+  /// Link @p node_off under @p key, replacing any existing entry.  The
+  /// bucket-head store is the commit point: @p linked_out (when non-null)
+  /// flips to true the instant that store is durable, so a caller unwinding
+  /// from a fault in the post-publish tail (count bump, stale-entry unlink)
+  /// can tell a reachable entry from an abandoned reservation.
   bool link_replace(std::string_view key, std::uint64_t node_off,
-                    bool keep_existing);
+                    bool keep_existing, bool* linked_out = nullptr);
   void maybe_grow();
   void bump_count(std::int64_t delta);
   [[nodiscard]] std::string read_key(std::uint64_t node_off) const;

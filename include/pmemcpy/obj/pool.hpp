@@ -3,10 +3,11 @@
 // A Pool lives inside a region of an emulated PMEM device and provides:
 //   * offset-based persistent pointers (PPtr<T>) that stay valid across
 //     re-opens,
-//   * a crash-safe allocator (size-class free lists + bump arena; every
-//     multi-store metadata mutation is made atomic by a dedicated allocator
-//     undo log, so a crash at any persist boundary rolls the whole
-//     allocation or free back),
+//   * a crash-safe allocator (striped size-class free lists + bump arena;
+//     every multi-store metadata mutation is made atomic by per-stripe
+//     allocator undo lanes, so a crash at any persist boundary rolls the
+//     whole allocation, free or batch refill back; optional per-rank
+//     magazines serve the common case without the lock — DESIGN.md §14),
 //   * undo-log transactions (snapshot ranges, mutate, commit; recovery on
 //     open rolls back incomplete transactions),
 //   * a root object offset for bootstrapping data structures,
@@ -63,6 +64,9 @@ struct CheckReport {
   std::size_t chunks_walked = 0;
   /// Chunks found on the size-class and large free lists.
   std::size_t free_chunks = 0;
+  /// Chunks durably marked magazine-owned (owned-but-unpublished; counted
+  /// as in-use and never expected on a free list — recovery sweeps them).
+  std::size_t magazine_chunks = 0;
   /// bytes_in_use recomputed from the heap walk (compare to the stored
   /// counter; a mismatch is also reported as an issue).
   std::uint64_t bytes_in_use = 0;
@@ -76,6 +80,14 @@ class Pool {
   static constexpr std::size_t kTxLanes = 16;
   /// Undo-log capacity per lane (payload bytes, excluding entry headers).
   static constexpr std::size_t kTxLogBytes = 64 * 1024;
+  /// Persistent allocator metadata stripes (size-class free lists + undo
+  /// lanes).  Fixed in the on-media layout; set_alloc_stripes() picks how
+  /// many of them ranks actually spread across at runtime, so a pool can be
+  /// reopened with any active stripe count.
+  static constexpr std::size_t kAllocStripes = 16;
+  /// Hard cap on the magazine refill batch (bounded by what one stripe undo
+  /// lane can pre-image in a single batch).
+  static constexpr int kMaxMagazineSize = 64;
 
   /// Deliberate-bug knobs for validating the crash harness (mutation
   /// testing): re-introduce a known durability bug and assert the crash
@@ -93,11 +105,11 @@ class Pool {
   /// Open an existing pool at @p base; runs undo-log recovery.
   static Pool open(pmem::Device& dev, std::size_t base, PoolOptions opts = {});
 
-  Pool(Pool&&) noexcept = default;
+  Pool(Pool&&) noexcept;
   Pool& operator=(Pool&&) noexcept = delete;
   Pool(const Pool&) = delete;
   Pool& operator=(const Pool&) = delete;
-  ~Pool() = default;
+  ~Pool();
 
   [[nodiscard]] pmem::Device& device() noexcept { return *dev_; }
   [[nodiscard]] bool map_sync() const noexcept { return opts_.map_sync; }
@@ -126,6 +138,32 @@ class Pool {
   /// serial code is unaffected.
   void set_expected_contenders(int n) noexcept { contenders_ = n < 1 ? 1 : n; }
   [[nodiscard]] int expected_contenders() const noexcept { return contenders_; }
+
+  /// Per-rank magazine capacity: the refill batch K.  0 (the default for a
+  /// raw pool) disables magazines entirely — every alloc/free takes the
+  /// classic locked path.  Engines arm K from PMEMCPY_MAGAZINE_SIZE.
+  /// Clamped to [0, kMaxMagazineSize].
+  void set_magazine_size(int k) noexcept {
+    mag_size_ = k < 0 ? 0 : (k > kMaxMagazineSize ? kMaxMagazineSize : k);
+  }
+  [[nodiscard]] int magazine_size() const noexcept { return mag_size_; }
+
+  /// Active metadata stripes: how many of the kAllocStripes persistent
+  /// free-list/undo lanes ranks spread across (stripe = rank % n).  A pure
+  /// distribution + contention-model knob, safe to change across reopens;
+  /// the slow path steals from every stripe regardless.  Clamped to
+  /// [1, kAllocStripes].
+  void set_alloc_stripes(int n) noexcept {
+    stripes_ = n < 1 ? 1 : (n > static_cast<int>(kAllocStripes)
+                                ? static_cast<int>(kAllocStripes)
+                                : n);
+  }
+  [[nodiscard]] int alloc_stripes() const noexcept { return stripes_; }
+
+  /// Flush every magazine-held chunk back to the persistent free lists.
+  /// For tests and orderly teardown only: the caller must guarantee no
+  /// concurrent alloc()/free() (magazines are single-owner caches).
+  void drain_magazines();
   /// Usable payload size of an allocation.
   [[nodiscard]] std::size_t usable_size(std::uint64_t off) const;
   /// Bytes currently handed out (payload, excluding headers).
@@ -244,6 +282,12 @@ class Pool {
   Pool(pmem::Device& dev, std::size_t base, std::size_t size, PoolOptions opts);
 
   struct Layout;  // offsets of persistent control structures
+  struct Range {  // one pre-image / flush target for the batched helpers
+    std::uint64_t off;
+    std::uint64_t len;
+  };
+  struct Magazine;      // per-thread size-class chunk cache
+  struct AllocRuntime;  // DRAM-side magazine table + quarantine-active flag
   void format();
   void recover();
   void check_off(std::uint64_t off, std::size_t len) const;
@@ -253,15 +297,47 @@ class Pool {
   /// Intersection test against the cache; callers hold alloc_mu_.
   [[nodiscard]] bool quar_hit(std::uint64_t off, std::size_t len) const;
 
-  std::uint64_t alloc_locked(std::size_t bytes);
+  std::uint64_t alloc_locked(std::size_t bytes, int stripe);
   int acquire_tx_lane();
   void release_tx_lane(int lane);
   [[nodiscard]] std::uint64_t lane_off(int lane) const;
 
-  // Allocator undo log: pre-image logging that makes the multi-store
-  // allocator mutations atomic across crashes.
-  void aundo_log(std::uint64_t off, std::size_t len);
-  void aundo_commit();
+  // --- magazines (DESIGN.md §14) -------------------------------------------
+  /// This thread's magazine (created on first use).
+  [[nodiscard]] Magazine& magazine();
+  /// Stripe the calling rank's metadata traffic maps to (slides past
+  /// stripes whose metadata media died; see stripe_failing()).
+  [[nodiscard]] int acting_stripe() const;
+  /// True when sticky media covers @p stripe's state block or undo lane —
+  /// transactions bound to it would fault on every metadata store.
+  [[nodiscard]] bool stripe_failing(int stripe) const;
+  /// Refill @p m's class-@p cls stack with up to K chunks under one lock
+  /// acquisition and one undo transaction; returns how many were obtained.
+  std::size_t refill_magazine(Magazine& m, std::size_t cls);
+  std::size_t refill_locked(Magazine& m, std::size_t cls, int stripe);
+  /// Return all but @p keep of @p m's class-@p cls chunks to the persistent
+  /// free lists in one batch.
+  void flush_back(Magazine& m, std::size_t cls, std::size_t keep);
+  void flush_back_locked(const std::vector<std::uint64_t>& out,
+                         std::size_t cls, int stripe);
+  /// Durably mark a chunk owned-but-unpublished (header rewritten with the
+  /// magazine flag; persistence deferred to the caller's batch flush).
+  void mag_mark_owned(std::uint64_t chunk, std::uint64_t payload,
+                      std::uint32_t cls);
+  /// Reclaim chunks left magazine-flagged by a crash back to the free
+  /// lists (open(), after undo-log recovery and quarantine load).
+  void sweep_magazines();
+
+  // Allocator undo log (one lane per metadata stripe): pre-image logging
+  // that makes the multi-store allocator mutations atomic across crashes.
+  // A whole batch of entries is persisted with one coalesced flush+fence
+  // and published by a single durable `used` bump.
+  void aundo_log_batch(int stripe, const std::vector<Range>& ranges);
+  void aundo_commit(int stripe);
+  [[nodiscard]] std::uint64_t stripe_undo_off(int stripe) const;
+  [[nodiscard]] std::uint64_t stripe_state_off(int stripe) const;
+  /// Coalesce @p ranges to distinct cachelines, flush them, fence once.
+  void persist_ranges(const std::vector<Range>& ranges);
   /// Roll back an undo log (newest entry first) and retire it.  Shared by
   /// lane recovery, transaction rollback and allocator-undo recovery.
   void rollback_log(std::uint64_t header_off, std::uint64_t payload_off,
@@ -275,11 +351,14 @@ class Pool {
   PoolOptions opts_;
   TestFaults test_faults_;
   int contenders_ = 1;
+  int mag_size_ = 0;  ///< refill batch K; 0 = magazines off
+  int stripes_ = 1;   ///< active metadata stripes
 
   /// DRAM cache of the persistent quarantine table, in table order.
   /// Guarded by alloc_mu_ (the allocator consults it on every path).
   std::vector<std::pair<std::uint64_t, std::uint64_t>> quar_;
 
+  std::unique_ptr<AllocRuntime> art_;
   std::unique_ptr<std::mutex> alloc_mu_ = std::make_unique<std::mutex>();
   std::unique_ptr<std::mutex> lane_mu_ = std::make_unique<std::mutex>();
   std::unique_ptr<std::condition_variable> lane_cv_ =

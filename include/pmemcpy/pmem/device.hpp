@@ -299,6 +299,12 @@ class Device {
   /// on a crash.  Restore their last durable images from the shadow (no-op
   /// without crash_shadow).
   void revert_unpersisted(std::size_t off, std::size_t len);
+  /// A faulted op is unwinding mid-batch.  If earlier flushes in the batch
+  /// left lines flushed-but-unfenced, issue one settling fence so the
+  /// caller's healing retry does not store onto an open CLWB window (a
+  /// store-after-flush hazard the retry could not otherwise avoid).  No-op
+  /// when nothing is pending, so it never lints as an empty fence.
+  void settle_unwind();
   /// Deterministically decide whether a torn crash reverts @p line.
   [[nodiscard]] bool torn_reverts(std::size_t line) const noexcept;
 

@@ -91,6 +91,14 @@ struct Config {
   /// layout.  The shard count is part of the persistent layout: reopen a
   /// region with the same value it was created with.
   std::size_t shards = 1;
+  /// Allocator hot-path knobs (DESIGN.md §14), forwarded to every shard
+  /// pool.  -1 defers to PMEMCPY_MAGAZINE_SIZE / PMEMCPY_ALLOC_STRIPES and
+  /// then to the engine defaults (8 / 8); 0 disables magazines, 1 collapses
+  /// the metadata stripes back to one fully serialized lane.  Purely
+  /// runtime state, not part of the persistent layout: both knobs can
+  /// differ across opens of the same region.
+  int magazine_size = -1;
+  int alloc_stripes = -1;
 };
 
 struct KeyError : std::runtime_error {
@@ -774,8 +782,23 @@ class PMEM {
       try {
         fn();
         return;
-      } catch (const pmem::DeviceError& e) {
-        heal_put_fault(id, e, attempt);
+      } catch (const pmem::DeviceError& caught) {
+        // Healing itself writes pmem (the quarantine table), so it can hit
+        // fresh sticky media mid-repair.  Fold such faults back in as the
+        // attempt's error instead of letting them escape the healing loop:
+        // each round quarantines a new range, and a full table degrades the
+        // handle, so the inner loop terminates.  Read faults stay unhealable
+        // and rethrow (heal_put_fault re-raises them untouched).
+        pmem::DeviceError e = caught;
+        for (;;) {
+          try {
+            heal_put_fault(id, e, attempt);
+            break;
+          } catch (const pmem::DeviceError& e2) {
+            if (e2.kind == pmem::DeviceError::Kind::kMediaRead) throw;
+            e = e2;
+          }
+        }
       }
     }
   }

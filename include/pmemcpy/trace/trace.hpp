@@ -101,6 +101,18 @@ enum class Counter : int {
   kReadCacheFillBytes,      ///< blob bytes copied into the cache on miss
   kReadCacheEvictions,      ///< entries evicted to respect read_cache_bytes
   kReadCacheInvalidations,  ///< entries dropped by put/remove/repair
+  // alloc.* — allocator hot-path scalability (DESIGN.md §14).  Appended
+  // last, same schema-stability argument as above: zero counters past the
+  // always-first four are omitted, so checked-in baselines for workloads
+  // that never touch a pool allocator stay byte-identical.
+  kAllocLaneAcquisitions,   ///< allocator lock acquisitions (slow paths only)
+  kAllocQueueCharges,       ///< nonzero queueing delays charged by the model
+  kAllocMetadataPersists,   ///< flush/fence passes issued on allocator metadata
+  kAllocMagazineHits,       ///< allocations served lock-free from a magazine
+  kAllocMagazineFreeHits,   ///< frees absorbed lock-free by a magazine
+  kAllocMagazineRefills,    ///< batch magazine refills (one undo tx each)
+  kAllocMagazineFlushbacks, ///< batch magazine returns to the free lists
+  kAllocMagazineSwept,      ///< owned-but-unpublished chunks swept at recovery
   kNumCounters,
 };
 

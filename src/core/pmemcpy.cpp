@@ -162,6 +162,8 @@ void PMEM::do_mmap(const std::string& filename, par::Comm* comm) {
     eopts.auto_grow = cfg_.auto_grow_table;
     eopts.map_sync = cfg_.map_sync;
     eopts.shards = cfg_.shards;
+    eopts.magazine_size = cfg_.magazine_size;
+    eopts.alloc_stripes = cfg_.alloc_stripes;
     engine_ = engine::open_pool_engine(*node_, eopts, comm);
   } else {
     engine_ = engine::open_tree_engine(*node_, fs_root_for(filename),

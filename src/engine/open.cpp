@@ -5,6 +5,8 @@
 #include <pmemcpy/engine/engine.hpp>
 #include <pmemcpy/par/comm.hpp>
 
+#include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,6 +19,19 @@ std::string shard_pool_name(const PoolEngineOptions& opts, std::size_t k,
                             std::size_t nshards) {
   if (nshards == 1) return opts.name;
   return opts.name + ".s" + std::to_string(k);
+}
+
+/// Option field if set (>= 0), else the env var if parseable, else @p fallback.
+int knob_or_env(int opt, const char* env, int fallback) {
+  if (opt >= 0) return opt;
+  if (const char* v = std::getenv(env); v != nullptr && *v != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    if (end != v && *end == '\0' && parsed >= 0 && parsed <= 1024) {
+      return static_cast<int>(parsed);
+    }
+  }
+  return fallback;
 }
 
 }  // namespace
@@ -56,9 +71,17 @@ std::unique_ptr<Engine> open_pool_engine(PmemNode& node,
 
   std::vector<std::unique_ptr<Engine>> shards;
   shards.reserve(nshards);
+  // Allocator hot-path defaults (DESIGN.md §14): engines arm magazines and
+  // metadata stripes unless the caller or environment says otherwise.  Raw
+  // Pool users keep the classic fully-serialized semantics (K=0, S=1).
+  const int mag = knob_or_env(opts.magazine_size, "PMEMCPY_MAGAZINE_SIZE", 8);
+  const int stripes = knob_or_env(opts.alloc_stripes, "PMEMCPY_ALLOC_STRIPES",
+                                  8);
   for (std::size_t k = 0; k < nshards; ++k) {
     auto pool = node.open_pool(shard_pool_name(opts, k, nshards), popts);
     pool->set_expected_contenders(contenders);
+    pool->set_magazine_size(mag);
+    pool->set_alloc_stripes(std::max(1, stripes));
     auto table = node.table_for(pool, pool->root());
     table->set_auto_grow(opts.auto_grow);
     shards.push_back(make_table_engine(std::move(pool), std::move(table)));

@@ -215,8 +215,11 @@ void Device::persist(std::size_t off, std::size_t len) {
       // The writeback never reached media: in-flight stores to these lines
       // are lost, exactly as on a crash.  Revert them to their last durable
       // image so the media state the caller recovers against matches what
-      // the hardware would actually hold.
+      // the hardware would actually hold, then settle any earlier unfenced
+      // flushes of the batch so the healing retry starts from a clean
+      // ordering state.
       revert_unpersisted(off, len);
+      settle_unwind();
       throw;
     }
   }
@@ -268,6 +271,7 @@ void Device::flush(std::size_t off, std::size_t len) {
       run_retries(FaultOp::kPersist, off, len);
     } catch (const DeviceError&) {
       revert_unpersisted(off, len);  // the writeback never happened
+      settle_unwind();
       throw;
     }
   }
@@ -327,6 +331,19 @@ void Device::drain() {
   if (checker_) checker_->on_fence(op);
 }
 
+void Device::settle_unwind() {
+  bool pending;
+  {
+    std::lock_guard lk(mu_);
+    pending = !flush_pending_.empty();
+  }
+  if (!pending && !(checker_ && checker_->has_pending_flushes())) return;
+  // A real sfence: earlier CLWBs in the aborted batch become durable, which
+  // is exactly what hardware would eventually do anyway.  drain() performs
+  // no fault injection, so this cannot recurse.
+  drain();
+}
+
 void Device::revert_unpersisted(std::size_t off, std::size_t len) {
   if (!crash_shadow_) return;
   const std::size_t first = off / kCacheLine;
@@ -366,8 +383,15 @@ void Device::note_write(std::size_t off, std::size_t len) {
   // itself here before mutating, so this is the one store-side fault point:
   // a throw below means the store never happened.
   if (transient_armed_.load(std::memory_order_relaxed)) {
-    check_sticky(off, len);
-    run_retries(FaultOp::kWrite, off, len);
+    try {
+      check_sticky(off, len);
+      run_retries(FaultOp::kWrite, off, len);
+    } catch (const DeviceError&) {
+      // The store never happened, but earlier flushes of the aborted batch
+      // may still sit unfenced — settle them before the retry stores again.
+      settle_unwind();
+      throw;
+    }
   }
   trace::count(trace::Counter::kStoreOps);
   if (checker_) checker_->on_store(off, len);

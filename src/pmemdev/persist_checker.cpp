@@ -340,6 +340,11 @@ bool PersistChecker::clean() const {
   return rep_.ok();
 }
 
+bool PersistChecker::has_pending_flushes() const {
+  std::lock_guard lk(mu_);
+  return !pending_lines_.empty();
+}
+
 // --- process-global counter aggregation ------------------------------------
 
 namespace {

@@ -196,7 +196,7 @@ void HashTable::unlink_free(std::uint64_t slot, std::uint64_t prev,
 }
 
 bool HashTable::link_replace(std::string_view key, std::uint64_t node_off,
-                             bool keep_existing) {
+                             bool keep_existing, bool* linked_out) {
   std::lock_guard lk((*stripes_)[fnv1a(key) % kStripes]);
   const std::uint64_t slot = bucket_slot(key);
   auto matches = find_chain(slot, key);
@@ -223,6 +223,7 @@ bool HashTable::link_replace(std::string_view key, std::uint64_t node_off,
     // Fresh key: the head store is the atomic publish.
     pool_->set<std::uint64_t>(node_off + kNodeNext, head);
     pool_->set<std::uint64_t>(slot, node_off);
+    if (linked_out != nullptr) *linked_out = true;
     bump_count(+1);
     return true;
   }
@@ -235,12 +236,14 @@ bool HashTable::link_replace(std::string_view key, std::uint64_t node_off,
     pool_->set<std::uint64_t>(node_off + kNodeNext,
                               pool_->get<std::uint64_t>(old + kNodeNext));
     pool_->set<std::uint64_t>(slot, node_off);
+    if (linked_out != nullptr) *linked_out = true;
   } else {
     // Mid-chain: publish the new head first (the stale entry is shadowed
     // behind it for every reader), then unlink it.  A crash in between
     // leaves exactly the shadowed duplicate the sweeps collect.
     pool_->set<std::uint64_t>(node_off + kNodeNext, head);
     pool_->set<std::uint64_t>(slot, node_off);
+    if (linked_out != nullptr) *linked_out = true;
     pool_->set<std::uint64_t>(prev + kNodeNext,
                               pool_->get<std::uint64_t>(old + kNodeNext));
   }
@@ -473,7 +476,27 @@ bool HashTable::Inserter::publish(bool keep_existing) {
   table_->pool_->drain();
   if (val_size_ > 0) table_->pool_->check_publish(val_off_, val_size_);
   table_->pool_->check_publish(node_off_, kNodeKey + key_.size());
-  const bool linked = table_->link_replace(key_, node_off_, keep_existing);
+  bool head_linked = false;
+  bool linked;
+  try {
+    linked = table_->link_replace(key_, node_off_, keep_existing, &head_linked);
+  } catch (...) {
+    // A fault in the post-publish tail (count bump, stale-entry unlink or
+    // free) unwinds through here with the entry already durably reachable.
+    // Marking it published keeps the destructor from freeing live storage —
+    // the healing retry then supersedes the entry as a normal overwrite.
+    if (head_linked) {
+      published_ = true;
+      if (scope_open_) {
+        // Abort (not commit) the checker scope: the faulted tail may have
+        // left a stored-but-reverted line the checker still sees as dirty,
+        // and tx_commit would flag that as a violation of ours.
+        scope_open_ = false;
+        table_->pool_->device().check_tx_abort();
+      }
+    }
+    throw;
+  }
   published_ = true;  // either linked or already freed by link_replace
   if (scope_open_) {
     scope_open_ = false;

@@ -5,8 +5,11 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstring>
 #include <new>
+#include <thread>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace pmemcpy::obj {
@@ -14,7 +17,9 @@ namespace pmemcpy::obj {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x504d454d43505921ull;  // "PMEMCPY!"
-constexpr std::uint32_t kVersion = 1;
+// v2: allocator metadata split into AllocGlobal + kAllocStripes striped
+// free-list states with one undo lane each (DESIGN.md §14).
+constexpr std::uint32_t kVersion = 2;
 constexpr std::size_t kChunkAlign = 64;
 constexpr std::size_t kChunkHeader = 16;
 /// Minimum remainder worth splitting off a large free chunk.
@@ -30,6 +35,15 @@ constexpr std::uint32_t kChunkMagic = 0xA110C8EDu;
 
 constexpr std::size_t round_up(std::size_t v, std::size_t to) {
   return (v + to - 1) / to * to;
+}
+
+/// Size class whose chunk (header + payload) covers @p need total bytes;
+/// kLargeClass when none does.
+constexpr std::uint32_t class_for(std::size_t need) {
+  for (std::size_t c = 0; c < kClassSizes.size(); ++c) {
+    if (kClassSizes[c] >= need) return static_cast<std::uint32_t>(c);
+  }
+  return kLargeClass;
 }
 
 struct PoolHeader {
@@ -48,13 +62,36 @@ std::uint32_t header_crc(const PoolHeader& h) {
   return crc32c(&h, offsetof(PoolHeader, crc));
 }
 
-struct AllocState {
+/// Globally shared allocator state: the bump arena, the first-fit large
+/// list and the in-use byte counter (magazine-held chunks count as in-use).
+struct AllocGlobal {
   std::uint64_t arena_cursor;
   std::uint64_t arena_end;
   std::uint64_t bytes_in_use;
   std::uint64_t large_free_head;
+};
+
+/// One metadata stripe: a full set of size-class free-list heads.  Ranks
+/// map to stripes by rank hash; the slow path steals from every stripe, so
+/// the active stripe count is a pure distribution knob.
+struct StripeState {
   std::uint64_t free_head[kClassSizes.size()];
 };
+static_assert(sizeof(StripeState) == 88);
+
+/// Set in ChunkHeader::cls while a chunk is magazine-owned: carved out of
+/// the free lists but not yet handed to a caller (owned-but-unpublished).
+/// Recovery sweeps flagged chunks back to the free lists.  kLargeClass has
+/// every bit set, so the flag alone is not enough — see is_magged().
+constexpr std::uint32_t kMagFlag = 0x80000000u;
+
+constexpr bool is_magged(std::uint32_t cls) {
+  return cls != kLargeClass && (cls & kMagFlag) != 0;
+}
+
+constexpr std::uint32_t base_class(std::uint32_t cls) {
+  return cls == kLargeClass ? cls : (cls & ~kMagFlag);
+}
 
 struct ChunkHeader {
   std::uint64_t payload_size;
@@ -113,32 +150,70 @@ struct Pool::Layout {
   static constexpr std::uint64_t kQuarOff = 128;
   static constexpr std::uint64_t kQuarEntries = kQuarOff + sizeof(QuarHeader);
   static constexpr std::uint64_t kAllocOff = 4096;
-  /// Allocator undo log: [u64 used][pre-image entries].  Gives the
-  /// multi-store free-list/arena mutations in alloc()/free() the same
+  /// Striped free-list states, one cacheline-padded slot per stripe.
+  static constexpr std::uint64_t kStripeBase = 4224;
+  static constexpr std::uint64_t kStripeStride = 128;
+  /// Allocator undo lanes, one per stripe: [u64 used][pre-image entries].
+  /// They give the multi-store free-list/arena mutations the same
   /// crash-atomicity the tx lanes give user data, without taking a lane
   /// (allocations happen inside transactions; borrowing a lane could
-  /// self-deadlock when all lanes are busy).
-  static constexpr std::uint64_t kAllocUndoOff = 4608;
-  static constexpr std::uint64_t kLaneBase = 8192;
-  static constexpr std::uint64_t kAllocUndoBytes =
-      kLaneBase - kAllocUndoOff - 8;
+  /// self-deadlock when all lanes are busy).  The global mutex admits one
+  /// uncommitted allocator batch at a time, so recovery order across lanes
+  /// does not matter.
+  static constexpr std::uint64_t kStripeUndoBase = 8192;
+  static constexpr std::uint64_t kStripeUndoStride = 4096;
+  static constexpr std::uint64_t kStripeUndoBytes = kStripeUndoStride - 8;
+  static constexpr std::uint64_t kLaneBase =
+      kStripeUndoBase + Pool::kAllocStripes * kStripeUndoStride;
   static constexpr std::uint64_t kLaneHeader = 64;
   static constexpr std::uint64_t kLaneStride = kLaneHeader + Pool::kTxLogBytes;
   static constexpr std::uint64_t heap_start() {
     return round_up(kLaneBase + Pool::kTxLanes * kLaneStride, 4096);
   }
-  static_assert(kAllocOff + sizeof(AllocState) <= 4608,
-                "alloc state must not overlap the allocator undo log");
   static_assert(kHeaderOff + sizeof(PoolHeader) <= kQuarOff,
                 "pool header must not overlap the quarantine table");
   static_assert(kQuarEntries + Pool::kQuarantineCapacity * sizeof(QuarEntry) <=
                     kAllocOff,
                 "quarantine table must not overlap the allocator state");
+  static_assert(kAllocOff + sizeof(AllocGlobal) <= kStripeBase,
+                "global alloc state must not overlap the stripe states");
+  static_assert(sizeof(StripeState) <= kStripeStride);
+  static_assert(kStripeBase + Pool::kAllocStripes * kStripeStride <=
+                    kStripeUndoBase,
+                "stripe states must not overlap the allocator undo lanes");
+};
+
+/// Per-thread cache of pre-carved chunks, one stack per size class.  A
+/// magazine is owned by exactly one thread; only its refill/flush-back
+/// batches touch shared state (under alloc_mu_).
+struct Pool::Magazine {
+  std::array<std::vector<std::uint64_t>, kClassSizes.size()> chunks;
+};
+
+/// DRAM-side allocator runtime.  Heap-allocated so Pool stays movable;
+/// keyed by std::thread::id (not rank) so raw-thread tests that share a
+/// rank still get private magazines.
+struct Pool::AllocRuntime {
+  std::mutex mu;  ///< guards mags (lookup/insert only; magazines themselves
+                  ///< are single-owner)
+  std::unordered_map<std::thread::id, std::unique_ptr<Magazine>> mags;
+  /// Nonempty quarantine table: the pool is degrading, every fast path is
+  /// disabled and allocation falls back to the fully validated classic
+  /// path.  Read unlocked by the fast paths, written under alloc_mu_.
+  std::atomic<bool> quar_active{false};
 };
 
 Pool::Pool(pmem::Device& dev, std::size_t base, std::size_t size,
            PoolOptions opts)
-    : dev_(&dev), base_(base), size_(size), opts_(opts) {}
+    : dev_(&dev),
+      base_(base),
+      size_(size),
+      opts_(opts),
+      art_(std::make_unique<AllocRuntime>()) {}
+
+Pool::Pool(Pool&&) noexcept = default;
+
+Pool::~Pool() = default;
 
 Pool Pool::create(pmem::Device& dev, std::size_t base, std::size_t size,
                   PoolOptions opts) {
@@ -170,6 +245,9 @@ Pool Pool::open(pmem::Device& dev, std::size_t base, PoolOptions opts) {
   p.size_ = hdr.size;
   p.recover();
   p.load_quarantine();
+  // After rollbacks and with the quarantine known: reclaim chunks a crash
+  // left magazine-flagged (owned-but-unpublished) back to the free lists.
+  p.sweep_magazines();
   return p;
 }
 
@@ -184,14 +262,31 @@ void Pool::format() {
     set(Layout::kQuarOff, QuarHeader{0, 0});
   }
 
-  AllocState as{};
-  as.arena_cursor = Layout::heap_start();
-  as.arena_end = size_;
-  as.bytes_in_use = 0;
-  as.large_free_head = 0;
-  for (auto& h : as.free_head) h = 0;
-  set(Layout::kAllocOff, as);
-  set<std::uint64_t>(Layout::kAllocUndoOff, 0);  // allocator undo log empty
+  // Stripe states and allocator undo lanes are likewise only cleared when a
+  // previous pool life actually left stale bytes behind: all-zero is the
+  // valid empty form, so formatting fresh media stays cheap.
+  for (std::size_t s = 0; s < kAllocStripes; ++s) {
+    StripeState stale_ss;
+    std::memcpy(&stale_ss,
+                dev_->raw(base_ + Layout::kStripeBase + s * Layout::kStripeStride),
+                sizeof(stale_ss));
+    bool dirty = false;
+    for (const auto h : stale_ss.free_head) dirty = dirty || h != 0;
+    if (dirty) set(Layout::kStripeBase + s * Layout::kStripeStride, StripeState{});
+    std::uint64_t stale_used;
+    std::memcpy(&stale_used, dev_->raw(base_ + stripe_undo_off(static_cast<int>(s))),
+                sizeof(stale_used));
+    if (stale_used != 0) {
+      set<std::uint64_t>(stripe_undo_off(static_cast<int>(s)), 0);
+    }
+  }
+
+  AllocGlobal ag{};
+  ag.arena_cursor = Layout::heap_start();
+  ag.arena_end = size_;
+  ag.bytes_in_use = 0;
+  ag.large_free_head = 0;
+  set(Layout::kAllocOff, ag);
 
   for (std::size_t lane = 0; lane < kTxLanes; ++lane) {
     set<std::uint64_t>(lane_off(static_cast<int>(lane)), 0);  // log empty
@@ -283,13 +378,49 @@ void Pool::charge_queue_delay() const {
   // Deterministic stand-in for lock contention: rank clocks drift apart and
   // resynchronise only at collectives, so modelling an actual wait on
   // another rank's (possibly lagging) simulated clock would be unsound.
-  // Instead every metadata op is charged the expected queueing share.
-  if (contenders_ <= 1) return;
+  // Instead every metadata op is charged the expected queueing share — the
+  // per-stripe queue depth, since ranks hash across the active stripes and
+  // only same-stripe traffic serialises in the modelled machine.
+  const int depth = (contenders_ + stripes_ - 1) / stripes_;
+  if (depth <= 1) return;
   auto& c = sim::ctx();
-  const double delay = static_cast<double>(contenders_ - 1) *
-                       c.model().pmem.pool_op_queue_cost;
+  const double delay =
+      static_cast<double>(depth - 1) * c.model().pmem.pool_op_queue_cost;
   c.advance(delay, sim::Charge::kOther);
   trace::observe(trace::Hist::kShardQueueDelay, delay);
+  trace::count(trace::Counter::kAllocQueueCharges);
+}
+
+int Pool::acting_stripe() const {
+  const int n = stripes_ < 1 ? 1 : stripes_;
+  const int home =
+      static_cast<int>(static_cast<unsigned>(sim::ctx().rank()) %
+                       static_cast<unsigned>(n));
+  // Route around stripes whose metadata media died: a sticky line under a
+  // stripe's state block or undo lane would fault every transaction bound
+  // to it, so the rank slides to the next healthy stripe (its chunks stay
+  // reachable — every probe loop scans all stripes).  With every stripe
+  // dead the home stripe is returned and the caller's fault path owns it.
+  for (int probe = 0; probe < n; ++probe) {
+    const int s = (home + probe) % n;
+    if (!stripe_failing(s)) return s;
+  }
+  return home;
+}
+
+bool Pool::stripe_failing(int stripe) const {
+  return dev_->media_failing(base_ + stripe_state_off(stripe),
+                             sizeof(StripeState)) ||
+         dev_->media_failing(base_ + stripe_undo_off(stripe),
+                             8 + Layout::kStripeUndoBytes);
+}
+
+Pool::Magazine& Pool::magazine() {
+  const auto id = std::this_thread::get_id();
+  std::lock_guard lk(art_->mu);
+  auto& slot = art_->mags[id];
+  if (!slot) slot = std::make_unique<Magazine>();
+  return *slot;
 }
 
 std::uint64_t Pool::alloc(std::size_t bytes) {
@@ -298,11 +429,47 @@ std::uint64_t Pool::alloc(std::size_t bytes) {
   trace::count(trace::Counter::kAllocOps);
   trace::count(trace::Counter::kAllocBytes, bytes);
   trace::observe(trace::Hist::kAllocSize, static_cast<double>(bytes));
+
+  // Fast path: pop a pre-carved chunk from this thread's magazine.  No lock,
+  // no queueing charge, no undo transaction — the chunk is already durably
+  // flagged owned-but-unpublished, so the only persistent work is sealing
+  // the header back to a normal allocation.  Disabled entirely while the
+  // quarantine table is nonempty (a degrading pool takes the fully
+  // validated classic path).
+  const std::size_t need = round_up(bytes + kChunkHeader, kChunkAlign);
+  const std::uint32_t cls = class_for(need);
+  if (cls != kLargeClass && mag_size_ > 0 &&
+      !art_->quar_active.load(std::memory_order_acquire)) {
+    Magazine& m = magazine();
+    auto& stack = m.chunks[cls];
+    if (stack.empty() && refill_magazine(m, cls) == 0) throw std::bad_alloc{};
+    const std::uint64_t chunk = stack.back();
+    stack.pop_back();
+    // Seal: rewrite the header unflagged — a plain store, no flush, no
+    // fence.  The header shares its cacheline with the payload's first
+    // bytes (kChunkHeader < one line), and every correct publisher writes
+    // the payload from byte 0 and flushes + fences the content before the
+    // store that makes the chunk reachable — that pass covers this line,
+    // so the seal is durable before reachability.  (Flushing here instead
+    // would leave a flushed-but-unfenced line the publisher's payload
+    // stores then land on — a persistency-order violation.)  A crash
+    // before the publisher's fence leaves the durable header flagged and
+    // the chunk unreachable, so the recovery sweep reclaims it; a crash
+    // after the flush but before publish leaves it unflagged-unreachable,
+    // the same bounded leak the classic alloc already accepts.
+    const ChunkHeader h = make_chunk(kClassSizes[cls] - kChunkHeader, cls);
+    write(chunk, &h, sizeof(h));
+    trace::count(trace::Counter::kAllocMagazineHits);
+    return chunk + kChunkHeader;
+  }
+
   std::lock_guard lk(*alloc_mu_);
+  trace::count(trace::Counter::kAllocLaneAcquisitions);
   charge_queue_delay();
+  const int stripe = acting_stripe();
   dev_->check_tx_begin("pool.alloc");
   try {
-    const std::uint64_t off = alloc_locked(bytes);
+    const std::uint64_t off = alloc_locked(bytes, stripe);
     dev_->check_tx_commit();
     return off;
   } catch (...) {
@@ -313,8 +480,17 @@ std::uint64_t Pool::alloc(std::size_t bytes) {
     // the media under the allocator state itself died, and the caller's
     // healing/degradation path owns that case.
     try {
-      rollback_log(Layout::kAllocUndoOff, Layout::kAllocUndoOff + 8,
-                   Layout::kAllocUndoBytes);
+      rollback_log(stripe_undo_off(stripe), stripe_undo_off(stripe) + 8,
+                   Layout::kStripeUndoBytes);
+    } catch (const pmem::DeviceError&) {
+      // The media under the allocator state itself died mid-rollback: the
+      // tx fault being unwound names a different range, so THIS error is
+      // the one the healing path must see — quarantining the dead metadata
+      // flips the allocator into its degraded mode and tells check() the
+      // stored counters are scarred.  The half-rolled-back tx stays
+      // pending in the durable undo lane for the next open to replay.
+      dev_->check_tx_abort();
+      throw;
     } catch (...) {
     }
     dev_->check_tx_abort();
@@ -322,28 +498,22 @@ std::uint64_t Pool::alloc(std::size_t bytes) {
   }
 }
 
-std::uint64_t Pool::alloc_locked(std::size_t bytes) {
+std::uint64_t Pool::alloc_locked(std::size_t bytes, int stripe) {
   const std::size_t need = round_up(bytes + kChunkHeader, kChunkAlign);
   const std::uint64_t as_off = Layout::kAllocOff;
-  const auto as = get<AllocState>(as_off);
+  const auto as = get<AllocGlobal>(as_off);
 
   // Phase 1 — decide (reads only): pick the chunk and precompute every
   // mutation, so phase 2 can log pre-images before anything changes.
-  std::uint32_t cls = kLargeClass;
-  std::size_t chunk_size = 0;
-  for (std::size_t c = 0; c < kClassSizes.size(); ++c) {
-    if (kClassSizes[c] >= need) {
-      cls = static_cast<std::uint32_t>(c);
-      chunk_size = kClassSizes[c];
-      break;
-    }
-  }
+  const std::uint32_t cls = class_for(need);
+  std::size_t chunk_size = cls != kLargeClass ? kClassSizes[cls] : 0;
 
   std::uint64_t chunk = 0;
   std::uint64_t lnext = 0;  // successor of the chosen free-list chunk
   std::uint64_t prev = 0;   // free-list predecessor of the choice (0 = head)
   std::uint64_t rest = 0;   // split remainder, if any
   std::uint64_t rest_payload = 0;
+  int src_stripe = stripe;  // stripe whose class list served the chunk
   bool from_class_list = false;
   bool from_large_list = false;
 
@@ -355,21 +525,39 @@ std::uint64_t Pool::alloc_locked(std::size_t bytes) {
   };
 
   if (cls != kLargeClass) {
-    std::uint64_t cur = as.free_head[cls];
-    std::uint64_t p = 0;
-    while (cur != 0) {
-      const auto next = get<std::uint64_t>(cur + kChunkHeader);
-      if ((quar_.empty() || !quar_hit(cur, chunk_size)) && linkable(p)) {
-        chunk = cur;
-        lnext = next;
-        prev = p;
-        from_class_list = true;
-        break;
+    // Probe the acting stripe first, then steal from the others: chunks may
+    // sit on any stripe (frees and sweeps land by rank/offset hash), so a
+    // reopen with a different active stripe count loses nothing.
+    for (std::size_t probe = 0; probe < kAllocStripes && chunk == 0; ++probe) {
+      const int s =
+          static_cast<int>((static_cast<std::size_t>(stripe) + probe) %
+                           kAllocStripes);
+      // Unlinking a list head stores into the stripe's state block; a
+      // stripe with dead metadata media keeps its chunks linked in place
+      // (bounded leak, same rule as quarantined chunks).
+      if (dev_->media_failing(base_ + stripe_state_off(s),
+                              sizeof(StripeState))) {
+        continue;
       }
-      p = cur;
-      cur = next;
+      const auto ss = get<StripeState>(stripe_state_off(s));
+      std::uint64_t cur = ss.free_head[cls];
+      std::uint64_t p = 0;
+      while (cur != 0) {
+        const auto next = get<std::uint64_t>(cur + kChunkHeader);
+        if ((quar_.empty() || !quar_hit(cur, chunk_size)) && linkable(p)) {
+          chunk = cur;
+          lnext = next;
+          prev = p;
+          src_stripe = s;
+          from_class_list = true;
+          break;
+        }
+        p = cur;
+        cur = next;
+      }
     }
-  } else {
+  }
+  if (cls == kLargeClass) {
     chunk_size = need;
     // First fit on the large free list.
     std::uint64_t cur = as.large_free_head;
@@ -432,51 +620,73 @@ std::uint64_t Pool::alloc_locked(std::size_t bytes) {
     chunk = at;
   }
 
-  // Phase 2 — log pre-images: a crash anywhere below rolls the whole
-  // allocation back on recovery, as if it never happened.
-  aundo_log(as_off, sizeof(AllocState));
-  if (from_class_list || from_large_list) aundo_log(chunk, kChunkHeader);
-  if (prev != 0) aundo_log(prev + kChunkHeader, 8);
+  // Phase 2 — log pre-images in one batch: a crash anywhere below rolls the
+  // whole allocation back on recovery, as if it never happened.  The batch
+  // pays one coalesced flush+fence for all entries plus a single durable
+  // `used` bump (vs one flush+fence pair per entry before).
+  std::vector<Range> log;
+  log.push_back({as_off, sizeof(AllocGlobal)});
+  if (from_class_list) {
+    log.push_back({stripe_state_off(src_stripe), sizeof(StripeState)});
+  }
+  if (from_class_list || from_large_list) log.push_back({chunk, kChunkHeader});
+  if (prev != 0) log.push_back({prev + kChunkHeader, 8});
   // The split remainder's header + next pointer are carved out of the chosen
   // chunk's old payload; logging those bytes restores the unsplit chunk.
-  if (rest != 0) aundo_log(rest, kChunkHeader + 8);
-  for (const auto& g : gaps) aundo_log(g.at, kChunkHeader);
+  if (rest != 0) log.push_back({rest, kChunkHeader + 8});
+  for (const auto& g : gaps) log.push_back({g.at, kChunkHeader});
+  aundo_log_batch(stripe, log);
 
-  // Phase 3 — mutate (each store individually persisted; any prefix of the
-  // sequence is undone by the log above).
+  // Phase 3 — mutate.  Stores stay cached until one coalesced flush+fence
+  // pass at the end; any prefix of them is undone by the log above, and
+  // nothing becomes reachable before phase 4 retires that log.
+  std::vector<Range> dirty;
+  const auto put = [&](std::uint64_t off, const void* src, std::size_t len) {
+    write(off, src, len);
+    dirty.push_back({off, len});
+  };
+  const auto put_u64 = [&](std::uint64_t off, std::uint64_t v) {
+    put(off, &v, sizeof(v));
+  };
   std::uint64_t filler_payload = 0;
   for (const auto& g : gaps) {
-    set(g.at, make_chunk(g.payload, kLargeClass));
+    const ChunkHeader gh = make_chunk(g.payload, kLargeClass);
+    put(g.at, &gh, sizeof(gh));
     filler_payload += g.payload;
   }
   if (from_class_list) {
     if (prev == 0) {
-      set(as_off + offsetof(AllocState, free_head) + cls * 8, lnext);
+      put_u64(stripe_state_off(src_stripe) + offsetof(StripeState, free_head) +
+                  cls * 8,
+              lnext);
     } else {
-      set(prev + kChunkHeader, lnext);
+      put_u64(prev + kChunkHeader, lnext);
     }
   } else if (from_large_list) {
     std::uint64_t new_head = as.large_free_head;
     if (prev == 0) {
       new_head = lnext;
     } else {
-      set(prev + kChunkHeader, lnext);
+      put_u64(prev + kChunkHeader, lnext);
     }
     if (rest != 0) {
-      set(rest, make_chunk(rest_payload, kLargeClass));
-      set(rest + kChunkHeader, new_head);
+      const ChunkHeader rh = make_chunk(rest_payload, kLargeClass);
+      put(rest, &rh, sizeof(rh));
+      put_u64(rest + kChunkHeader, new_head);
       new_head = rest;
     }
-    set(as_off + offsetof(AllocState, large_free_head), new_head);
+    put_u64(as_off + offsetof(AllocGlobal, large_free_head), new_head);
   } else {
-    set(as_off + offsetof(AllocState, arena_cursor), chunk + chunk_size);
+    put_u64(as_off + offsetof(AllocGlobal, arena_cursor), chunk + chunk_size);
   }
-  set(chunk, make_chunk(chunk_size - kChunkHeader, cls));
-  set(as_off + offsetof(AllocState, bytes_in_use),
-      as.bytes_in_use + filler_payload + (chunk_size - kChunkHeader));
+  const ChunkHeader ch = make_chunk(chunk_size - kChunkHeader, cls);
+  put(chunk, &ch, sizeof(ch));
+  put_u64(as_off + offsetof(AllocGlobal, bytes_in_use),
+          as.bytes_in_use + filler_payload + (chunk_size - kChunkHeader));
+  persist_ranges(dirty);
 
   // Phase 4 — commit: retire the undo log; the allocation now stands.
-  aundo_commit();
+  aundo_commit(stripe);
   return chunk + kChunkHeader;
 }
 
@@ -484,16 +694,48 @@ void Pool::free(std::uint64_t off) {
   if (off == 0) return;
   trace::Span span("pool.free");
   trace::count(trace::Counter::kFreeOps);
-  std::lock_guard lk(*alloc_mu_);
-  charge_queue_delay();
   const std::uint64_t chunk = off - kChunkHeader;
   const auto hdr = get<ChunkHeader>(chunk);
   if (!chunk_ok(hdr)) {
     throw PoolError("Pool::free: not an allocation");
   }
+  if (is_magged(hdr.cls)) {
+    // A magazine-owned chunk has no live owner to free it.
+    throw PoolError("Pool::free: chunk is magazine-owned (double free?)");
+  }
   if (hdr.cls != kLargeClass && hdr.cls >= kClassSizes.size()) {
     throw PoolError("Pool::free: corrupt chunk class");
   }
+
+  // Fast path: flag the header magazine-owned and keep the chunk in this
+  // thread's magazine — no lock, no queueing charge, no undo transaction.
+  // The flag is fully persisted (flush + fence): frees run inside callers'
+  // checker scopes (an overwrite frees the old value mid-ht.put), which
+  // demand every store clean by commit, and the next pop stores to this
+  // same line, which must not happen flushed-but-unfenced.  One fence here
+  // still beats the classic path's two (undo-log persist + metadata
+  // persist) plus the lock.  Overflow beyond 2K flushes a batch of K back.
+  if (hdr.cls != kLargeClass && mag_size_ > 0 &&
+      !art_->quar_active.load(std::memory_order_acquire) &&
+      !dev_->media_failing(base_ + chunk, kChunkHeader + 8)) {
+    const ChunkHeader fh =
+        make_chunk(hdr.payload_size, hdr.cls | kMagFlag);
+    write(chunk, &fh, sizeof(fh));
+    persist(chunk, sizeof(fh));
+    trace::count(trace::Counter::kAllocMetadataPersists);
+    trace::count(trace::Counter::kAllocMagazineFreeHits);
+    Magazine& m = magazine();
+    m.chunks[hdr.cls].push_back(chunk);
+    const std::size_t cap = 2 * static_cast<std::size_t>(mag_size_);
+    if (m.chunks[hdr.cls].size() >= cap) {
+      flush_back(m, hdr.cls, static_cast<std::size_t>(mag_size_));
+    }
+    return;
+  }
+
+  std::lock_guard lk(*alloc_mu_);
+  trace::count(trace::Counter::kAllocLaneAcquisitions);
+  charge_queue_delay();
   // Chunks on quarantined media are leaked in place: pushing one onto a
   // free list would store the next pointer into failing media, and the
   // allocator refuses to hand the space out again anyway.  The heap walk
@@ -510,36 +752,54 @@ void Pool::free(std::uint64_t off) {
       if (!committed) dev->check_tx_abort();
     }
   } guard{dev_};
+  const int stripe = acting_stripe();
   const std::uint64_t as_off = Layout::kAllocOff;
-  const auto as = get<AllocState>(as_off);
+  const auto as = get<AllocGlobal>(as_off);
 
   std::uint64_t head_field;
   std::uint64_t old_head;
   if (hdr.cls == kLargeClass) {
-    head_field = as_off + offsetof(AllocState, large_free_head);
+    head_field = as_off + offsetof(AllocGlobal, large_free_head);
     old_head = as.large_free_head;
   } else {
-    head_field = as_off + offsetof(AllocState, free_head) + hdr.cls * 8;
-    old_head = as.free_head[hdr.cls];
+    const auto ss = get<StripeState>(stripe_state_off(stripe));
+    head_field = stripe_state_off(stripe) + offsetof(StripeState, free_head) +
+                 hdr.cls * 8;
+    old_head = ss.free_head[hdr.cls];
   }
 
   // Pre-images: allocator state + the payload word that becomes the free-
   // list next pointer.  A crash mid-free leaves the chunk allocated; a live
   // fault mid-free rolls back the same way (see alloc()).
   try {
-    aundo_log(as_off, sizeof(AllocState));
-    aundo_log(off, 8);
+    aundo_log_batch(stripe, {{as_off, sizeof(AllocGlobal)},
+                             {head_field, 8},
+                             {off, 8}});
 
     // Push: write the next pointer into the payload, then swing the head.
-    set(off, old_head);
-    set(head_field, chunk);
-    set(as_off + offsetof(AllocState, bytes_in_use),
-        as.bytes_in_use - hdr.payload_size);
-    aundo_commit();
+    std::vector<Range> dirty;
+    write(off, &old_head, 8);
+    dirty.push_back({off, 8});
+    write(head_field, &chunk, 8);
+    dirty.push_back({head_field, 8});
+    const std::uint64_t in_use = as.bytes_in_use - hdr.payload_size;
+    write(as_off + offsetof(AllocGlobal, bytes_in_use), &in_use, 8);
+    dirty.push_back({as_off + offsetof(AllocGlobal, bytes_in_use), 8});
+    persist_ranges(dirty);
+    aundo_commit(stripe);
   } catch (...) {
     try {
-      rollback_log(Layout::kAllocUndoOff, Layout::kAllocUndoOff + 8,
-                   Layout::kAllocUndoBytes);
+      rollback_log(stripe_undo_off(stripe), stripe_undo_off(stripe) + 8,
+                   Layout::kStripeUndoBytes);
+    } catch (const pmem::DeviceError&) {
+      // The media under the allocator state itself died mid-rollback: the
+      // tx fault being unwound names a different range, so THIS error is
+      // the one the healing path must see — quarantining the dead metadata
+      // flips the allocator into its degraded mode and tells check() the
+      // stored counters are scarred.  The half-rolled-back tx stays
+      // pending in the durable undo lane for the next open to replay.
+      dev_->check_tx_abort();
+      throw;
     } catch (...) {
     }
     throw;
@@ -561,36 +821,79 @@ std::size_t Pool::bytes_in_use() const noexcept {
   std::uint64_t v;
   std::memcpy(&v,
               dev_->raw(base_ + Layout::kAllocOff +
-                        offsetof(AllocState, bytes_in_use)),
+                        offsetof(AllocGlobal, bytes_in_use)),
               sizeof(v));
   return v;
 }
 
 // ---------------------------------------------------------------------------
-// Allocator undo log
+// Allocator undo lanes (one per metadata stripe)
 // ---------------------------------------------------------------------------
 
-void Pool::aundo_log(std::uint64_t off, std::size_t len) {
-  const std::uint64_t uo = Layout::kAllocUndoOff;
-  const auto used = get<std::uint64_t>(uo);
-  const std::size_t entry = sizeof(LogEntryHeader) + round_up(len, 8);
-  if (used + entry > Layout::kAllocUndoBytes) {
-    // Static capacity: one alloc/free logs a small bounded set of ranges.
-    throw PoolError("Pool: allocator undo log overflow");
-  }
-  const std::uint64_t pos = uo + 8 + used;
-  const LogEntryHeader eh{off, len};
-  write(pos, &eh, sizeof(eh));
-  std::vector<std::byte> image(len);
-  read(off, image.data(), len);
-  write(pos + sizeof(eh), image.data(), len);
-  persist(pos, entry);
-  // Only after the entry is durable does it become visible.
-  set<std::uint64_t>(uo, used + entry);
+std::uint64_t Pool::stripe_undo_off(int stripe) const {
+  return Layout::kStripeUndoBase +
+         static_cast<std::uint64_t>(stripe) * Layout::kStripeUndoStride;
 }
 
-void Pool::aundo_commit() {
-  set<std::uint64_t>(Layout::kAllocUndoOff, 0);
+std::uint64_t Pool::stripe_state_off(int stripe) const {
+  return Layout::kStripeBase +
+         static_cast<std::uint64_t>(stripe) * Layout::kStripeStride;
+}
+
+void Pool::aundo_log_batch(int stripe, const std::vector<Range>& ranges) {
+  if (ranges.empty()) return;
+  const std::uint64_t uo = stripe_undo_off(stripe);
+  const auto used = get<std::uint64_t>(uo);
+  std::uint64_t pos = uo + 8 + used;
+  const std::uint64_t start = pos;
+  for (const auto& r : ranges) {
+    const std::size_t entry = sizeof(LogEntryHeader) + round_up(r.len, 8);
+    if ((pos - (uo + 8)) + entry > Layout::kStripeUndoBytes) {
+      // Static capacity: one batch logs a small bounded set of ranges.
+      throw PoolError("Pool: allocator undo log overflow");
+    }
+    const LogEntryHeader eh{r.off, r.len};
+    write(pos, &eh, sizeof(eh));
+    std::vector<std::byte> image(r.len);
+    read(r.off, image.data(), r.len);
+    write(pos + sizeof(eh), image.data(), r.len);
+    pos += entry;
+  }
+  // The whole contiguous entry block persists under one coalesced
+  // flush+fence; only then does the single durable `used` bump publish
+  // every entry at once.
+  persist(start, pos - start);
+  set<std::uint64_t>(uo, used + (pos - start));
+  trace::count(trace::Counter::kAllocMetadataPersists, 2);
+}
+
+void Pool::aundo_commit(int stripe) {
+  set<std::uint64_t>(stripe_undo_off(stripe), 0);
+  trace::count(trace::Counter::kAllocMetadataPersists);
+}
+
+void Pool::persist_ranges(const std::vector<Range>& ranges) {
+  // Coalesce to distinct cachelines (mirroring Transaction::commit) so
+  // overlapping metadata stores pay one writeback, then fence once.
+  if (ranges.empty()) return;
+  std::vector<std::uint64_t> lines;
+  for (const auto& r : ranges) {
+    const std::uint64_t first = r.off / pmem::kCacheLine;
+    const std::uint64_t last =
+        (r.off + r.len + pmem::kCacheLine - 1) / pmem::kCacheLine;
+    for (std::uint64_t l = first; l < last; ++l) lines.push_back(l);
+  }
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  for (std::size_t i = 0; i < lines.size();) {
+    std::size_t j = i + 1;
+    while (j < lines.size() && lines[j] == lines[j - 1] + 1) ++j;
+    flush(lines[i] * pmem::kCacheLine,
+          (lines[j - 1] - lines[i] + 1) * pmem::kCacheLine);
+    i = j;
+  }
+  drain();
+  trace::count(trace::Counter::kAllocMetadataPersists);
 }
 
 void Pool::rollback_log(std::uint64_t header_off, std::uint64_t payload_off,
@@ -632,6 +935,334 @@ void Pool::rollback_log(std::uint64_t header_off, std::uint64_t payload_off,
 }
 
 // ---------------------------------------------------------------------------
+// Magazines (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+void Pool::mag_mark_owned(std::uint64_t chunk, std::uint64_t payload,
+                          std::uint32_t cls) {
+  // Deferred-persist primitive: rewrites a chunk header with the magazine
+  // flag as a raw tracked store.  Callers (refill/sweep batches) cover it
+  // with their one coalesced flush+fence pass, so this helper deliberately
+  // returns with the store unpersisted — pmemlint knows it by name.
+  check_off(chunk, kChunkHeader);
+  if (dev_->frozen()) return;
+  const ChunkHeader h = make_chunk(payload, cls | kMagFlag);
+  dev_->note_write(base_ + chunk, sizeof(h));
+  std::memcpy(dev_->raw(base_ + chunk), &h, sizeof(h));
+  dev_->charge_dax_write(base_ + chunk, sizeof(h), opts_.map_sync);
+}
+
+std::size_t Pool::refill_magazine(Magazine& m, std::size_t cls) {
+  trace::Span span("pool.refill");
+  std::lock_guard lk(*alloc_mu_);
+  trace::count(trace::Counter::kAllocLaneAcquisitions);
+  charge_queue_delay();
+  const int stripe = acting_stripe();
+  dev_->check_tx_begin("pool.refill");
+  try {
+    const std::size_t got = refill_locked(m, cls, stripe);
+    dev_->check_tx_commit();
+    if (got > 0) trace::count(trace::Counter::kAllocMagazineRefills);
+    return got;
+  } catch (...) {
+    try {
+      rollback_log(stripe_undo_off(stripe), stripe_undo_off(stripe) + 8,
+                   Layout::kStripeUndoBytes);
+    } catch (const pmem::DeviceError&) {
+      // The media under the allocator state itself died mid-rollback: the
+      // tx fault being unwound names a different range, so THIS error is
+      // the one the healing path must see — quarantining the dead metadata
+      // flips the allocator into its degraded mode and tells check() the
+      // stored counters are scarred.  The half-rolled-back tx stays
+      // pending in the durable undo lane for the next open to replay.
+      dev_->check_tx_abort();
+      throw;
+    } catch (...) {
+    }
+    dev_->check_tx_abort();
+    throw;
+  }
+}
+
+std::size_t Pool::refill_locked(Magazine& m, std::size_t cls, int stripe) {
+  // One undo transaction carves up to K chunks: pop prefixes of the class
+  // free lists (acting stripe first, then stealing), then batch-carve the
+  // remainder contiguously from the arena.  The amortisation is the whole
+  // point: one lock acquisition, one queueing charge, one log batch and two
+  // coalesced flush+fence passes stand in for K full allocations.  This
+  // path never runs with a nonempty quarantine (fast paths are disabled),
+  // so no per-chunk avoidance checks are needed.
+  const std::size_t k = static_cast<std::size_t>(mag_size_);
+  const std::size_t csize = kClassSizes[cls];
+  const auto ag = get<AllocGlobal>(Layout::kAllocOff);
+
+  std::vector<std::uint64_t> taken;  // popped off free lists
+  struct ListCut {
+    int stripe;
+    std::uint64_t new_head;
+  };
+  std::vector<ListCut> cuts;
+  for (std::size_t probe = 0; probe < kAllocStripes && taken.size() < k;
+       ++probe) {
+    const int s = static_cast<int>(
+        (static_cast<std::size_t>(stripe) + probe) % kAllocStripes);
+    // Cutting a list writes the stripe's head field; dead-media stripes
+    // keep their chunks linked in place (see alloc_locked).
+    if (dev_->media_failing(base_ + stripe_state_off(s),
+                            sizeof(StripeState))) {
+      continue;
+    }
+    std::uint64_t cur = get<StripeState>(stripe_state_off(s)).free_head[cls];
+    const std::size_t before = taken.size();
+    while (cur != 0 && taken.size() < k) {
+      taken.push_back(cur);
+      cur = get<std::uint64_t>(cur + kChunkHeader);
+    }
+    if (taken.size() != before) cuts.push_back({s, cur});
+  }
+  const std::uint64_t at = round_up(ag.arena_cursor, kChunkAlign);
+  std::size_t carved = 0;
+  while (taken.size() + carved < k &&
+         at + (carved + 1) * csize <= ag.arena_end) {
+    ++carved;
+  }
+  const std::size_t total = taken.size() + carved;
+  if (total == 0) return 0;
+
+  std::vector<Range> log;
+  log.push_back({Layout::kAllocOff, sizeof(AllocGlobal)});
+  for (const auto& c : cuts) {
+    log.push_back({stripe_state_off(c.stripe), sizeof(StripeState)});
+  }
+  for (const auto c : taken) log.push_back({c, kChunkHeader});
+  aundo_log_batch(stripe, log);
+
+  std::vector<Range> dirty;
+  for (const auto c : taken) {
+    mag_mark_owned(c, csize - kChunkHeader, static_cast<std::uint32_t>(cls));
+    dirty.push_back({c, kChunkHeader});
+  }
+  for (std::size_t i = 0; i < carved; ++i) {
+    mag_mark_owned(at + i * csize, csize - kChunkHeader,
+                   static_cast<std::uint32_t>(cls));
+    dirty.push_back({at + i * csize, kChunkHeader});
+  }
+  for (const auto& c : cuts) {
+    const std::uint64_t field = stripe_state_off(c.stripe) +
+                                offsetof(StripeState, free_head) + cls * 8;
+    write(field, &c.new_head, 8);
+    dirty.push_back({field, 8});
+  }
+  AllocGlobal nag = ag;
+  if (carved > 0) nag.arena_cursor = at + carved * csize;
+  nag.bytes_in_use += total * (csize - kChunkHeader);
+  write(Layout::kAllocOff, &nag, sizeof(nag));
+  dirty.push_back({Layout::kAllocOff, sizeof(nag)});
+  persist_ranges(dirty);
+  aundo_commit(stripe);
+
+  // Only after the durable commit do the chunks enter the DRAM magazine.
+  for (const auto c : taken) m.chunks[cls].push_back(c);
+  for (std::size_t i = 0; i < carved; ++i) {
+    m.chunks[cls].push_back(at + i * csize);
+  }
+  return total;
+}
+
+void Pool::flush_back(Magazine& m, std::size_t cls, std::size_t keep) {
+  auto& stack = m.chunks[cls];
+  if (stack.size() <= keep) return;
+  const std::size_t n = stack.size() - keep;
+  std::vector<std::uint64_t> out(stack.begin(),
+                                 stack.begin() + static_cast<long>(n));
+  trace::Span span("pool.flushback");
+  std::lock_guard lk(*alloc_mu_);
+  trace::count(trace::Counter::kAllocLaneAcquisitions);
+  charge_queue_delay();
+  // Quarantined or media-failing chunks are leaked in place, still flagged
+  // — the same leak-in-place rule classic free() applies.  The loss is
+  // bounded by the magazine capacity at quarantine time.
+  std::erase_if(out, [&](std::uint64_t c) {
+    return (!quar_.empty() && quar_hit(c, kClassSizes[cls])) ||
+           dev_->media_failing(base_ + c, kChunkHeader + 8);
+  });
+  stack.erase(stack.begin(), stack.begin() + static_cast<long>(n));
+  if (out.empty()) return;
+  const int stripe = acting_stripe();
+  dev_->check_tx_begin("pool.flushback");
+  try {
+    flush_back_locked(out, cls, stripe);
+    dev_->check_tx_commit();
+    trace::count(trace::Counter::kAllocMagazineFlushbacks);
+  } catch (...) {
+    try {
+      rollback_log(stripe_undo_off(stripe), stripe_undo_off(stripe) + 8,
+                   Layout::kStripeUndoBytes);
+    } catch (const pmem::DeviceError&) {
+      // The media under the allocator state itself died mid-rollback: the
+      // tx fault being unwound names a different range, so THIS error is
+      // the one the healing path must see — quarantining the dead metadata
+      // flips the allocator into its degraded mode and tells check() the
+      // stored counters are scarred.  The half-rolled-back tx stays
+      // pending in the durable undo lane for the next open to replay.
+      dev_->check_tx_abort();
+      throw;
+    } catch (...) {
+    }
+    dev_->check_tx_abort();
+    throw;
+  }
+}
+
+void Pool::flush_back_locked(const std::vector<std::uint64_t>& out,
+                             std::size_t cls, int stripe) {
+  // Mirror image of refill_locked: unflag a batch of magazine chunks and
+  // chain them onto the acting stripe's class list under one undo
+  // transaction.  Rolling back restores the flagged headers (the scribbled
+  // next words are dead payload bytes of magazine-owned chunks).
+  const std::size_t csize = kClassSizes[cls];
+  const auto ag = get<AllocGlobal>(Layout::kAllocOff);
+  const auto ss = get<StripeState>(stripe_state_off(stripe));
+
+  std::vector<Range> log;
+  log.push_back({Layout::kAllocOff, sizeof(AllocGlobal)});
+  log.push_back({stripe_state_off(stripe), sizeof(StripeState)});
+  for (const auto c : out) log.push_back({c, kChunkHeader + 8});
+  aundo_log_batch(stripe, log);
+
+  std::vector<Range> dirty;
+  std::uint64_t next = ss.free_head[cls];
+  for (auto it = out.rbegin(); it != out.rend(); ++it) {
+    const std::uint64_t c = *it;
+    const ChunkHeader h =
+        make_chunk(csize - kChunkHeader, static_cast<std::uint32_t>(cls));
+    write(c, &h, sizeof(h));
+    write(c + kChunkHeader, &next, 8);
+    dirty.push_back({c, kChunkHeader + 8});
+    next = c;
+  }
+  const std::uint64_t field =
+      stripe_state_off(stripe) + offsetof(StripeState, free_head) + cls * 8;
+  write(field, &next, 8);
+  dirty.push_back({field, 8});
+  const std::uint64_t in_use =
+      ag.bytes_in_use - out.size() * (csize - kChunkHeader);
+  write(Layout::kAllocOff + offsetof(AllocGlobal, bytes_in_use), &in_use, 8);
+  dirty.push_back({Layout::kAllocOff + offsetof(AllocGlobal, bytes_in_use), 8});
+  persist_ranges(dirty);
+  aundo_commit(stripe);
+}
+
+void Pool::drain_magazines() {
+  std::lock_guard lk(art_->mu);
+  for (auto& [tid, mag] : art_->mags) {
+    for (std::size_t c = 0; c < kClassSizes.size(); ++c) {
+      if (!mag->chunks[c].empty()) flush_back(*mag, c, 0);
+    }
+  }
+}
+
+void Pool::sweep_magazines() {
+  // Walk the heap with uncharged raw peeks (recovery metadata, not workload
+  // I/O), collecting every chunk a crash left magazine-flagged; then push
+  // each back to a free list under its own small undo transaction, so a
+  // re-crash mid-sweep just leaves the remainder flagged for the next open.
+  const auto peek = [&](std::uint64_t off, void* dst, std::size_t len) {
+    std::memcpy(dst, dev_->raw(base_ + off), len);
+  };
+  AllocGlobal ag;
+  peek(Layout::kAllocOff, &ag, sizeof(ag));
+  const std::uint64_t heap0 = Layout::heap_start();
+  if (ag.arena_cursor < heap0 || ag.arena_cursor > size_) return;
+
+  struct Flagged {
+    std::uint64_t at;
+    std::uint64_t payload;
+    std::uint32_t cls;
+  };
+  std::vector<Flagged> flagged;
+  for (std::uint64_t pos = heap0; pos < ag.arena_cursor;) {
+    ChunkHeader ch;
+    peek(pos, &ch, sizeof(ch));
+    if (!chunk_ok(ch)) {
+      // Mirror check()'s rule: the allocator hops quarantined media without
+      // writing a filler header when the range covers the header spot.
+      const std::pair<std::uint64_t, std::uint64_t>* hit = nullptr;
+      for (const auto& q : quar_) {
+        if (q.first < pos + kChunkHeader && pos < q.first + q.second &&
+            (hit == nullptr || q.first < hit->first)) {
+          hit = &q;
+        }
+      }
+      if (hit != nullptr) {
+        pos = round_up(hit->first + hit->second, kChunkAlign);
+        continue;
+      }
+      break;  // corrupt heap: check() owns the diagnosis, not the sweep
+    }
+    const std::uint64_t adv = kChunkHeader + ch.payload_size;
+    if (adv % kChunkAlign != 0 || pos + adv > ag.arena_cursor) break;
+    if (is_magged(ch.cls) && base_class(ch.cls) < kClassSizes.size() &&
+        kClassSizes[base_class(ch.cls)] == adv &&
+        (quar_.empty() || !quar_hit(pos, adv)) &&
+        !dev_->media_failing(base_ + pos, kChunkHeader + 8)) {
+      flagged.push_back({pos, ch.payload_size, base_class(ch.cls)});
+    }
+    pos += adv;
+  }
+
+  for (const auto& f : flagged) {
+    // Spread reclaimed chunks deterministically by offset, independent of
+    // the (not yet configured) active stripe count — the slow path steals
+    // from every stripe anyway.  Slide past dead-media stripes; with all
+    // of them dead the chunk stays flagged for a later open to sweep.
+    int stripe = static_cast<int>((f.at / kChunkAlign) % kAllocStripes);
+    int slid = 0;
+    while (slid < static_cast<int>(kAllocStripes) && stripe_failing(stripe)) {
+      stripe = (stripe + 1) % static_cast<int>(kAllocStripes);
+      ++slid;
+    }
+    if (slid == static_cast<int>(kAllocStripes)) continue;
+    dev_->check_tx_begin("pool.sweep");
+    try {
+      const auto cur_ag = get<AllocGlobal>(Layout::kAllocOff);
+      const auto ss = get<StripeState>(stripe_state_off(stripe));
+      aundo_log_batch(stripe, {{Layout::kAllocOff, sizeof(AllocGlobal)},
+                               {stripe_state_off(stripe), sizeof(StripeState)},
+                               {f.at, kChunkHeader + 8}});
+      std::vector<Range> dirty;
+      const ChunkHeader h = make_chunk(f.payload, f.cls);
+      write(f.at, &h, sizeof(h));
+      write(f.at + kChunkHeader, &ss.free_head[f.cls], 8);
+      dirty.push_back({f.at, kChunkHeader + 8});
+      const std::uint64_t field = stripe_state_off(stripe) +
+                                  offsetof(StripeState, free_head) +
+                                  f.cls * 8;
+      write(field, &f.at, 8);
+      dirty.push_back({field, 8});
+      const std::uint64_t in_use = cur_ag.bytes_in_use - f.payload;
+      write(Layout::kAllocOff + offsetof(AllocGlobal, bytes_in_use), &in_use,
+            8);
+      dirty.push_back(
+          {Layout::kAllocOff + offsetof(AllocGlobal, bytes_in_use), 8});
+      persist_ranges(dirty);
+      aundo_commit(stripe);
+      dev_->check_tx_commit();
+      trace::count(trace::Counter::kAllocMagazineSwept);
+    } catch (...) {
+      // Media died under the push: roll back and leave this chunk leaked in
+      // place (still flagged); keep sweeping the rest.
+      try {
+        rollback_log(stripe_undo_off(stripe), stripe_undo_off(stripe) + 8,
+                     Layout::kStripeUndoBytes);
+      } catch (...) {
+      }
+      dev_->check_tx_abort();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Quarantine table
 // ---------------------------------------------------------------------------
 
@@ -663,6 +1294,7 @@ void Pool::load_quarantine() {
     }
     quar_.emplace_back(e.off, e.len);
   }
+  art_->quar_active.store(!quar_.empty(), std::memory_order_release);
 }
 
 bool Pool::quar_hit(std::uint64_t off, std::size_t len) const {
@@ -690,13 +1322,28 @@ ft::Status Pool::quarantine(std::uint64_t off, std::size_t len) {
   const QuarEntry e{first, last - first};
   const std::uint64_t pos =
       Layout::kQuarEntries + quar_.size() * sizeof(QuarEntry);
-  write(pos, &e, sizeof(e));
-  persist(pos, sizeof(e));
-  quar_.emplace_back(e.off, e.len);
-  QuarHeader qh{};
-  qh.count = static_cast<std::uint32_t>(quar_.size());
-  qh.crc = quar_table_crc(quar_);
-  set(Layout::kQuarOff, qh);
+  try {
+    write(pos, &e, sizeof(e));
+    persist(pos, sizeof(e));
+    quar_.emplace_back(e.off, e.len);
+    QuarHeader qh{};
+    qh.count = static_cast<std::uint32_t>(quar_.size());
+    qh.crc = quar_table_crc(quar_);
+    set(Layout::kQuarOff, qh);
+  } catch (const pmem::DeviceError& de) {
+    // The quarantine table itself sits on failing media: the pool has lost
+    // its last-resort repair metadata and cannot promise relocated writes
+    // stay off the bad range.  Surface a typed error (the healing layer
+    // degrades the handle) instead of letting the device fault escape —
+    // callers treat quarantine() as the end of the error-handling line.
+    return ft::Status(ft::ErrorCode::kMediaFailed,
+                      std::string("quarantine table media failed: ") +
+                          de.what());
+  }
+  // Degrading pool: disable every allocator fast path.  Chunks already in
+  // magazines stay there (their flagged headers keep the accounting
+  // consistent) and are reclaimed at the next reopen's sweep.
+  art_->quar_active.store(true, std::memory_order_release);
   trace::count(trace::Counter::kFtQuarantines);
   return ft::Status::ok();
 }
@@ -739,9 +1386,13 @@ CheckReport Pool::check() const {
   if (hdr.size != size_) issue("pool header: size mismatch");
 
   // --- allocator state ------------------------------------------------------
-  AllocState as{};
+  AllocGlobal as{};
+  std::array<StripeState, kAllocStripes> stripes{};
   try {
-    as = get<AllocState>(Layout::kAllocOff);
+    as = get<AllocGlobal>(Layout::kAllocOff);
+    for (std::size_t s = 0; s < kAllocStripes; ++s) {
+      stripes[s] = get<StripeState>(stripe_state_off(static_cast<int>(s)));
+    }
   } catch (const pmem::DeviceError& e) {
     issue(std::string("alloc state: ") + e.what());
     return rep;
@@ -849,6 +1500,19 @@ CheckReport Pool::check() const {
       walk_ok = false;
       break;
     }
+    if (is_magged(ch.cls)) {
+      // Magazine-owned: counted as in-use (never expected on a free list;
+      // the class comparison below rejects a flagged list entry anyway).
+      if (base_class(ch.cls) >= kClassSizes.size() ||
+          kClassSizes[base_class(ch.cls)] != adv) {
+        issue("heap walk: magazine chunk at " + std::to_string(pos) +
+              " has class " + std::to_string(ch.cls) +
+              " inconsistent with its size");
+        walk_ok = false;
+        break;
+      }
+      ++rep.magazine_chunks;
+    }
     boundaries.insert(pos);
     payload_total += ch.payload_size;
     ++rep.chunks_walked;
@@ -904,9 +1568,12 @@ CheckReport Pool::check() const {
       cur = get<std::uint64_t>(cur + kChunkHeader);
     }
   };
-  for (std::size_t c = 0; c < kClassSizes.size(); ++c) {
-    walk_free(as.free_head[c], static_cast<std::uint32_t>(c),
-              "free list[" + std::to_string(kClassSizes[c]) + "]");
+  for (std::size_t s = 0; s < kAllocStripes; ++s) {
+    for (std::size_t c = 0; c < kClassSizes.size(); ++c) {
+      walk_free(stripes[s].free_head[c], static_cast<std::uint32_t>(c),
+                "stripe " + std::to_string(s) + " free list[" +
+                    std::to_string(kClassSizes[c]) + "]");
+    }
   }
   walk_free(as.large_free_head, kLargeClass, "large free list");
 
@@ -919,13 +1586,29 @@ CheckReport Pool::check() const {
     // is the expected scar of the media failure, not a structural bug.
     bool alloc_state_dead = false;
     for (const auto& q : quar) {
-      if (q.first < Layout::kAllocOff + sizeof(AllocState) &&
+      if (q.first < Layout::kStripeBase + kAllocStripes * Layout::kStripeStride &&
           Layout::kAllocOff < q.first + q.second) {
         alloc_state_dead = true;
         break;
       }
     }
-    if (!alloc_state_dead && rep.bytes_in_use != as.bytes_in_use) {
+    // A non-empty allocator undo lane means a tx is pending recovery: it
+    // tore mid-mutation and even the live rollback could not finish (the
+    // media under one of its pre-image targets died).  Until the lane
+    // replays, the stored counter legitimately disagrees with the heap by
+    // the torn tx's delta — the same reason the undo-log section below
+    // accepts non-empty-but-well-formed lanes.
+    bool lanes_pending = false;
+    for (std::size_t s = 0; s < kAllocStripes && !lanes_pending; ++s) {
+      try {
+        lanes_pending =
+            get<std::uint64_t>(stripe_undo_off(static_cast<int>(s))) != 0;
+      } catch (const pmem::DeviceError&) {
+        lanes_pending = true;  // unreadable lane: assume pending
+      }
+    }
+    if (!alloc_state_dead && !lanes_pending &&
+        rep.bytes_in_use != as.bytes_in_use) {
       issue("bytes_in_use mismatch: stored " +
             std::to_string(as.bytes_in_use) + ", recomputed " +
             std::to_string(rep.bytes_in_use));
@@ -966,8 +1649,12 @@ CheckReport Pool::check() const {
       pos += adv;
     }
   };
-  check_log(Layout::kAllocUndoOff, Layout::kAllocUndoOff + 8,
-            Layout::kAllocUndoBytes, "allocator undo log");
+  for (std::size_t s = 0; s < kAllocStripes; ++s) {
+    check_log(stripe_undo_off(static_cast<int>(s)),
+              stripe_undo_off(static_cast<int>(s)) + 8,
+              Layout::kStripeUndoBytes,
+              "allocator undo lane " + std::to_string(s));
+  }
   for (std::size_t lane = 0; lane < kTxLanes; ++lane) {
     const std::uint64_t lo = lane_off(static_cast<int>(lane));
     check_log(lo, lo + Layout::kLaneHeader, kTxLogBytes,
@@ -1007,10 +1694,15 @@ void Pool::release_tx_lane(int lane) {
 void Pool::recover() {
   trace::Span span("pool.recover");
   trace::count(trace::Counter::kRecoveries);
-  // Allocator undo first: an interrupted alloc/free must be rolled back
-  // before anything else trusts the heap metadata.
-  rollback_log(Layout::kAllocUndoOff, Layout::kAllocUndoOff + 8,
-               Layout::kAllocUndoBytes);
+  // Allocator undo lanes first: an interrupted alloc/free/refill must be
+  // rolled back before anything else trusts the heap metadata.  The global
+  // allocator mutex admits one uncommitted batch at a time, so at most one
+  // lane has anything to do and cross-lane order is irrelevant.
+  for (std::size_t s = 0; s < kAllocStripes; ++s) {
+    rollback_log(stripe_undo_off(static_cast<int>(s)),
+                 stripe_undo_off(static_cast<int>(s)) + 8,
+                 Layout::kStripeUndoBytes);
+  }
   for (std::size_t lane = 0; lane < kTxLanes; ++lane) {
     const std::uint64_t lo = lane_off(static_cast<int>(lane));
     rollback_log(lo, lo + Layout::kLaneHeader, kTxLogBytes);

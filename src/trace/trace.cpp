@@ -173,6 +173,14 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kReadCacheFillBytes: return "read_cache_fill_bytes";
     case Counter::kReadCacheEvictions: return "read_cache_evictions";
     case Counter::kReadCacheInvalidations: return "read_cache_invalidations";
+    case Counter::kAllocLaneAcquisitions: return "alloc_lane_acquisitions";
+    case Counter::kAllocQueueCharges: return "alloc_queue_charges";
+    case Counter::kAllocMetadataPersists: return "alloc_metadata_persists";
+    case Counter::kAllocMagazineHits: return "alloc_magazine_hits";
+    case Counter::kAllocMagazineFreeHits: return "alloc_magazine_free_hits";
+    case Counter::kAllocMagazineRefills: return "alloc_magazine_refills";
+    case Counter::kAllocMagazineFlushbacks: return "alloc_magazine_flushbacks";
+    case Counter::kAllocMagazineSwept: return "alloc_magazine_swept";
     case Counter::kNumCounters: break;
   }
   return "unknown";

@@ -436,6 +436,178 @@ TEST(CrashMatrixTest, AllocatorAndTxMatrixRecoversWithTornWrites) {
 }
 
 // ---------------------------------------------------------------------------
+// Pool-level matrix with magazines armed (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+/// Same shape as run_pool_workload, but with per-rank magazines on: the
+/// churn covers a refill batch (one undo tx carving K chunks), magazine
+/// pops (plain-store pop-seal, persisted by the adjacent payload set),
+/// flagged fast-path frees, and an overflow flush_back — so the crash sweep
+/// lands inside every magazine persist point at least once.
+Marks run_mag_workload(pmemcpy::obj::Pool& pool, pmemcpy::pmem::Device& dev,
+                       std::uint64_t* s_out) {
+  Marks marks;
+  auto step = [&](const char* name, auto&& fn) {
+    StepMark m{name, dev.persist_ops(), 0};
+    fn();
+    m.end = dev.persist_ops();
+    marks.steps.push_back(m);
+  };
+  std::uint64_t s = 0;
+  std::uint64_t o[8] = {};
+  step("refill_alloc_s", [&] { s = pool.alloc(300); });  // refill batch
+  step("set_s", [&] { pool.set<std::uint64_t>(s, kValInit); });
+  step("churn_alloc", [&] {
+    // Two refills of the 100-byte class plus pops in between.  Each pop's
+    // seal is a plain store; the set() right after persists the same line
+    // (the publisher's flush in the engine protocol).
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      o[i] = pool.alloc(100);
+      pool.set<std::uint64_t>(o[i], i);
+    }
+  });
+  step("churn_free", [&] {
+    // Eight flagged fast-path frees; the last overflows the 2K cap and
+    // triggers a flush_back batch of K back to the persistent lists.
+    for (std::uint64_t i = 0; i < 8; ++i) pool.free(o[i]);
+  });
+  step("tx_commit", [&] {
+    pmemcpy::obj::Transaction tx(pool);
+    tx.snapshot(s, 8);
+    pool.write(s, &kValTx, sizeof(kValTx));
+    tx.commit();
+  });
+  step("tx_abort", [&] {
+    pmemcpy::obj::Transaction tx(pool);
+    tx.snapshot(s, 8);
+    pool.write(s, &kValAbort, sizeof(kValAbort));
+  });
+  if (s_out != nullptr) *s_out = s;
+  return marks;
+}
+
+void arm_magazines(pmemcpy::obj::Pool& pool) {
+  pool.set_magazine_size(4);
+  pool.set_alloc_stripes(8);
+}
+
+PoolPlan mag_counting_run() {
+  PoolPlan plan;
+  pmemcpy::pmem::Device dev(kPoolBytes, /*crash_shadow=*/true);
+  dev.enable_checker();
+  auto pool = pmemcpy::obj::Pool::create(dev, 0, kPoolBytes);
+  arm_magazines(pool);
+  plan.setup_ops = dev.persist_ops();
+  plan.marks = run_mag_workload(pool, dev, &plan.a_off);
+  plan.total_ops = dev.persist_ops();
+  EXPECT_EQ(pool.get<std::uint64_t>(plan.a_off), kValTx);
+  EXPECT_TRUE(pool.check().ok());
+  const auto chk = dev.checker()->take_report();
+  EXPECT_TRUE(chk.ok()) << chk.to_string();
+  return plan;
+}
+
+void run_mag_crash_point(std::uint64_t k, const PoolPlan& plan, bool torn) {
+  SCOPED_TRACE("magazine crash at persist op " + std::to_string(k) +
+               (torn ? " (torn writes)" : ""));
+  pmemcpy::pmem::Device dev(kPoolBytes, /*crash_shadow=*/true);
+  dev.enable_checker();
+  {
+    auto pool = pmemcpy::obj::Pool::create(dev, 0, kPoolBytes);
+    arm_magazines(pool);
+    ASSERT_EQ(dev.persist_ops(), plan.setup_ops);
+    FaultPlan fp;
+    fp.crash_at_persist = k;
+    fp.torn_writes = torn;
+    dev.set_fault_plan(fp);
+    try {
+      (void)run_mag_workload(pool, dev, nullptr);
+    } catch (const CrashError& e) {
+      EXPECT_EQ(e.persist_op, k);
+    }
+    ASSERT_TRUE(dev.frozen());
+  }
+
+  dev.revive();
+  auto pool = pmemcpy::obj::Pool::open(dev, 0);
+  const auto report = pool.check();
+  EXPECT_TRUE(report.ok()) << "pool corrupt after recovery:"
+                           << join_issues(report.issues);
+  // The open-time sweep reclaims every chunk the crash left flagged: a
+  // magazine never survives its owner.
+  EXPECT_EQ(report.magazine_chunks, 0u)
+      << report.magazine_chunks << " chunks still magazine-flagged";
+
+  const auto& m = plan.marks;
+  const std::uint64_t v = pool.get<std::uint64_t>(plan.a_off);
+  if (m.started("tx_abort", k)) {
+    EXPECT_EQ(v, kValTx);
+  } else if (m.done("tx_commit", k)) {
+    EXPECT_EQ(v, kValTx);
+  } else if (m.started("tx_commit", k)) {
+    EXPECT_TRUE(v == kValInit || v == kValTx) << "s = " << std::hex << v;
+  } else if (m.done("set_s", k)) {
+    EXPECT_EQ(v, kValInit);
+  } else if (m.started("set_s", k)) {
+    if (v != 0 && v != kValInit) {
+      // A crash that pre-empts the publishing flush reverts the plain-store
+      // pop-seal along with the value: the chunk reverts to magazine-
+      // flagged and the open-time sweep reclaims it, so the allocation
+      // itself unwound and the payload word now holds a free-list link.
+      // Prove that is what happened: the class list must hand s back.
+      bool reclaimed = false;
+      std::vector<std::uint64_t> tmp;
+      for (int i = 0; i < 8 && !reclaimed; ++i) {
+        const auto got = pool.alloc(300);
+        if (got == plan.a_off) {
+          reclaimed = true;
+        } else {
+          tmp.push_back(got);
+        }
+      }
+      EXPECT_TRUE(reclaimed) << "s = " << std::hex << v;
+      if (reclaimed) pool.free(plan.a_off);
+      for (const auto t : tmp) pool.free(t);
+    }
+  }
+
+  // The recovered allocator must function both classically and with
+  // magazines re-armed.
+  const auto probe = pool.alloc(64);
+  pool.set<std::uint64_t>(probe, 0xD00DULL);
+  EXPECT_EQ(pool.get<std::uint64_t>(probe), 0xD00DULL);
+  pool.free(probe);
+  arm_magazines(pool);
+  const auto probe2 = pool.alloc(100);
+  pool.set<std::uint64_t>(probe2, 0xD11DULL);
+  EXPECT_EQ(pool.get<std::uint64_t>(probe2), 0xD11DULL);
+  pool.free(probe2);
+  pool.drain_magazines();
+  EXPECT_TRUE(pool.check().ok());
+  const auto chk = dev.checker()->take_report();
+  EXPECT_TRUE(chk.ok()) << chk.to_string();
+}
+
+void sweep_mag_crash_points(bool torn) {
+  const PoolPlan plan = mag_counting_run();
+  ASSERT_GT(plan.total_ops, plan.setup_ops);
+  std::cout << "[ crash matrix ] sweeping " << plan.total_ops - plan.setup_ops
+            << " magazine-armed persist points\n";
+  for (std::uint64_t k = plan.setup_ops + 1; k <= plan.total_ops; ++k) {
+    run_mag_crash_point(k, plan, torn);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(CrashMatrixTest, MagazineMatrixRecovers) {
+  sweep_mag_crash_points(/*torn=*/false);
+}
+
+TEST(CrashMatrixTest, MagazineMatrixRecoversWithTornWrites) {
+  sweep_mag_crash_points(/*torn=*/true);
+}
+
+// ---------------------------------------------------------------------------
 // Mutation test: the harness must catch a re-introduced durability bug
 // ---------------------------------------------------------------------------
 

@@ -44,25 +44,43 @@ using pmemcpy::pmem::FaultPlan;
 
 enum class Kind { kTable, kTree, kSharded };
 
-const char* kind_name(Kind k) {
-  switch (k) {
-    case Kind::kTable: return "Table";
-    case Kind::kTree: return "Tree";
-    case Kind::kSharded: return "Sharded";
-  }
-  return "?";
-}
+/// One fuzzed configuration: engine shape × allocator hot-path knobs.  The
+/// magazine/stripe pair rides through PoolEngineOptions (-1 = the engine
+/// default of magazines-of-8 over 8 stripes), so the same op sequences run
+/// against the lock-free magazine path, the classic fully-locked path, and
+/// a wide sharded+magazine composition — the equivalence and crash
+/// invariants must hold identically in every cell.
+struct Config {
+  Kind kind;
+  int magazine_size;   ///< -1 = engine default, 0 = classic locked path
+  int alloc_stripes;   ///< -1 = engine default
+  const char* name;
+};
 
-std::unique_ptr<Engine> open_engine(PmemNode& node, Kind kind) {
-  if (kind == Kind::kTree) {
+std::unique_ptr<Engine> open_engine(PmemNode& node, const Config& cfg) {
+  if (cfg.kind == Kind::kTree) {
     return pmemcpy::engine::open_tree_engine(node, "/fuzz", false, nullptr);
   }
   pmemcpy::engine::PoolEngineOptions o;
   o.name = "fuzz";
   o.nbuckets = 64;  // small bucket space: chained-slot paths get exercised
-  o.shards = kind == Kind::kSharded ? 4 : 1;
+  o.shards = cfg.kind == Kind::kSharded ? 4 : 1;
+  o.magazine_size = cfg.magazine_size;
+  o.alloc_stripes = cfg.alloc_stripes;
   return pmemcpy::engine::open_pool_engine(node, o, nullptr);
 }
+
+constexpr Config kConfigs[] = {
+    {Kind::kTable, -1, -1, "Table"},
+    {Kind::kTree, -1, -1, "Tree"},
+    {Kind::kSharded, -1, -1, "Sharded"},
+    // Allocator hot-path matrix: classic (no magazines, one metadata lane)
+    // vs an oversized refill batch spread across fewer stripes, both under
+    // the sharded composition where put/erase churn is heaviest.
+    {Kind::kTable, 0, 1, "TableClassic"},
+    {Kind::kSharded, 0, 1, "ShardedClassic"},
+    {Kind::kSharded, 16, 4, "ShardedMag16"},
+};
 
 /// Deterministic splitmix64 stream; the only randomness source here, so a
 /// (seed, iteration-count) pair replays an exact op sequence.
@@ -178,7 +196,7 @@ void verify_model(Engine& eng, const Model& model, const char* when) {
 // Suite 1: op-sequence equivalence with the persistency checker attached
 // ---------------------------------------------------------------------------
 
-class EngineFuzz : public ::testing::TestWithParam<Kind> {};
+class EngineFuzz : public ::testing::TestWithParam<Config> {};
 
 void fuzz_sequence(Engine& eng, Model& model, Rng& rng, std::size_t iters) {
   for (std::size_t i = 0; i < iters; ++i) {
@@ -298,11 +316,9 @@ TEST_P(EngineFuzz, ModelEquivalence) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllEngines, EngineFuzz,
-                         ::testing::Values(Kind::kTable, Kind::kTree,
-                                           Kind::kSharded),
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineFuzz, ::testing::ValuesIn(kConfigs),
                          [](const auto& info) {
-                           return kind_name(info.param);
+                           return std::string(info.param.name);
                          });
 
 // ---------------------------------------------------------------------------
@@ -315,7 +331,7 @@ struct Pending {
   std::optional<ModelValue> after;   ///< nullopt = op was an erase
 };
 
-class EngineCrashFuzz : public ::testing::TestWithParam<Kind> {};
+class EngineCrashFuzz : public ::testing::TestWithParam<Config> {};
 
 TEST_P(EngineCrashFuzz, RandomOpsSurviveRandomCrashes) {
   const std::size_t iters = fuzz_iters(500);
@@ -451,10 +467,9 @@ TEST_P(EngineCrashFuzz, RandomOpsSurviveRandomCrashes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, EngineCrashFuzz,
-                         ::testing::Values(Kind::kTable, Kind::kTree,
-                                           Kind::kSharded),
+                         ::testing::ValuesIn(kConfigs),
                          [](const auto& info) {
-                           return kind_name(info.param);
+                           return std::string(info.param.name);
                          });
 
 }  // namespace

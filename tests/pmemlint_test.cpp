@@ -224,6 +224,40 @@ TEST(PmemlintMutations, UnpersistedReturnInObjLayer) {
   expect_single(live_findings(c), "unpersisted-return", rel, at + 2);
 }
 
+TEST(PmemlintMutations, AtomicStoreIsNotAPmemStore) {
+  // `x.store(v, std::memory_order_*)` is DRAM state, not a pmem write: a
+  // function whose only "store" is an atomic flag flip must stay clean.
+  const std::string rel = "src/pmemobj/pool.cpp";
+  std::string content = slurp(repo_root() / rel);
+  plant(content,
+        "void planted_arm(std::atomic<bool>& a, bool on) {\n"
+        "  if (on) a.store(true, std::memory_order_release);\n"
+        "}\n");
+  Corpus c;
+  c.add(rel, std::move(content));
+  const auto live = live_findings(c);
+  EXPECT_TRUE(live.empty()) << pmemlint::to_human(live);
+}
+
+TEST(PmemlintMutations, MagMarkOwnedIsADeferredPersistPrimitive) {
+  // The magazine header-flag helper is a sanctioned deferred-persist store
+  // (DESIGN.md §14): its refill/sweep callers own the coalesced flush+fence
+  // over the whole batch, so a definition by that exact name must not flag
+  // — while the identical body under any other name still does.
+  Corpus c;
+  c.add("src/pmemobj/planted_mag.cpp",
+        "template <typename Dev>\n"
+        "void mag_mark_owned(Dev& d) {\n"
+        "  d.note_write(0, 16);\n"
+        "}\n"
+        "template <typename Dev>\n"
+        "void planted_mark(Dev& d) {\n"
+        "  d.note_write(0, 16);\n"
+        "}\n");
+  expect_single(live_findings(c), "unpersisted-return",
+                "src/pmemobj/planted_mag.cpp", 7);
+}
+
 TEST(PmemlintMutations, IncludeLayeringInversion) {
   const std::string rel = "include/pmemcpy/sim/context.hpp";
   std::string content = slurp(repo_root() / rel);

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <random>
 #include <thread>
@@ -431,6 +432,169 @@ TEST(PoolCheckTest, DetectsFreeListCorruption) {
   p.set<std::uint64_t>(a, a - 16);
   const auto rep = p.check();
   EXPECT_FALSE(rep.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Per-rank magazines (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+TEST(PoolMagazineTest, AllocFreeRoundtripStaysConsistent) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  p.set_magazine_size(8);
+  p.set_alloc_stripes(8);
+  std::vector<std::uint64_t> offs;
+  for (int i = 0; i < 16; ++i) {
+    const auto off = p.alloc(64);
+    p.set<std::uint64_t>(off, 0xAB00u + static_cast<std::uint64_t>(i));
+    offs.push_back(off);
+  }
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(p.get<std::uint64_t>(offs[static_cast<std::size_t>(i)]),
+              0xAB00u + static_cast<std::uint64_t>(i));
+  }
+  for (const auto off : offs) p.free(off);
+  const auto rep = p.check();
+  EXPECT_TRUE(rep.ok()) << (rep.issues.empty() ? "" : rep.issues.front());
+  EXPECT_EQ(rep.bytes_in_use, p.bytes_in_use());
+}
+
+TEST(PoolMagazineTest, CheckCountsMagazineOwnedChunks) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  p.set_magazine_size(8);
+  // One alloc triggers a refill batch of K: the K-1 unsold chunks sit in
+  // the DRAM magazine with their headers durably flagged — check() must
+  // see them as in-use-but-unpublished, not as a leak or free-list gap.
+  const auto a = p.alloc(64);
+  (void)a;
+  const auto rep = p.check();
+  EXPECT_TRUE(rep.ok()) << (rep.issues.empty() ? "" : rep.issues.front());
+  EXPECT_GE(rep.magazine_chunks, 7u);
+  EXPECT_EQ(rep.bytes_in_use, p.bytes_in_use());
+}
+
+TEST(PoolMagazineTest, MagazineFreeIsDoubleFreeProof) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  p.set_magazine_size(8);
+  const auto a = p.alloc(64);
+  p.free(a);  // fast path: header flagged magazine-owned
+  EXPECT_THROW(p.free(a), PoolError);
+  EXPECT_TRUE(p.check().ok());
+}
+
+TEST(PoolMagazineTest, DrainReturnsEverythingToFreeLists) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  p.set_magazine_size(8);
+  std::vector<std::uint64_t> offs;
+  for (int i = 0; i < 12; ++i) offs.push_back(p.alloc(64));
+  for (const auto off : offs) p.free(off);
+  ASSERT_GT(p.check().magazine_chunks, 0u);
+  p.drain_magazines();
+  const auto rep = p.check();
+  EXPECT_TRUE(rep.ok()) << (rep.issues.empty() ? "" : rep.issues.front());
+  EXPECT_EQ(rep.magazine_chunks, 0u);
+  EXPECT_GE(rep.free_chunks, 12u);
+  EXPECT_EQ(rep.bytes_in_use, p.bytes_in_use());
+  // With magazines now disabled, a classic alloc must reuse the drained
+  // space rather than growing the arena.
+  p.set_magazine_size(0);
+  const auto reuse = p.alloc(64);
+  EXPECT_NE(std::find(offs.begin(), offs.end(), reuse), offs.end());
+}
+
+TEST(PoolMagazineTest, ReopenSweepsFlaggedChunksBack) {
+  Device dev(kPool);
+  std::uint64_t survivor = 0;
+  std::size_t in_use_after_drain = 0;
+  {
+    Pool p = Pool::create(dev, 0, kPool);
+    p.set_magazine_size(8);
+    survivor = p.alloc(64);
+    p.set<std::uint64_t>(survivor, 0xFEEDu);
+    // Leave the magazine populated (refill remainder + one freed chunk)
+    // and drop the Pool: the DRAM magazine dies with it, but every held
+    // chunk's header carries the durable flag.
+    p.free(p.alloc(64));
+    in_use_after_drain = p.bytes_in_use();
+    (void)in_use_after_drain;
+  }
+  Pool p = Pool::open(dev, 0);  // recovery sweeps flagged chunks
+  EXPECT_EQ(p.get<std::uint64_t>(survivor), 0xFEEDu);
+  const auto rep = p.check();
+  EXPECT_TRUE(rep.ok()) << (rep.issues.empty() ? "" : rep.issues.front());
+  EXPECT_EQ(rep.magazine_chunks, 0u);
+  EXPECT_GT(rep.free_chunks, 0u);
+  // The swept chunks came off the in-use counter.
+  EXPECT_LT(p.bytes_in_use(), in_use_after_drain);
+}
+
+TEST(PoolMagazineTest, CrashWithArmedMagazinesRecovers) {
+  Device dev(kPool, /*crash_shadow=*/true);
+  std::uint64_t survivor = 0;
+  {
+    Pool p = Pool::create(dev, 0, kPool);
+    p.set_magazine_size(8);
+    survivor = p.alloc(64);
+    p.set<std::uint64_t>(survivor, 0xC0DEu);
+    p.free(p.alloc(64));  // flagged free sits in the magazine at the crash
+    dev.simulate_crash();
+  }
+  Pool p = Pool::open(dev, 0);
+  EXPECT_EQ(p.get<std::uint64_t>(survivor), 0xC0DEu);
+  const auto rep = p.check();
+  EXPECT_TRUE(rep.ok()) << (rep.issues.empty() ? "" : rep.issues.front());
+  EXPECT_EQ(rep.magazine_chunks, 0u);
+  // Swept space must be immediately allocatable.
+  const auto off = p.alloc(64);
+  p.set<std::uint64_t>(off, 7);
+  EXPECT_EQ(p.get<std::uint64_t>(off), 7u);
+}
+
+TEST(PoolMagazineTest, StripeCountIsAReopenTimeChoice) {
+  Device dev(kPool);
+  std::vector<std::uint64_t> offs;
+  {
+    Pool p = Pool::create(dev, 0, kPool);
+    p.set_magazine_size(8);
+    p.set_alloc_stripes(8);
+    for (int i = 0; i < 10; ++i) {
+      const auto off = p.alloc(128);
+      p.set<std::uint64_t>(off, 0x5100u + static_cast<std::uint64_t>(i));
+      offs.push_back(off);
+    }
+    p.drain_magazines();
+  }
+  // The stripe count is a DRAM-side routing decision: the same media must
+  // open cleanly under any other setting, with all data intact.
+  Pool p = Pool::open(dev, 0);
+  p.set_alloc_stripes(2);
+  p.set_magazine_size(4);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(p.get<std::uint64_t>(offs[static_cast<std::size_t>(i)]),
+              0x5100u + static_cast<std::uint64_t>(i));
+  }
+  for (const auto off : offs) p.free(off);
+  p.drain_magazines();
+  const auto rep = p.check();
+  EXPECT_TRUE(rep.ok()) << (rep.issues.empty() ? "" : rep.issues.front());
+  EXPECT_EQ(rep.magazine_chunks, 0u);
+}
+
+TEST(PoolMagazineTest, LargeAllocationsBypassMagazines) {
+  Device dev(kPool);
+  Pool p = Pool::create(dev, 0, kPool);
+  p.set_magazine_size(8);
+  const auto before = p.check().magazine_chunks;
+  const auto big = p.alloc(200000);
+  p.free(big);  // classic path: large class never enters a magazine
+  const auto rep = p.check();
+  EXPECT_TRUE(rep.ok()) << (rep.issues.empty() ? "" : rep.issues.front());
+  EXPECT_EQ(rep.magazine_chunks, before);
+  const auto again = p.alloc(200000);
+  EXPECT_EQ(again, big);  // reused from the large free list
 }
 
 }  // namespace

@@ -315,9 +315,35 @@ bool is_persist_op(std::string_view s) {
 
 /// Functions that are themselves store primitives or persist primitives
 /// forward durability to their callers and must not self-flag (Pool::write
-/// and Pool::store wrap dev_->note_write by design).
+/// and Pool::store wrap dev_->note_write by design).  mag_mark_owned is the
+/// magazine layer's sanctioned deferred-persist store (DESIGN.md §14): it
+/// rewrites one chunk header as a raw tracked store and its batch callers
+/// (refill/sweep) own the single coalesced flush+fence over all K headers —
+/// the same split direct_write_span is baselined for, but narrow enough to
+/// allow by name.
 bool is_primitive_name(std::string_view s) {
-  return is_write_op(s) || is_persist_op(s) || s == "write" || s == "fill";
+  return is_write_op(s) || is_persist_op(s) || s == "write" || s == "fill" ||
+         s == "mag_mark_owned";
+}
+
+/// `x.store(v, std::memory_order_*)` is a DRAM atomic, not a pmem store:
+/// the memory-order argument is the give-away (no pmem write op takes
+/// one).  Scan the argument list, nesting-aware, for such an identifier.
+bool is_dram_atomic_store(const SourceFile& f, std::size_t i) {
+  const auto& ts = f.tokens;
+  if (ts[i].text != "store") return false;
+  int depth = 0;
+  for (std::size_t j = i + 1; j < ts.size(); ++j) {
+    if (ts[j].kind == Tok::kPunct) {
+      if (ts[j].text == "(") ++depth;
+      if (ts[j].text == ")" && --depth == 0) break;
+    }
+    if (ts[j].kind == Tok::kIdent &&
+        ts[j].text.rfind("memory_order", 0) == 0) {
+      return true;
+    }
+  }
+  return false;
 }
 
 /// Abstract state: clean, or dirty since `first_write_line`.
@@ -353,7 +379,7 @@ struct PersistAnalysis {
       }
       if (persist) {
         in = PStates{PState{false, 0}};
-      } else if (is_write_op(name)) {
+      } else if (is_write_op(name) && !is_dram_atomic_store(f, i)) {
         PStates next;
         for (const PState& s : in)
           next.insert(PState{true, s.dirty ? s.first_write_line
@@ -435,7 +461,8 @@ FnPersistResult analyze_fn(const SourceFile& f, const Function& fn,
   FnPersistResult r;
   for (std::size_t i = fn.body_lo; i < fn.body_hi; ++i)
     if (f.tokens[i].kind == Tok::kIdent && is_write_op(f.tokens[i].text) &&
-        i + 1 < f.tokens.size() && is_punct(f.tokens[i + 1], "("))
+        i + 1 < f.tokens.size() && is_punct(f.tokens[i + 1], "(") &&
+        !is_dram_atomic_store(f, i))
       r.stores = true;
   if (!r.stores) return r;
 
